@@ -1,0 +1,20 @@
+"""Ablation A5: multi-user sharing (Section 5.3.2).
+
+The paper argues H-ORAM "inherently supports multiple users" because the
+scheduler already groups arbitrary requests.  We check the front end
+keeps per-user latency balanced as the user count grows.
+"""
+
+from repro.bench.experiments import ablation_multiuser
+
+
+def test_multiuser_scaling(benchmark, once, capsys):
+    result = once(benchmark, ablation_multiuser, scale="quick")
+    with capsys.disabled():
+        print("\n" + result.render() + "\n")
+    data = result.data
+
+    for users, stats in data.items():
+        # Round-robin interleave: worst/best mean latency within 2.5x.
+        assert stats["fairness"] < 2.5, f"{users} users unfair: {stats['fairness']}"
+        assert stats["throughput"] > 0

@@ -1,0 +1,25 @@
+"""Ablation A1: the Section 5.3.1 partial shuffle.
+
+Shuffling 1/r of the partitions per period must shrink the per-period
+shuffle pause while keeping the protocol correct (correctness is covered
+by the property tests; here we check the performance trade-off exists).
+"""
+
+from repro.bench.experiments import ablation_partial_shuffle
+
+
+def test_partial_shuffle(benchmark, once, capsys):
+    result = once(benchmark, ablation_partial_shuffle, scale="quick")
+    with capsys.disabled():
+        print("\n" + result.render() + "\n")
+    data = result.data
+
+    full = data[1]
+    quarter = data[4]
+    # Shuffle I/O per period shrinks with r (fewer partitions streamed).
+    full_per_shuffle = full["shuffle_time_us"] / max(1, full["shuffle_count"])
+    quarter_per_shuffle = quarter["shuffle_time_us"] / max(1, quarter["shuffle_count"])
+    assert quarter_per_shuffle < full_per_shuffle
+    # The deferred work shows up as overflow appends.
+    assert quarter["extra"].get("blocks_appended", 0) > 0
+    assert full["extra"].get("blocks_appended", 0) == 0

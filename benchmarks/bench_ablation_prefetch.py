@@ -1,0 +1,20 @@
+"""Ablation A2: ROB lookahead distance d (Section 4.2).
+
+A wider window finds real hits/misses for more cycle slots, cutting the
+dummy padding that narrow windows are forced to issue.
+"""
+
+from repro.bench.experiments import ablation_prefetch
+
+
+def test_prefetch_window(benchmark, once, capsys):
+    result = once(benchmark, ablation_prefetch, scale="quick")
+    with capsys.disabled():
+        print("\n" + result.render() + "\n")
+    data = result.data
+
+    narrow = data["d=c+1"]
+    wide = data["d=6c"]
+    assert wide["dummy_hits"] <= narrow["dummy_hits"]
+    # Fewer dummy-padded cycles means fewer cycles in total.
+    assert wide["cycles"] <= narrow["cycles"]

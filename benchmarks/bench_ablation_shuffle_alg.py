@@ -1,0 +1,28 @@
+"""Ablation A4: the in-memory shuffle algorithm (Section 4.3.2).
+
+The paper chooses CacheShuffle "because memory is fast enough"; this
+ablation quantifies what the alternatives would cost.  Storage I/O is
+identical across algorithms (same sequential partition streams), so the
+difference shows up purely in the memory share of the shuffle time.
+"""
+
+from repro.bench.experiments import ablation_shuffle_alg
+
+
+def test_shuffle_algorithm_choice(benchmark, once, capsys):
+    result = once(benchmark, ablation_shuffle_alg, scale="quick")
+    with capsys.disabled():
+        print("\n" + result.render() + "\n")
+    data = result.data
+
+    # Bitonic's n log^2 n compare-exchanges cost more memory time than
+    # CacheShuffle's ~3n moves.
+    assert data["bitonic"]["shuffle_mem_time_us"] > data["cache"]["shuffle_mem_time_us"]
+    # Melbourne's padded buckets also exceed CacheShuffle.
+    assert (
+        data["melbourne"]["shuffle_mem_time_us"] >= data["cache"]["shuffle_mem_time_us"]
+    )
+    # Every variant still beats nothing: totals stay within 2x of each
+    # other because sequential storage I/O dominates the shuffle.
+    totals = [d["total_time_us"] for d in data.values()]
+    assert max(totals) < 2.0 * min(totals)

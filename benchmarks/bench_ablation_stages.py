@@ -1,0 +1,25 @@
+"""Ablation A3: the staged c schedule vs fixed-c schedules (Section 4.2).
+
+The paper sets {c1,c2,c3} = {1,3,5} because the hit rate grows within a
+period.  Fixed c=1 wastes the warm tree; fixed c=5 pads dummy hits while
+the tree is cold.
+"""
+
+from repro.bench.experiments import ablation_stages
+
+
+def test_stage_schedule(benchmark, once, capsys):
+    result = once(benchmark, ablation_stages, scale="quick")
+    with capsys.disabled():
+        print("\n" + result.render() + "\n")
+    data = result.data
+
+    # Higher average c serves more requests per load: fixed c=5 needs the
+    # fewest cycles, fixed c=1 the most; the staged schedule sits between.
+    assert data["fixed c=5"]["cycles"] < data["paper {1,3,5}"]["cycles"]
+    assert data["paper {1,3,5}"]["cycles"] < data["fixed c=1"]["cycles"]
+    # But the cold-start cost of a large fixed c is visible as a higher
+    # dummy-hit ratio than the staged schedule's.
+    paper_ratio = data["paper {1,3,5}"]["dummy_hits"] / data["paper {1,3,5}"]["scheduled_hits"]
+    fixed5_ratio = data["fixed c=5"]["dummy_hits"] / data["fixed c=5"]["scheduled_hits"]
+    assert fixed5_ratio >= paper_ratio * 0.9  # staged never clearly worse

@@ -1,0 +1,34 @@
+"""Benchmark: the Section 3 motivation -- all four schemes, one workload.
+
+Reproduces the qualitative comparison behind Figure 3-1: the tree-top
+Path ORAM multiplies scattered storage I/O; square-root ORAM pays huge
+memory scans plus whole-dataset shuffles; partition ORAM fetches one
+block but shuffles often; H-ORAM combines the cheap fetches with the
+log-depth memory cache.
+"""
+
+from repro.bench.experiments import baselines
+
+
+def test_baselines(benchmark, once, capsys):
+    result = once(benchmark, baselines, scale="quick")
+    with capsys.disabled():
+        print("\n" + result.render() + "\n")
+    data = result.data
+
+    horam = data["H-ORAM"]["total_time_us"]
+    path = data["Path ORAM (tree-top)"]["total_time_us"]
+    sqrt = data["Square-root ORAM"]["total_time_us"]
+
+    # H-ORAM beats the paper's baseline on total simulated time.
+    assert horam < path
+    # The full square-root shuffle makes it the worst I/O spender per
+    # request among the flat schemes.
+    assert data["Square-root ORAM"]["shuffle_time_us"] > data["Partition ORAM"][
+        "shuffle_time_us"
+    ]
+    # All schemes moved exactly one block per access-period storage read.
+    for name in ("H-ORAM", "Square-root ORAM", "Partition ORAM"):
+        metrics = data[name]
+        if metrics["io_reads"]:
+            assert metrics["io_bytes_read"] / metrics["io_reads"] == 1024

@@ -1,0 +1,21 @@
+"""Device sensitivity: the H-ORAM advantage across storage profiles.
+
+Not a paper table, but the design's central claim -- replacing scattered
+bucket I/O with single reads + sequential streams -- predicts the gain
+should track the device's positioning cost.  The realistic 8 ms-seek HDD
+should show a larger gap than the paper-calibrated profile; the SSD a
+smaller one.
+"""
+
+from repro.bench.experiments import device_sensitivity
+
+
+def test_device_sensitivity(benchmark, once, capsys):
+    result = once(benchmark, device_sensitivity, scale="quick")
+    with capsys.disabled():
+        print("\n" + result.render() + "\n")
+    data = result.data
+
+    assert data["hdd-7200rpm"] > data["hdd-paper"]
+    assert data["hdd-paper"] > 1.0
+    assert data["ssd-sata"] > 1.0  # still wins, by less

@@ -1,0 +1,36 @@
+"""Benchmark: Figure 5-1 -- theoretical gain over Path ORAM.
+
+Sweeps N/n in {2..64} and c in {1..16} at Z=4 (the paper's parameters)
+and asserts the figure's qualitative shape: gain grows with c, shrinks
+with the storage/memory ratio, and peaks in the paper's 12x-16x band.
+"""
+
+from repro.bench.experiments import figure5_1
+
+
+def test_figure5_1(benchmark, once, capsys):
+    result = once(benchmark, figure5_1)
+    with capsys.disabled():
+        print("\n" + result.render() + "\n")
+    series = result.data["series"]
+
+    # Shape 1: at every ratio, larger c gives larger gain.
+    for ratio_index in range(6):
+        column = [series[c][ratio_index][1] for c in (1, 2, 4, 8, 16)]
+        assert column == sorted(column)
+
+    # Shape 2: the advantage lives at small ratios ("when the ratio is
+    # small, the H-ORAM can achieve better performance"): every curve
+    # peaks at N/n <= 8 and falls off toward ratio 64 as the linear
+    # shuffle amortization overtakes the baseline's logarithmic growth.
+    for c in (1, 2, 4, 8, 16):
+        gains = dict(series[c])
+        peak_ratio = max(gains, key=gains.get)
+        assert peak_ratio <= 8
+        assert gains[64] < gains[peak_ratio]
+        # Past the peak the curve is monotone decreasing.
+        tail = [gains[r] for r in (8, 16, 32, 64)]
+        assert all(a >= b for a, b in zip(tail, tail[1:]))
+
+    # Shape 3: the best point lands in the paper's 12x-16x band.
+    assert 10 < result.data["peak_gain"] < 20

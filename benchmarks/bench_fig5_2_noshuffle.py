@@ -1,0 +1,22 @@
+"""Benchmark: Figure 5-2 -- the client/server (non-shuffle) case.
+
+The paper argues the shuffle can run server-side off the critical path,
+in which case only the access-period time matters; its ideal bound for
+the Table 5-1 configuration is 32x.  We measure both cases and assert
+no-shuffle > with-shuffle, both > 1.
+"""
+
+from repro.bench.experiments import figure5_2
+
+
+def test_figure5_2(benchmark, once, capsys):
+    result = once(benchmark, figure5_2, scale="quick")
+    with capsys.disabled():
+        print("\n" + result.render() + "\n")
+
+    assert result.data["no_shuffle"] > result.data["with_shuffle"] > 1.0
+    # Taking the shuffle off the critical path should at least double the
+    # advantage at this scale.
+    assert result.data["no_shuffle"] > 2 * result.data["with_shuffle"]
+    # The analytic ideal for this configuration's ratio (2*Z*log2(2N/n)).
+    assert result.data["ideal"] >= 24

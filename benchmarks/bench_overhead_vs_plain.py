@@ -1,0 +1,61 @@
+"""The cost of obliviousness: every scheme vs the unprotected store.
+
+The paper's introduction motivates H-ORAM by ORAM's "huge degradation on
+the performance"; this bench puts numbers on that degradation for each
+scheme relative to the encrypted-but-pattern-leaking floor, on the same
+workload.  H-ORAM's contribution is exactly shrinking this multiplier
+for out-of-memory datasets.
+"""
+
+from repro.bench.tables import format_us, render_table
+from repro.core.horam import build_horam
+from repro.crypto.random import DeterministicRandom
+from repro.oram.factory import build_path_oram, build_plain
+from repro.sim.engine import SimulationEngine
+from repro.workload.generators import hotspot
+
+N_BLOCKS = 4096
+MEM_BLOCKS = 512
+REQUESTS = 1500
+
+
+def run_all():
+    horam = build_horam(n_blocks=N_BLOCKS, mem_tree_blocks=MEM_BLOCKS, seed=0)
+    hot = max(16, int(0.35 * horam.period_capacity))
+    rng = DeterministicRandom(8)
+    requests = list(hotspot(N_BLOCKS, REQUESTS, rng, hot_blocks=hot))
+
+    results = {}
+    results["H-ORAM"] = SimulationEngine(horam).run(list(requests))
+    path = build_path_oram(n_blocks=N_BLOCKS, memory_blocks=MEM_BLOCKS, seed=0)
+    results["Path ORAM (tree-top)"] = SimulationEngine(path).run(list(requests))
+    plain = build_plain(n_blocks=N_BLOCKS, seed=0)
+    results["plain store (no protection)"] = SimulationEngine(plain).run(list(requests))
+    return results
+
+
+def test_overhead_vs_plain(benchmark, capsys):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    floor = results["plain store (no protection)"].total_time_us
+
+    rows = []
+    for name, metrics in results.items():
+        rows.append(
+            [
+                name,
+                format_us(metrics.total_time_us),
+                f"{metrics.total_time_us / floor:.1f}x",
+            ]
+        )
+    with capsys.disabled():
+        print(f"\nCost of obliviousness ({REQUESTS} hotspot requests, "
+              f"{N_BLOCKS} x 1 KB blocks)\n")
+        print(render_table(["scheme", "total time", "overhead vs plain"], rows))
+        print()
+
+    horam_over = results["H-ORAM"].total_time_us / floor
+    path_over = results["Path ORAM (tree-top)"].total_time_us / floor
+    assert 1.0 < horam_over < path_over
+    # The baseline's overhead should be roughly an order of magnitude
+    # above the plain store at this out-of-memory ratio.
+    assert path_over > 5.0

@@ -1,0 +1,69 @@
+"""Component benchmark: recursive vs flat position map (Section 5.3).
+
+The paper runs "the naive setting (no recursive)" and notes position-map
+optimizations compose with H-ORAM.  This bench quantifies the trade:
+recursion shrinks controller state by orders of magnitude but pays
+``levels`` extra in-memory tree accesses per lookup.
+"""
+
+from repro.bench.tables import render_table
+from repro.crypto.random import DeterministicRandom
+from repro.oram.recursive import RecursivePositionMap
+from repro.sim.metrics import TierTimes
+
+
+def measure(n_entries, entries_per_block, threshold):
+    pm = RecursivePositionMap(
+        n_entries=n_entries,
+        leaves=1024,
+        rng=DeterministicRandom(1),
+        entries_per_block=entries_per_block,
+        threshold=threshold,
+    )
+    times = TierTimes()
+    rng = DeterministicRandom(2)
+    lookups = 50
+    for _ in range(lookups):
+        pm.get(rng.randrange(n_entries), times)
+    return pm, times.mem_us / lookups
+
+
+def test_recursive_posmap_tradeoff(benchmark, capsys):
+    def sweep():
+        rows = []
+        data = {}
+        flat_bytes = 4 * 16384
+        for label, epb, threshold in (
+            ("flat (naive, the paper's setting)", 64, 1 << 20),
+            ("recursive, 64 entries/block", 64, 256),
+            ("recursive, 16 entries/block", 16, 64),
+        ):
+            pm, per_lookup_us = measure(16384, epb, threshold)
+            rows.append(
+                [
+                    label,
+                    pm.levels,
+                    f"{pm.secure_bytes()} B",
+                    f"{per_lookup_us:.2f} us",
+                ]
+            )
+            data[label] = (pm.levels, pm.secure_bytes(), per_lookup_us)
+        return rows, data, flat_bytes
+
+    rows, data, flat_bytes = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\nRecursive position map: controller state vs lookup cost\n")
+        print(
+            render_table(
+                ["configuration", "levels", "controller state", "memory time/lookup"],
+                rows,
+            )
+        )
+        print()
+
+    flat = data["flat (naive, the paper's setting)"]
+    deep = data["recursive, 16 entries/block"]
+    assert flat[0] == 0 and flat[1] == flat_bytes
+    assert deep[0] >= 2
+    assert deep[1] < flat_bytes / 100  # controller state collapses
+    assert deep[2] > flat[2]  # lookups pay for it

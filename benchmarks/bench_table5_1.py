@@ -1,0 +1,21 @@
+"""Benchmark: Table 5-1 -- analytical overhead comparison for one period.
+
+Closed-form (equations 5-3 through 5-6); asserts the exact paper values
+at the 1 GB / 128 MB / 1 KB configuration.
+"""
+
+import pytest
+
+from repro.bench.experiments import table5_1
+
+
+def test_table5_1(benchmark, once, capsys):
+    result = once(benchmark, table5_1, scale="full")
+    with capsys.disabled():
+        print("\n" + result.render() + "\n")
+    # Paper: H-ORAM averages 4.5 KB reads + 4 KB writes per request;
+    # the baseline is pinned at 16 KB + 16 KB.
+    assert result.data["horam_avg_read_kb"] == pytest.approx(4.5)
+    assert result.data["horam_avg_write_kb"] == pytest.approx(4.0)
+    assert result.data["path_avg_read_kb"] == pytest.approx(16.0)
+    assert result.data["path_avg_write_kb"] == pytest.approx(16.0)

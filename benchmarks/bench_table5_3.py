@@ -1,0 +1,31 @@
+"""Benchmark: Table 5-3 -- small dataset, H-ORAM vs Path ORAM.
+
+Quick scale (8 MB-class) of the paper's 64 MB experiment; the full-size
+run is ``horam-bench table5_3 --scale full``.  Shape assertions follow
+the paper's claims, not its absolute numbers:
+
+* H-ORAM needs ~3.5x fewer storage visits (measured 3.46x in the paper);
+* per-visit latency gap lands near the paper's ~13x (77 us vs 1032 us);
+* H-ORAM wins end-to-end even with the shuffle on the critical path.
+"""
+
+from repro.bench.experiments import table5_3
+
+
+def test_table5_3(benchmark, once, capsys):
+    result = once(benchmark, table5_3, scale="quick")
+    with capsys.disabled():
+        print("\n" + result.render() + "\n")
+
+    assert 2.0 < result.data["io_reduction"] < 6.0  # paper: 3.46x
+    assert result.data["speedup"] > 3.0  # paper: 19.8x at full scale
+
+    horam = result.data["horam"]
+    path = result.data["path"]
+    latency_gap = (
+        path["io_time_us"] / path["requests_served"]
+    ) / horam["avg_io_latency_us"]
+    assert 8.0 < latency_gap < 20.0  # paper: 1032/77 = 13.4x
+
+    assert horam["shuffle_count"] >= 1
+    assert path["shuffle_count"] == 0

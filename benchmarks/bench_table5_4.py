@@ -1,0 +1,23 @@
+"""Benchmark: Table 5-4 -- large dataset, H-ORAM vs Path ORAM.
+
+Quick scale of the paper's 1 GB experiment (full: ``horam-bench table5_4
+--scale full``).  The distinguishing feature vs Table 5-3 is the longer
+horizon: the run crosses at least two shuffle periods, and the speedup
+grows slightly with scale (paper: 19.8x -> 22.9x).
+"""
+
+from repro.bench.experiments import table5_4
+
+
+def test_table5_4(benchmark, once, capsys):
+    result = once(benchmark, table5_4, scale="quick")
+    with capsys.disabled():
+        print("\n" + result.render() + "\n")
+
+    horam = result.data["horam"]
+    assert horam["shuffle_count"] >= 2  # the paper's run shuffles twice
+    assert 2.0 < result.data["io_reduction"] < 6.0  # paper: 3.8x
+    assert result.data["speedup"] > 3.0  # paper: 22.9x at full scale
+
+    # I/O latency per load stays in the paper's band (77-107 us measured).
+    assert 60 < horam["avg_io_latency_us"] < 130

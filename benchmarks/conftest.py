@@ -1,0 +1,20 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one of the paper's tables/figures at quick
+scale inside ``benchmark.pedantic`` (a full simulated run is the unit of
+work -- re-running it dozens of times would add nothing but wall-clock).
+The rendered tables are printed so a benchmark run doubles as a results
+report; shape assertions keep the reproduction honest.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    return run_once

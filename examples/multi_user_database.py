@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Multi-tenant oblivious key-value store (Section 5.3.2).
+
+Run:  python examples/multi_user_database.py
+
+Three tenants share one H-ORAM-protected database.  Each tenant owns a
+region of the address space (enforced by the front end's ACL), issues a
+mix of point lookups and updates, and the scheduler interleaves all
+traffic into fixed-shape cycles -- so the storage server cannot tell the
+tenants apart, and no tenant can starve another.
+"""
+
+from repro import Request, build_horam
+from repro.bench.tables import render_table
+from repro.core.multiuser import AccessDenied, MultiUserFrontEnd
+from repro.crypto.random import DeterministicRandom
+from repro.workload.generators import read_write_mix
+
+N_BLOCKS = 3072
+REGION = N_BLOCKS // 3
+REQUESTS_PER_TENANT = 400
+
+
+def main() -> None:
+    oram = build_horam(n_blocks=N_BLOCKS, mem_tree_blocks=512, seed=9)
+    front = MultiUserFrontEnd(oram)
+
+    tenants = {0: "alice", 1: "bob", 2: "carol"}
+    for tenant in tenants:
+        front.register_user(tenant, allowed=range(tenant * REGION, (tenant + 1) * REGION))
+
+    # The ACL in action: bob cannot touch alice's region.
+    try:
+        front.submit(1, Request.read(5))
+    except AccessDenied as denied:
+        print(f"ACL works: {denied}\n")
+
+    # Each tenant issues its own hotspot mix inside its region.
+    rng = DeterministicRandom(31)
+    for tenant in tenants:
+        stream = read_write_mix(
+            REGION,
+            REQUESTS_PER_TENANT,
+            rng.spawn(f"tenant-{tenant}"),
+            write_ratio=0.25,
+            hot_blocks=48,
+        )
+        for request in stream:
+            request.addr += tenant * REGION
+            front.submit(tenant, request)
+
+    retired = front.pump()
+    elapsed_ms = oram.hierarchy.clock.now_ms
+
+    rows = []
+    for tenant, name in tenants.items():
+        stats = front.stats(tenant)
+        rows.append(
+            [
+                name,
+                stats.submitted,
+                stats.served,
+                f"{stats.mean_latency_cycles:.1f} cycles",
+            ]
+        )
+    print(render_table(["tenant", "submitted", "served", "mean latency"], rows))
+    print(
+        f"\n{len(retired)} requests served in {elapsed_ms:.1f} ms simulated "
+        f"({len(retired) / (elapsed_ms / 1000):.0f} req/s); "
+        f"{oram.metrics.shuffle_count} background shuffles."
+    )
+    latencies = [front.stats(t).mean_latency_cycles for t in tenants]
+    print(
+        f"fairness (max/min mean latency): {max(latencies) / min(latencies):.2f} "
+        "-- round-robin keeps tenants balanced."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""An oblivious file store built on the public H-ORAM API.
+
+Run:  python examples/oblivious_file_store.py
+
+Stores whole files by chunking them into ORAM blocks behind a tiny
+allocation layer, then reads them back and verifies content hashes.
+Demonstrates that the ORAM interface composes into a real storage
+abstraction: the server hosting the blocks learns neither which file is
+hot nor how files map to blocks.
+"""
+
+import hashlib
+
+from repro import build_horam
+
+BLOCK_PAYLOAD = 16  # bytes of each ORAM block used for file data
+
+
+class ObliviousFileStore:
+    """Name -> block-extent mapping over one H-ORAM instance."""
+
+    def __init__(self, oram):
+        self.oram = oram
+        self._directory: dict[str, tuple[int, int]] = {}  # name -> (start, size)
+        self._next_block = 0
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.oram.n_blocks * BLOCK_PAYLOAD
+
+    def put(self, name: str, data: bytes) -> None:
+        if name in self._directory:
+            raise ValueError(f"file '{name}' already stored")
+        blocks = max(1, -(-len(data) // BLOCK_PAYLOAD))
+        if self._next_block + blocks > self.oram.n_blocks:
+            raise ValueError("store full")
+        start = self._next_block
+        self._next_block += blocks
+        for index in range(blocks):
+            chunk = data[index * BLOCK_PAYLOAD : (index + 1) * BLOCK_PAYLOAD]
+            self.oram.write(start + index, chunk)
+        self._directory[name] = (start, len(data))
+
+    def get(self, name: str) -> bytes:
+        start, size = self._directory[name]
+        blocks = max(1, -(-size // BLOCK_PAYLOAD))
+        pieces = [self.oram.read(start + index) for index in range(blocks)]
+        return b"".join(pieces)[:size]
+
+    def listing(self) -> list[tuple[str, int]]:
+        return [(name, size) for name, (_, size) in self._directory.items()]
+
+
+def main() -> None:
+    oram = build_horam(n_blocks=2048, mem_tree_blocks=256, seed=13)
+    store = ObliviousFileStore(oram)
+    print(f"oblivious file store: {store.capacity_bytes} bytes across "
+          f"{oram.n_blocks} blocks\n")
+
+    files = {
+        "notes.txt": b"meet at the usual place; bring the ledger",
+        "keys.pem": bytes(range(256)) * 3,
+        "report.md": b"# Q3\n" + b"all metrics nominal\n" * 20,
+    }
+    digests = {}
+    for name, content in files.items():
+        store.put(name, content)
+        digests[name] = hashlib.sha256(content).hexdigest()[:16]
+        print(f"stored {name:10s} ({len(content):4d} bytes) sha256={digests[name]}")
+
+    print("\nreading back through the ORAM:")
+    for name in files:
+        data = store.get(name)
+        digest = hashlib.sha256(data).hexdigest()[:16]
+        status = "OK " if digest == digests[name] else "FAIL"
+        print(f"  {status} {name:10s} sha256={digest}")
+        assert digest == digests[name]
+
+    metrics = oram.metrics
+    print(
+        f"\nprotocol bill: {metrics.cycles} cycles, "
+        f"{metrics.shuffle_count} shuffles, "
+        f"{oram.hierarchy.clock.now_ms:.1f} ms simulated"
+    )
+    print("the storage server saw only fixed-shape cycles and permuted slots.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Quickstart: build an H-ORAM, use it, inspect what the adversary saw.
+
+Run:  python examples/quickstart.py
+
+Walks through the library's three faces in ~40 lines of user code:
+1. the oblivious-memory API (read/write blocks),
+2. the simulation metrics (what the protocol cost),
+3. the security trace (what an attacker on the bus observed).
+"""
+
+from repro import Request, build_horam
+from repro.security.adversary import PatternAnalyzer
+from repro.security.invariants import check_cycle_shape, check_read_once_per_epoch
+from repro.sim.engine import SimulationEngine
+from repro.workload.generators import hotspot
+from repro.crypto.random import DeterministicRandom
+
+
+def main() -> None:
+    # A 4 MB dataset (4096 x 1 KB modeled blocks) with a 0.5 MB memory
+    # tree, backed by the paper-calibrated HDD profile.
+    oram = build_horam(n_blocks=4096, mem_tree_blocks=512, seed=1, trace=True)
+    print("H-ORAM up:", oram.storage.describe())
+    print(f"memory tree: {oram.cache.slot_capacity} slots, "
+          f"{oram.period_capacity} I/O loads per access period\n")
+
+    # --- 1. the oblivious-memory API ------------------------------------
+    oram.write(1000, b"attack at dawn")
+    secret = oram.read(1000)
+    print(f"block 1000 round-trips: {secret.rstrip(bytes(1))!r}\n")
+
+    # --- 2. run a workload and read the bill ----------------------------
+    rng = DeterministicRandom(7)
+    requests = list(hotspot(4096, 2000, rng, hot_blocks=180))
+    metrics = SimulationEngine(oram, verify=True).run(requests)
+    print("workload of 2000 hotspot requests:")
+    for line in metrics.summary_lines():
+        print("  " + line)
+    print(f"  dummy padding       : {metrics.dummy_hit_ratio:.0%} of hit slots, "
+          f"{metrics.dummy_miss_ratio:.0%} of load slots")
+    print(f"  requests per I/O    : "
+          f"{metrics.requests_served / max(1, metrics.io_reads):.2f} "
+          f"(the cacheable-interface win)\n")
+
+    # --- 3. what the adversary saw ---------------------------------------
+    trace = oram.hierarchy.trace
+    loads_checked = check_read_once_per_epoch(trace)
+    shapes = check_cycle_shape(trace)
+    analyzer = PatternAnalyzer(trace)
+    uniformity = analyzer.load_uniformity(oram.storage.total_slots, bins=8)
+    print("security checks on the recorded bus trace:")
+    print(f"  read-once per epoch : holds over {loads_checked} loads")
+    print(f"  cycle shape         : {len(shapes)} cycles, all exactly 1 load "
+          f"(entropy {analyzer.shape_entropy():.2f} bits)")
+    print(f"  load uniformity     : chi-square p = {uniformity.p_value:.3f} "
+          f"(skewed logical traffic, uniform physical traffic)")
+
+
+if __name__ == "__main__":
+    main()

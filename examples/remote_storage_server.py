@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""The client/server setting of Figures 2-3 and 5-2.
+
+Run:  python examples/remote_storage_server.py
+
+A client outsources a dataset to an untrusted storage server and reads it
+through H-ORAM.  The paper's observation: the server can run the shuffle
+period *offline* (between request bursts), so the client-visible latency
+is the access period only.  This example measures the same run both ways
+and contrasts it with the tree-top Path ORAM baseline, where every
+request pays the scattered bucket I/O inline.
+"""
+
+from repro import build_horam
+from repro.bench.tables import format_us, render_table
+from repro.crypto.random import DeterministicRandom
+from repro.oram.factory import build_path_oram
+from repro.sim.engine import SimulationEngine
+from repro.workload.generators import hotspot
+
+N_BLOCKS = 8192       # 8 MB modeled dataset
+MEM_BLOCKS = 1024     # 1 MB client-side cache tree
+BURSTS = 4
+BURST_REQUESTS = 700
+
+
+def main() -> None:
+    horam = build_horam(n_blocks=N_BLOCKS, mem_tree_blocks=MEM_BLOCKS, seed=3)
+    path = build_path_oram(n_blocks=N_BLOCKS, memory_blocks=MEM_BLOCKS, seed=3)
+    rng = DeterministicRandom(5)
+    hot = max(16, int(0.35 * horam.period_capacity))
+
+    rows = []
+    for burst in range(BURSTS):
+        requests = list(hotspot(N_BLOCKS, BURST_REQUESTS, rng, hot_blocks=hot))
+        m_h = SimulationEngine(horam).run(list(requests))
+        m_p = SimulationEngine(path).run(list(requests))
+        # Client-visible time: the shuffle runs server-side after the
+        # burst, off the critical path (Figure 5-2).
+        client_visible = m_h.access_time_us
+        rows.append(
+            [
+                f"burst {burst}",
+                format_us(client_visible),
+                format_us(m_h.shuffle_time_us),
+                format_us(m_p.total_time_us),
+                f"{m_p.total_time_us / max(1e-9, client_visible):.1f}x",
+            ]
+        )
+
+    print("Remote oblivious storage: client-visible latency per burst of "
+          f"{BURST_REQUESTS} requests\n")
+    print(
+        render_table(
+            [
+                "burst",
+                "H-ORAM (client sees)",
+                "H-ORAM shuffle (server, offline)",
+                "Path ORAM (inline)",
+                "speedup",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nThe shuffle cost does not vanish -- it moves to the server's idle"
+        "\ntime. The paper's ideal bound for this ratio is "
+        "2*Z*log2(2N/n) = 32x."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""Experiment harness: one function per paper table/figure.
+
+* :mod:`repro.bench.tables` -- plain-text table rendering (the benches and
+  the CLI print paper-style tables).
+* :mod:`repro.bench.experiments` -- experiment definitions; each returns
+  an :class:`~repro.bench.experiments.ExperimentResult` with raw rows and
+  a rendered table.
+* :mod:`repro.bench.runner` -- the ``horam-bench`` CLI entry point.
+
+Every experiment accepts a ``scale`` ("quick", "medium", "full"): quick
+runs in seconds and drives the pytest benchmarks; full matches the paper's
+dataset sizes and is meant for the CLI.
+"""
+
+from repro.bench.experiments import (
+    ExperimentResult,
+    EXPERIMENTS,
+    get_experiment,
+)
+from repro.bench.tables import render_kv, render_table
+
+__all__ = [
+    "ExperimentResult",
+    "EXPERIMENTS",
+    "get_experiment",
+    "render_table",
+    "render_kv",
+]

@@ -1,0 +1,663 @@
+"""Experiment definitions: one function per table/figure + ablations.
+
+Every experiment returns an :class:`ExperimentResult`; the pytest benches
+assert shape properties on its ``data`` and the CLI prints its ``table``.
+
+Scales
+------
+``quick``   seconds of wall-clock; drives the pytest benchmark suite.
+``medium``  tens of seconds; a closer look without the full sizes.
+``full``    the paper's dataset sizes (64 MB / 1 GB modeled); CLI only.
+
+Workload note: the paper's stream sends 80% of requests to "a certain
+area" of unspecified size.  Its measured I/O counts pin the area near 35%
+of the memory tree's real capacity (see ``_hot_blocks`` and
+EXPERIMENTS.md's "workload inference" section for the derivation and the
+sensitivity analysis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.tables import format_bytes, format_us, render_table
+from repro.core import analysis
+from repro.core.horam import HybridORAM, build_horam
+from repro.core.multiuser import MultiUserFrontEnd
+from repro.core.stages import StageSchedule
+from repro.crypto.random import DeterministicRandom
+from repro.oram.base import Request
+from repro.oram.factory import build_partition, build_path_oram, build_square_root
+from repro.sim.engine import SimulationEngine
+from repro.sim.metrics import Metrics
+from repro.storage.device import hdd_paper, hdd_realistic, ssd_sata
+from repro.workload.generators import hotspot
+
+
+@dataclass
+class ExperimentResult:
+    """Output bundle of one experiment run."""
+
+    experiment_id: str
+    title: str
+    headers: list[str]
+    rows: list[list]
+    table: str = ""
+    notes: list[str] = field(default_factory=list)
+    data: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.table:
+            self.table = render_table(self.headers, self.rows)
+
+    def render(self) -> str:
+        lines = [self.title, ""]
+        lines.append(self.table)
+        if self.notes:
+            lines.append("")
+            lines.extend(f"* {note}" for note in self.notes)
+        return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- scales
+# Request counts are scaled so each run spans the paper's ~1.8 (Table 5-3)
+# and ~2 (Table 5-4) access periods; see EXPERIMENTS.md for the derivation
+# from the paper's reported I/O counts.
+_TABLE53_SCALES = {
+    # (N blocks, memory blocks, requests)  -- 1 KB modeled blocks.
+    "quick": (8192, 1024, 2800),
+    "medium": (16384, 2048, 5600),
+    "full": (65536, 8192, 25000),  # the paper's 64 MB / 8 MB / 25k
+}
+
+_TABLE54_SCALES = {
+    "quick": (16384, 2048, 7000),
+    "medium": (65536, 8192, 40000),
+    "large": (1 << 18, 1 << 15, 125000),  # quarter scale, same N/n ratio
+    "full": (1 << 20, 1 << 17, 500000),  # the paper's 1 GB / 128 MB / 500k
+}
+
+_SMALL_SCALES = {
+    "quick": (4096, 512, 1500),
+    "medium": (8192, 1024, 3000),
+    "full": (16384, 2048, 7000),
+}
+
+
+def _scale(table: dict, scale: str) -> tuple[int, int, int]:
+    try:
+        return table[scale]
+    except KeyError:
+        raise ValueError(f"unknown scale '{scale}' (choose from {sorted(table)})") from None
+
+
+def _hot_blocks(oram: HybridORAM) -> int:
+    """Hot-area size implied by the paper's measured I/O counts.
+
+    Table 5-3's 7,228 loads over 25,000 requests decompose into ~4,800
+    cold misses (20% uniform tail) plus a per-period hot warm-up, which
+    pins the hot area near 35% of the period capacity.
+    """
+    return max(16, int(0.35 * oram.period_capacity))
+
+
+def _workload(n_blocks: int, count: int, hot_blocks: int, seed: int = 7) -> list[Request]:
+    rng = DeterministicRandom(seed)
+    return list(hotspot(n_blocks, count, rng, hot_blocks=hot_blocks))
+
+
+def _speedup(path_metrics: Metrics, horam_metrics: Metrics) -> float:
+    if horam_metrics.total_time_us <= 0:
+        return float("inf")
+    return path_metrics.total_time_us / horam_metrics.total_time_us
+
+
+def _comparison_rows(
+    horam: HybridORAM,
+    metrics_h: Metrics,
+    path,
+    metrics_p: Metrics,
+) -> list[list[str]]:
+    """The row layout of Tables 5-3 / 5-4."""
+    block = horam.hierarchy.modeled_slot_bytes
+    h_storage = horam.storage.total_slots * block
+    h_memory = horam.cache.slot_capacity * block
+    p_storage = path.tree.storage_slots_needed * block
+    p_memory = path.tree.memory_slots_needed * block
+    return [
+        [
+            "Storage/Memory Size",
+            f"{format_bytes(h_storage)} / {format_bytes(h_memory)}",
+            f"{format_bytes(p_storage)} / {format_bytes(p_memory)}",
+        ],
+        # The paper counts one "I/O access" per storage visit: H-ORAM's
+        # loads, and the baseline's per-request path access.
+        ["Number of I/O Access", metrics_h.io_reads, metrics_p.requests_served],
+        [
+            "I/O Latency",
+            f"{metrics_h.avg_io_latency_us:.0f} us",
+            f"{metrics_p.io_time_us / max(1, metrics_p.requests_served):.0f} us",
+        ],
+        [
+            "Shuffle Time",
+            f"{format_us(metrics_h.shuffle_time_us / max(1, metrics_h.shuffle_count))}"
+            f" * {metrics_h.shuffle_count}",
+            "N/A",
+        ],
+        ["Total Time", format_us(metrics_h.total_time_us), format_us(metrics_p.total_time_us)],
+    ]
+
+
+def _run_pair(
+    n_blocks: int,
+    mem_blocks: int,
+    request_count: int,
+    storage_device=None,
+    seed: int = 0,
+) -> tuple[HybridORAM, Metrics, object, Metrics, list[Request]]:
+    """Run H-ORAM and the Path ORAM baseline on one paired workload."""
+    device = storage_device or hdd_paper()
+    horam = build_horam(
+        n_blocks=n_blocks,
+        mem_tree_blocks=mem_blocks,
+        seed=seed,
+        storage_device=device,
+    )
+    requests = _workload(n_blocks, request_count, _hot_blocks(horam))
+    metrics_h = SimulationEngine(horam).run(requests)
+
+    path = build_path_oram(
+        n_blocks=n_blocks,
+        memory_blocks=mem_blocks,
+        seed=seed,
+        storage_device=device,
+    )
+    metrics_p = SimulationEngine(path).run(requests)
+    return horam, metrics_h, path, metrics_p, requests
+
+
+# ----------------------------------------------------------------- Table 5-1
+def table5_1(scale: str = "full") -> ExperimentResult:
+    """Analytical overhead comparison for one period (closed form)."""
+    if scale == "full":
+        n_total, n_mem = 1 << 20, 1 << 17  # 1 GB / 128 MB at 1 KB blocks
+    else:
+        n_total, n_mem = 1 << 16, 1 << 13  # 64 MB / 8 MB
+    horam_row, path_row = analysis.table5_1(n_total=n_total, n_mem=n_mem)
+    rows = [
+        [
+            "Storage/Memory Size",
+            f"{format_bytes(horam_row.storage_bytes)} / {format_bytes(horam_row.memory_bytes)}",
+            f"{format_bytes(path_row.storage_bytes)} / {format_bytes(path_row.memory_bytes)}",
+        ],
+        [
+            "Path ORAM level",
+            f"{horam_row.tree_levels_memory:.0f}",
+            f"{path_row.tree_levels_memory:.0f} + {path_row.tree_levels_total - path_row.tree_levels_memory:.0f}",
+        ],
+        ["Requests Serviced", horam_row.requests_per_period, path_row.requests_per_period],
+        [
+            "Access Overhead",
+            f"{horam_row.access_read_kb:.0f} KB (read)",
+            f"{path_row.access_read_kb:.0f} KB (read) + {path_row.access_write_kb:.0f} KB (write)",
+        ],
+        [
+            "Shuffle Overhead",
+            f"{format_bytes(horam_row.shuffle_read_bytes)} (read) + "
+            f"{format_bytes(horam_row.shuffle_write_bytes)} (write)",
+            "N/A",
+        ],
+        [
+            "Average Overhead",
+            f"{horam_row.avg_read_kb:.1f} KB (read) + {horam_row.avg_write_kb:.1f} KB (write)",
+            f"{path_row.avg_read_kb:.0f} KB (read) + {path_row.avg_write_kb:.0f} KB (write)",
+        ],
+    ]
+    paper = "4.5 KB/4 KB vs 16 KB/16 KB at the 1 GB configuration"
+    return ExperimentResult(
+        experiment_id="table5_1",
+        title="Table 5-1: overhead comparison for one period (analytical)",
+        headers=["", "H-ORAM", "Path ORAM"],
+        rows=rows,
+        notes=[f"paper: {paper}"],
+        data={
+            "horam_avg_read_kb": horam_row.avg_read_kb,
+            "horam_avg_write_kb": horam_row.avg_write_kb,
+            "path_avg_read_kb": path_row.avg_read_kb,
+            "path_avg_write_kb": path_row.avg_write_kb,
+        },
+    )
+
+
+# ---------------------------------------------------------------- Figure 5-1
+def figure5_1(scale: str = "full") -> ExperimentResult:
+    """Theoretical gain over Path ORAM vs N/n ratio, per c (closed form)."""
+    ratios = (2, 4, 8, 16, 32, 64)
+    cs = (1, 2, 4, 8, 16)
+    series = analysis.figure5_1_series(ratios=ratios, cs=cs)
+    headers = ["N/n ratio"] + [f"c={c}" for c in cs]
+    rows = []
+    for index, ratio in enumerate(ratios):
+        row: list[object] = [ratio]
+        for c in cs:
+            row.append(f"{series[c][index][1]:.2f}x")
+        rows.append(row)
+    peak = max(gain for c in cs for _, gain in series[c])
+    return ExperimentResult(
+        experiment_id="figure5_1",
+        title="Figure 5-1: theoretical performance gain over Path ORAM (Z=4)",
+        headers=headers,
+        rows=rows,
+        notes=[
+            "gain falls as N/n grows (shuffle amortization dominates) and "
+            "rises with c -- the paper's qualitative shape",
+            f"peak gain in sweep: {peak:.1f}x (paper: best 12x-16x)",
+        ],
+        data={"series": series, "peak_gain": peak},
+    )
+
+
+# ---------------------------------------------------------------- Table 5-3/4
+def _comparison_experiment(
+    experiment_id: str,
+    title: str,
+    scales: dict,
+    scale: str,
+    paper_speedup: float,
+) -> ExperimentResult:
+    n_blocks, mem_blocks, request_count = _scale(scales, scale)
+    horam, metrics_h, path, metrics_p, requests = _run_pair(
+        n_blocks, mem_blocks, request_count
+    )
+    speedup = _speedup(metrics_p, metrics_h)
+    predicted = analysis.predicted_speedup(
+        n_total=n_blocks,
+        n_mem=horam.cache.slot_capacity,
+        c=horam.config.average_c,
+        device=horam.hierarchy.storage.device,
+    )
+    rows = _comparison_rows(horam, metrics_h, path, metrics_p)
+    io_reduction = metrics_p.requests_served / max(1, metrics_h.io_reads)
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        headers=["", "H-ORAM", "Path ORAM"],
+        rows=rows,
+        notes=[
+            f"measured speedup {speedup:.1f}x (paper: {paper_speedup}x at full scale; "
+            f"closed-form prediction here: {predicted:.1f}x)",
+            f"I/O access reduction {io_reduction:.1f}x (paper: ~3.5x)",
+            f"scale '{scale}': N={n_blocks} blocks, memory={mem_blocks} blocks, "
+            f"{request_count} requests, 1 KB modeled blocks",
+        ],
+        data={
+            "speedup": speedup,
+            "predicted_speedup": predicted,
+            "io_reduction": io_reduction,
+            "horam": metrics_h.to_dict(),
+            "path": metrics_p.to_dict(),
+            "requests": len(requests),
+        },
+    )
+
+
+def table5_3(scale: str = "quick") -> ExperimentResult:
+    """64 MB dataset, 25,000 requests (paper speedup 19.8x)."""
+    return _comparison_experiment(
+        "table5_3",
+        "Table 5-3: small dataset (64 MB class), H-ORAM vs Path ORAM",
+        _TABLE53_SCALES,
+        scale,
+        paper_speedup=19.8,
+    )
+
+
+def table5_4(scale: str = "quick") -> ExperimentResult:
+    """1 GB dataset, 500,000 requests (paper speedup 22.9x)."""
+    return _comparison_experiment(
+        "table5_4",
+        "Table 5-4: large dataset (1 GB class), H-ORAM vs Path ORAM",
+        _TABLE54_SCALES,
+        scale,
+        paper_speedup=22.9,
+    )
+
+
+# ---------------------------------------------------------------- Figure 5-2
+def figure5_2(scale: str = "quick") -> ExperimentResult:
+    """The non-shuffle (client/server) case: shuffle off the critical path."""
+    n_blocks, mem_blocks, request_count = _scale(_TABLE53_SCALES, scale)
+    horam, metrics_h, path, metrics_p, _ = _run_pair(n_blocks, mem_blocks, request_count)
+    with_shuffle = _speedup(metrics_p, metrics_h)
+    no_shuffle = (
+        metrics_p.total_time_us / metrics_h.access_time_us
+        if metrics_h.access_time_us > 0
+        else float("inf")
+    )
+    ideal = analysis.ideal_gain_no_shuffle(n_blocks, horam.cache.slot_capacity)
+    rows = [
+        ["shuffle on critical path", f"{with_shuffle:.1f}x"],
+        ["shuffle on server (free)", f"{no_shuffle:.1f}x"],
+        ["paper's ideal bound", f"{ideal:.0f}x"],
+    ]
+    return ExperimentResult(
+        experiment_id="figure5_2",
+        title="Figure 5-2: speedup with the shuffle off the critical path",
+        headers=["case", "speedup over Path ORAM"],
+        rows=rows,
+        notes=[
+            "the paper argues a remote server can shuffle offline, making the "
+            "access-period speedup the relevant number (its ideal: 32x)",
+        ],
+        data={
+            "with_shuffle": with_shuffle,
+            "no_shuffle": no_shuffle,
+            "ideal": ideal,
+        },
+    )
+
+
+# ----------------------------------------------------------------- ablations
+def ablation_partial_shuffle(scale: str = "quick") -> ExperimentResult:
+    """Section 5.3.1: shuffle 1/r of the partitions per period."""
+    n_blocks, mem_blocks, request_count = _scale(_SMALL_SCALES, scale)
+    rows = []
+    data = {}
+    for ratio in (1, 2, 4):
+        horam = build_horam(
+            n_blocks=n_blocks,
+            mem_tree_blocks=mem_blocks,
+            seed=0,
+            shuffle_period_ratio=ratio,
+        )
+        requests = _workload(n_blocks, request_count, _hot_blocks(horam))
+        metrics = SimulationEngine(horam).run(requests)
+        per_shuffle = metrics.shuffle_time_us / max(1, metrics.shuffle_count)
+        rows.append(
+            [
+                f"r={ratio}" + (" (full)" if ratio == 1 else ""),
+                format_us(per_shuffle),
+                format_us(metrics.shuffle_time_us),
+                format_us(metrics.total_time_us),
+                metrics.extra.get("blocks_appended", 0),
+            ]
+        )
+        data[ratio] = metrics.to_dict()
+    return ExperimentResult(
+        experiment_id="ablation_partial_shuffle",
+        title="Ablation A1: partial shuffle ratio (Section 5.3.1)",
+        headers=["ratio", "time/shuffle", "shuffle total", "total time", "appended blocks"],
+        rows=rows,
+        notes=[
+            "larger r shrinks each shuffle pause but appends unshuffled hot "
+            "data to overflow regions (extra storage, later catch-up)",
+        ],
+        data=data,
+    )
+
+
+def ablation_prefetch(scale: str = "quick") -> ExperimentResult:
+    """Section 4.2: lookahead distance d vs dummy padding."""
+    n_blocks, mem_blocks, request_count = _scale(_SMALL_SCALES, scale)
+    rows = []
+    data = {}
+    for label, window in (("d=c+1", 6), ("d=2c", 10), ("d=3c (paper)", None), ("d=6c", 30)):
+        horam = build_horam(
+            n_blocks=n_blocks,
+            mem_tree_blocks=mem_blocks,
+            seed=0,
+            prefetch_window=window,
+        )
+        requests = _workload(n_blocks, request_count, _hot_blocks(horam))
+        metrics = SimulationEngine(horam).run(requests)
+        rows.append(
+            [
+                label,
+                f"{metrics.dummy_hit_ratio * 100:.1f}%",
+                f"{metrics.dummy_miss_ratio * 100:.1f}%",
+                metrics.cycles,
+                format_us(metrics.total_time_us),
+            ]
+        )
+        data[label] = metrics.to_dict()
+    return ExperimentResult(
+        experiment_id="ablation_prefetch",
+        title="Ablation A2: ROB lookahead distance (Section 4.2)",
+        headers=["window", "dummy hits", "dummy misses", "cycles", "total time"],
+        rows=rows,
+        notes=["wider lookahead finds real work for more cycle slots"],
+        data=data,
+    )
+
+
+def ablation_stages(scale: str = "quick") -> ExperimentResult:
+    """The staged c schedule vs fixed-c schedules."""
+    n_blocks, mem_blocks, request_count = _scale(_SMALL_SCALES, scale)
+    schedules = [
+        ("paper {1,3,5}", StageSchedule.paper_default()),
+        ("fixed c=1", StageSchedule.fixed(1)),
+        ("fixed c=3", StageSchedule.fixed(3)),
+        ("fixed c=5", StageSchedule.fixed(5)),
+    ]
+    rows = []
+    data = {}
+    for label, schedule in schedules:
+        horam = build_horam(
+            n_blocks=n_blocks,
+            mem_tree_blocks=mem_blocks,
+            seed=0,
+            stages=schedule,
+        )
+        requests = _workload(n_blocks, request_count, _hot_blocks(horam))
+        metrics = SimulationEngine(horam).run(requests)
+        rows.append(
+            [
+                label,
+                f"{schedule.average_c():.2f}",
+                metrics.cycles,
+                f"{metrics.dummy_hit_ratio * 100:.1f}%",
+                format_us(metrics.total_time_us),
+            ]
+        )
+        data[label] = metrics.to_dict()
+    return ExperimentResult(
+        experiment_id="ablation_stages",
+        title="Ablation A3: stage schedule for c (Section 4.2 / 5.2)",
+        headers=["schedule", "avg c", "cycles", "dummy hits", "total time"],
+        rows=rows,
+        notes=[
+            "small fixed c wastes hit slots late in a period; large fixed c "
+            "pads dummies early when the tree is still cold",
+        ],
+        data=data,
+    )
+
+
+def ablation_shuffle_alg(scale: str = "quick") -> ExperimentResult:
+    """Section 4.3.2: choice of the in-memory shuffle algorithm."""
+    n_blocks, mem_blocks, request_count = _scale(_SMALL_SCALES, scale)
+    rows = []
+    data = {}
+    for name in ("cache", "melbourne", "bitonic", "fisher-yates"):
+        horam = build_horam(
+            n_blocks=n_blocks,
+            mem_tree_blocks=mem_blocks,
+            seed=0,
+            shuffle_algorithm=name,
+        )
+        requests = _workload(n_blocks, request_count, _hot_blocks(horam))
+        metrics = SimulationEngine(horam).run(requests)
+        rows.append(
+            [
+                name,
+                format_us(metrics.shuffle_time_us),
+                format_us(metrics.shuffle_mem_time_us),
+                format_us(metrics.total_time_us),
+            ]
+        )
+        data[name] = metrics.to_dict()
+    return ExperimentResult(
+        experiment_id="ablation_shuffle_alg",
+        title="Ablation A4: in-memory shuffle algorithm (Section 4.3.2)",
+        headers=["algorithm", "shuffle total", "shuffle memory part", "total time"],
+        rows=rows,
+        notes=[
+            "the paper picks CacheShuffle because memory is fast; bitonic's "
+            "n log^2 n moves and Melbourne's padded buckets cost more memory "
+            "time but the same (dominant, sequential) storage I/O",
+        ],
+        data=data,
+    )
+
+
+def ablation_multiuser(scale: str = "quick") -> ExperimentResult:
+    """Section 5.3.2: shared H-ORAM across users."""
+    n_blocks, mem_blocks, request_count = _scale(_SMALL_SCALES, scale)
+    rows = []
+    data = {}
+    for users in (1, 2, 4):
+        horam = build_horam(n_blocks=n_blocks, mem_tree_blocks=mem_blocks, seed=0)
+        front = MultiUserFrontEnd(horam)
+        share = n_blocks // users
+        rng = DeterministicRandom(11)
+        per_user = request_count // users
+        for user in range(users):
+            front.register_user(user, allowed=range(user * share, (user + 1) * share))
+            for request in hotspot(
+                share, per_user, rng.spawn(f"user-{user}"), hot_blocks=max(8, share // 8)
+            ):
+                request.addr += user * share
+                front.submit(user, request)
+        front.pump()
+        metrics = horam.metrics
+        served = sum(front.stats(u).served for u in front.users())
+        elapsed_s = horam.hierarchy.clock.now_s
+        throughput = served / elapsed_s if elapsed_s > 0 else float("inf")
+        latencies = [front.stats(u).mean_latency_cycles for u in front.users()]
+        fairness = max(latencies) / min(latencies) if min(latencies) > 0 else 1.0
+        rows.append(
+            [
+                users,
+                served,
+                f"{throughput:.0f} req/s",
+                f"{fairness:.2f}",
+                f"{metrics.dummy_hit_ratio * 100:.1f}%",
+            ]
+        )
+        data[users] = {"throughput": throughput, "fairness": fairness}
+    return ExperimentResult(
+        experiment_id="ablation_multiuser",
+        title="Ablation A5: multi-user sharing (Section 5.3.2)",
+        headers=["users", "served", "throughput", "latency max/min", "dummy hits"],
+        rows=rows,
+        notes=["round-robin interleave keeps per-user mean latency balanced"],
+        data=data,
+    )
+
+
+def baselines(scale: str = "quick") -> ExperimentResult:
+    """Figure 3-1's motivation: all four schemes on one workload."""
+    n_blocks, mem_blocks, request_count = _scale(_SMALL_SCALES, scale)
+    request_count = min(request_count, 2000)  # sqrt ORAM is O(sqrt N) per access
+    horam = build_horam(n_blocks=n_blocks, mem_tree_blocks=mem_blocks, seed=0)
+    requests = _workload(n_blocks, request_count, _hot_blocks(horam))
+
+    runs: list[tuple[str, Metrics]] = []
+    runs.append(("H-ORAM", SimulationEngine(horam).run(requests)))
+    path = build_path_oram(n_blocks=n_blocks, memory_blocks=mem_blocks, seed=0)
+    runs.append(("Path ORAM (tree-top)", SimulationEngine(path).run(requests)))
+    sqrt_oram = build_square_root(n_blocks=n_blocks, seed=0)
+    runs.append(("Square-root ORAM", SimulationEngine(sqrt_oram).run(requests)))
+    part = build_partition(n_blocks=n_blocks, seed=0)
+    runs.append(("Partition ORAM", SimulationEngine(part).run(requests)))
+
+    rows = []
+    data = {}
+    for name, metrics in runs:
+        # One "storage visit" is a single-block load for the flat schemes
+        # and a whole path access for the tree baseline (the paper's
+        # accounting in Tables 5-3/5-4).
+        if name.startswith("Path ORAM"):
+            visits = metrics.requests_served
+            visit_latency = metrics.io_time_us / max(1, visits)
+        else:
+            visits = metrics.io_reads
+            visit_latency = metrics.avg_io_latency_us
+        rows.append(
+            [
+                name,
+                visits,
+                format_us(visit_latency),
+                format_us(metrics.shuffle_time_us),
+                format_us(metrics.total_time_us),
+            ]
+        )
+        data[name] = metrics.to_dict()
+    return ExperimentResult(
+        experiment_id="baselines",
+        title="Baseline sweep: the Section 3 motivation, measured",
+        headers=["scheme", "storage visits", "latency/visit", "shuffle", "total time"],
+        rows=rows,
+        notes=[
+            f"{request_count} hotspot requests over {n_blocks} blocks "
+            f"(1 KB modeled); same request stream for every scheme",
+        ],
+        data=data,
+    )
+
+
+def device_sensitivity(scale: str = "quick") -> ExperimentResult:
+    """How the H-ORAM advantage changes with the storage device."""
+    n_blocks, mem_blocks, request_count = _scale(_SMALL_SCALES, scale)
+    rows = []
+    data = {}
+    for device in (hdd_paper(), hdd_realistic(), ssd_sata()):
+        _, metrics_h, _, metrics_p, _ = _run_pair(
+            n_blocks, mem_blocks, request_count, storage_device=device
+        )
+        speedup = _speedup(metrics_p, metrics_h)
+        rows.append(
+            [
+                device.name,
+                format_us(metrics_h.total_time_us),
+                format_us(metrics_p.total_time_us),
+                f"{speedup:.1f}x",
+            ]
+        )
+        data[device.name] = speedup
+    return ExperimentResult(
+        experiment_id="device_sensitivity",
+        title="Device sensitivity: the speedup across storage profiles",
+        headers=["storage device", "H-ORAM total", "Path ORAM total", "speedup"],
+        rows=rows,
+        notes=[
+            "seek-dominated devices amplify H-ORAM's advantage (1 random "
+            "read vs 2*log2(2N/n) scattered bucket accesses per request)",
+        ],
+        data=data,
+    )
+
+
+EXPERIMENTS = {
+    "table5_1": table5_1,
+    "figure5_1": figure5_1,
+    "table5_3": table5_3,
+    "table5_4": table5_4,
+    "figure5_2": figure5_2,
+    "ablation_partial_shuffle": ablation_partial_shuffle,
+    "ablation_prefetch": ablation_prefetch,
+    "ablation_stages": ablation_stages,
+    "ablation_shuffle_alg": ablation_shuffle_alg,
+    "ablation_multiuser": ablation_multiuser,
+    "baselines": baselines,
+    "device_sensitivity": device_sensitivity,
+}
+
+
+def get_experiment(name: str):
+    try:
+        return EXPERIMENTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment '{name}' (known: {', '.join(sorted(EXPERIMENTS))})"
+        ) from None

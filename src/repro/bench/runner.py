@@ -1,0 +1,85 @@
+"""The ``horam-bench`` command-line runner.
+
+Usage::
+
+    horam-bench --list
+    horam-bench table5_3 --scale quick
+    horam-bench all --scale quick
+    horam-bench table5_4 --scale full      # paper-size run (slow)
+
+Each experiment prints its paper-style table plus notes comparing the
+measured shape against the paper's reported values.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.experiments import EXPERIMENTS, get_experiment
+from repro.bench.tables import render_kv
+from repro.storage.device import hdd_paper
+
+
+def _print_header() -> None:
+    device = hdd_paper()
+    print(
+        render_kv(
+            "Simulated machine (Table 5-2 calibration)",
+            [
+                ("storage device", device.name),
+                ("storage read throughput", f"{device.read_mb_per_s} MB/s"),
+                ("storage write throughput", f"{device.write_mb_per_s} MB/s"),
+                ("effective positioning", f"{device.read_overhead_us} us"),
+                ("memory device", "ddr4-2133 (17 GB/s, 0.1 us)"),
+            ],
+        )
+    )
+    print()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="horam-bench",
+        description="Regenerate the H-ORAM paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        default="all",
+        help="experiment id, or 'all' (default)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("quick", "medium", "full"),
+        default="quick",
+        help="dataset scale (full = the paper's sizes; slow in pure Python)",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiment ids")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    try:
+        experiments = [(name, get_experiment(name)) for name in names]
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+
+    _print_header()
+    for name, experiment in experiments:
+        started = time.perf_counter()
+        result = experiment(scale=args.scale)
+        elapsed = time.perf_counter() - started
+        print(result.render())
+        print(f"\n[{name} completed in {elapsed:.1f} s wall-clock]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

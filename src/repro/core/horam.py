@@ -1,0 +1,352 @@
+"""The H-ORAM protocol (Section 4.1's data flow, Figure 4-1).
+
+:class:`HybridORAM` conducts the three layers through the two alternating
+periods:
+
+* **access period** -- :meth:`step` runs one scheduler cycle: plan ``c``
+  in-memory hits plus one storage load from the ROB window, execute the
+  memory side and the I/O side (overlapped, per "the I/O loads and
+  in-memory reads are conducted simultaneously"), admit the loaded block
+  to the cache tree, and retire served requests in order.  Every cycle
+  issues exactly one storage load; after ``n/2`` of them the period ends.
+* **shuffle period** -- obliviously evict the cache tree, fold the evicted
+  hot data into the storage layer's group/partition shuffle, and start a
+  fresh period.
+
+The class offers two API styles:
+
+* batch: ``submit(request)`` + ``drain()`` -- what the engine and the
+  benchmarks use; keeps the scheduler's window full so padding is rare;
+* synchronous: ``read(addr)`` / ``write(addr, data)`` -- the plain
+  :class:`~repro.oram.base.ORAMProtocol` interface; each call drains the
+  pipeline, so sparse traffic pays the full fixed-shape cost, exactly as
+  the real interface would.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.cache_tree import CacheTree
+from repro.core.config import HORAMConfig
+from repro.core.rob import EntryState, RobEntry, RobTable
+from repro.core.scheduler import SecureScheduler
+from repro.core.storage_layer import PermutedStorage
+from repro.crypto.ctr import StreamCipher
+from repro.crypto.random import DeterministicRandom
+from repro.oram.base import RECORD_OVERHEAD, BlockCodec, OpKind, ORAMProtocol, Request
+from repro.oram.tree import TreeGeometry
+from repro.shuffle import get_shuffle
+from repro.sim.metrics import Metrics, TierTimes
+from repro.storage.hierarchy import StorageHierarchy
+from repro.storage.trace import TraceRecorder
+
+
+class HybridORAM(ORAMProtocol):
+    """The cacheable ORAM interface of the paper."""
+
+    def __init__(
+        self,
+        config: HORAMConfig,
+        hierarchy: StorageHierarchy,
+        codec: BlockCodec | None = None,
+    ):
+        self.config = config
+        self.hierarchy = hierarchy
+        self.rng = DeterministicRandom(config.seed)
+        if codec is None:
+            cipher = StreamCipher(self.rng.spawn("record-key").token(32))
+            codec = BlockCodec(config.payload_bytes, cipher)
+        if codec.slot_bytes != hierarchy.slot_bytes:
+            raise ValueError(
+                f"hierarchy slot size {hierarchy.slot_bytes} does not match the "
+                f"codec record size {codec.slot_bytes}"
+            )
+        self.codec = codec
+
+        self.cache = CacheTree(
+            mem_blocks_budget=config.mem_tree_blocks,
+            bucket_size=config.bucket_size,
+            codec=codec,
+            memory_store=hierarchy.memory,
+            rng=self.rng.spawn("cache-tree"),
+            shuffle=get_shuffle(config.shuffle_algorithm),
+            stash_limit=config.stash_limit,
+        )
+        self.storage = PermutedStorage(
+            n_blocks=config.n_blocks,
+            codec=codec,
+            storage_store=hierarchy.storage,
+            memory_store=hierarchy.memory,
+            rng=self.rng.spawn("storage-layer"),
+            shuffle=get_shuffle(config.shuffle_algorithm),
+            shuffle_period_ratio=config.shuffle_period_ratio,
+            period_capacity=self.cache.period_capacity,
+        )
+        self.rob = RobTable()
+        self.scheduler = SecureScheduler(window_for=config.window_for)
+        self.metrics = Metrics()
+
+        self._cycle_index = 0
+        self._loads_this_period = 0
+        self._period_index = 0
+        #: secret-side log (addr, cycle) of served requests, for analyzers
+        self.served_log: list[tuple[int, int]] = []
+        #: per-request service latency in cycles, for percentile reporting
+        self.latency_log: list[int] = []
+
+    # ----------------------------------------------------------- properties
+    @property
+    def n_blocks(self) -> int:
+        return self.config.n_blocks
+
+    @property
+    def period_capacity(self) -> int:
+        """I/O loads per access period (the paper's n/2)."""
+        return self.cache.period_capacity
+
+    @property
+    def period_index(self) -> int:
+        return self._period_index
+
+    @property
+    def current_c(self) -> int:
+        progress = self._loads_this_period / self.period_capacity
+        return self.config.stages.c_at(progress)
+
+    # -------------------------------------------------------------- batch API
+    def submit(self, request: Request) -> RobEntry:
+        """Queue a request into the ROB table."""
+        self.check_addr(request.addr)
+        self.metrics.requests_submitted += 1
+        return self.rob.push(request, self._cycle_index)
+
+    def step(self) -> list[RobEntry]:
+        """Run one scheduler cycle; returns requests retired this cycle."""
+        # Loads complete within their cycle (the I/O overlaps the c memory
+        # reads and both finish by the cycle barrier), so no address is
+        # ever in flight across cycles.
+        self.hierarchy.mark("cycle-start")
+        c = self.current_c
+        plan = self.scheduler.plan(self.rob, c, self._is_cached, set())
+
+        mem_times = TierTimes()
+        io_times = TierTimes()
+
+        # Memory side: c path accesses (real hits first, then padding).
+        for entry in plan.hits:
+            self._serve_hit(entry, mem_times)
+        for _ in range(plan.dummy_hits):
+            mem_times.add(self.cache.dummy_access())
+            self.metrics.dummy_hits += 1
+        self.metrics.scheduled_hits += c
+
+        # I/O side: exactly one storage load.
+        if plan.miss is not None:
+            payload, times = self.storage.fetch(plan.miss.addr)
+            io_times.add(times)
+            self.cache.insert(plan.miss.addr, payload)
+            plan.miss.state = EntryState.READY
+        else:
+            addr, payload, times = self.storage.dummy_fetch()
+            io_times.add(times)
+            self.metrics.dummy_misses += 1
+            if addr is not None:
+                self.cache.insert(addr, payload)
+                self.metrics.prefetched_hits += 1
+        self.metrics.scheduled_misses += 1
+
+        # Advance simulated time: overlapped or serial composition.
+        if self.config.overlap_io:
+            start = self.hierarchy.clock.now_us
+            mem_done = self.hierarchy.memory_channel.submit(start, mem_times.mem_us)
+            io_done = self.hierarchy.io_channel.submit(start, io_times.io_us)
+            self.hierarchy.clock.advance_to(max(mem_done, io_done))
+        else:
+            self.hierarchy.clock.advance(mem_times.mem_us + io_times.io_us)
+
+        self.metrics.cycles += 1
+        self.metrics.record_stash(len(self.cache.stash))
+        self.metrics.tree_real_blocks_peak = max(
+            self.metrics.tree_real_blocks_peak, self.cache.real_blocks
+        )
+        self._cycle_index += 1
+        self.hierarchy.mark("cycle-end")
+
+        # Period bookkeeping: every cycle performs one I/O load.
+        self._loads_this_period += 1
+        if self._loads_this_period >= self.period_capacity:
+            self._run_shuffle_period()
+
+        return self.rob.retire()
+
+    def drain(self) -> list[RobEntry]:
+        """Run cycles until every submitted request has retired."""
+        retired: list[RobEntry] = []
+        while self.rob.has_work():
+            retired.extend(self.step())
+        retired.extend(self.rob.retire())
+        return retired
+
+    # -------------------------------------------------------- synchronous API
+    def read(self, addr: int) -> bytes:
+        entry = self.submit(Request.read(addr))
+        self.drain()
+        assert entry.result is not None
+        return entry.result
+
+    def write(self, addr: int, data: bytes) -> None:
+        self.submit(Request.write(addr, data))
+        self.drain()
+
+    def force_shuffle(self) -> None:
+        """End the current period immediately (maintenance hook)."""
+        self._run_shuffle_period()
+
+    def latency_percentiles(self, quantiles=(50, 90, 99)) -> dict[int, float]:
+        """Service-latency percentiles in scheduler cycles.
+
+        Queueing latency shows where the fixed-shape pipeline makes
+        requests wait: misses take at least one extra cycle (load, then
+        serve), and ROB backlog adds more under bursts.
+        """
+        from repro.sim.metrics import percentile
+
+        if not self.latency_log:
+            return {int(q): 0.0 for q in quantiles}
+        return {int(q): percentile(self.latency_log, q) for q in quantiles}
+
+    # ------------------------------------------------------------- internals
+    def _is_cached(self, addr: int) -> bool:
+        return self.cache.contains(addr)
+
+    def _serve_hit(self, entry: RobEntry, times: TierTimes) -> None:
+        data = entry.request.data if entry.request.op is OpKind.WRITE else None
+        payload, access_times = self.cache.access(entry.request.op, entry.addr, data)
+        times.add(access_times)
+        entry.result = payload
+        entry.state = EntryState.SERVED
+        entry.served_cycle = self._cycle_index
+        self.latency_log.append(entry.latency_cycles)
+        self.metrics.requests_served += 1
+        if entry.request.op is OpKind.READ:
+            self.metrics.read_requests += 1
+        else:
+            self.metrics.write_requests += 1
+        self.served_log.append((entry.addr, self._cycle_index))
+
+    def _run_shuffle_period(self) -> None:
+        """Evict + group/partition shuffle + fresh period (Section 4.3)."""
+        self.hierarchy.mark("shuffle-start")
+        start_us = self.hierarchy.clock.now_us
+        io_before = self.hierarchy.storage.snapshot()
+        mem_before = self.hierarchy.memory.snapshot()
+
+        evicted, evict_times, _moves = self.cache.evict_all()
+        stats = self.storage.shuffle_into(evicted, self._period_index)
+
+        # The shuffle period is serial: the storage waits for it.
+        total_us = evict_times.serial_us + stats.times.serial_us
+        self.hierarchy.clock.advance(total_us)
+        # Keep the overlap channels from "catching up" during the pause.
+        self.hierarchy.memory_channel.busy_until_us = self.hierarchy.clock.now_us
+        self.hierarchy.io_channel.busy_until_us = self.hierarchy.clock.now_us
+
+        io_delta = self.hierarchy.storage.snapshot().delta(io_before)
+        mem_delta = self.hierarchy.memory.snapshot().delta(mem_before)
+        self.metrics.shuffle_count += 1
+        self.metrics.shuffle_time_us += self.hierarchy.clock.now_us - start_us
+        self.metrics.evict_time_us += evict_times.serial_us
+        self.metrics.shuffle_bytes_read += io_delta.bytes_read
+        self.metrics.shuffle_bytes_written += io_delta.bytes_written
+        self.metrics.shuffle_io_reads += io_delta.reads
+        self.metrics.shuffle_io_writes += io_delta.writes
+        self.metrics.shuffle_io_time_us += io_delta.busy_us
+        # The in-memory shuffle moves are charged to durations, not to the
+        # memory store's counters; account the store part plus move time.
+        self.metrics.shuffle_mem_time_us += evict_times.mem_us + stats.times.mem_us
+        self.metrics.extra["partitions_shuffled"] = (
+            self.metrics.extra.get("partitions_shuffled", 0) + stats.partitions_shuffled
+        )
+        self.metrics.extra["blocks_appended"] = (
+            self.metrics.extra.get("blocks_appended", 0) + stats.blocks_appended
+        )
+
+        # Requests whose block was loaded but not yet serviced lost their
+        # cached copy to the eviction; they re-enter as pending misses.
+        demoted = self.rob.demote_ready()
+        if demoted:
+            self.metrics.extra["ready_demotions"] = (
+                self.metrics.extra.get("ready_demotions", 0) + demoted
+            )
+
+        self.storage.end_period()
+        self._loads_this_period = 0
+        self._period_index += 1
+        self.hierarchy.mark("shuffle-end")
+
+
+def build_horam(
+    n_blocks: int,
+    mem_tree_blocks: int,
+    payload_bytes: int = 16,
+    modeled_block_bytes: int = 1024,
+    seed: int = 0,
+    trace: bool = False,
+    storage_device=None,
+    memory_device=None,
+    integrity: bool = False,
+    **config_kwargs,
+) -> HybridORAM:
+    """Convenience factory: config + hierarchy + protocol in one call.
+
+    This is the two-line entry point the README quickstart uses::
+
+        oram = build_horam(n_blocks=4096, mem_tree_blocks=512)
+        oram.write(7, b"secret")
+    """
+    config = HORAMConfig(
+        n_blocks=n_blocks,
+        mem_tree_blocks=mem_tree_blocks,
+        payload_bytes=payload_bytes,
+        modeled_block_bytes=modeled_block_bytes,
+        seed=seed,
+        **config_kwargs,
+    )
+    # Pre-compute the storage layout to size the storage store.
+    partitions = max(1, math.isqrt(n_blocks))
+    partition_size = math.ceil(n_blocks / partitions)
+    if config.shuffle_period_ratio > 1:
+        # Mirror PermutedStorage's overflow sizing.
+        geometry = TreeGeometry.for_capacity(mem_tree_blocks, config.bucket_size)
+        per_period = math.ceil((geometry.slots // 2) / partitions)
+        overflow = 2 * config.shuffle_period_ratio * per_period + 4
+    else:
+        overflow = 0
+    storage_slots = partitions * (partition_size + overflow)
+
+    codec = None
+    slot_bytes = RECORD_OVERHEAD + payload_bytes
+    if integrity:
+        # MACed records are 8 bytes longer; build the codec up front so
+        # the hierarchy's slot size matches.
+        from repro.crypto.ctr import StreamCipher as _StreamCipher
+
+        rng = DeterministicRandom(seed)
+        codec = BlockCodec(
+            payload_bytes,
+            _StreamCipher(rng.spawn("record-key").token(32)),
+            mac_key=rng.spawn("mac-key").token(32),
+        )
+        slot_bytes = codec.slot_bytes
+
+    hierarchy = StorageHierarchy(
+        memory_slots=mem_tree_blocks,
+        storage_slots=storage_slots,
+        slot_bytes=slot_bytes,
+        modeled_slot_bytes=modeled_block_bytes,
+        memory_device=memory_device,
+        storage_device=storage_device,
+        trace=TraceRecorder() if trace else TraceRecorder(capacity=0),
+    )
+    return HybridORAM(config, hierarchy, codec=codec)

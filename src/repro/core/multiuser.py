@@ -1,0 +1,136 @@
+"""Multi-user front end (Section 5.3.2).
+
+Several users share one H-ORAM instance.  The front end:
+
+* keeps one FIFO per user and interleaves them round-robin into the
+  shared ROB, so the bus-visible request mix is independent of any single
+  user's activity burst;
+* enforces a per-user access-control list ("some access control
+  protection is required and can be added to our scheduler");
+* tracks per-user service statistics so fairness is measurable.
+
+The underlying scheduler already groups arbitrary requests into
+fixed-shape cycles, so nothing changes at the protocol layer -- which is
+the paper's point: the group strategy extends to multiple users for free.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.horam import HybridORAM
+from repro.core.rob import RobEntry
+from repro.oram.base import ORAMError, Request
+
+
+class AccessDenied(ORAMError):
+    """The user's ACL does not cover the requested address."""
+
+
+@dataclass
+class UserStats:
+    """Per-user service accounting."""
+
+    submitted: int = 0
+    served: int = 0
+    total_latency_cycles: int = 0
+
+    @property
+    def mean_latency_cycles(self) -> float:
+        return self.total_latency_cycles / self.served if self.served else 0.0
+
+
+@dataclass
+class _UserQueue:
+    queue: deque = field(default_factory=deque)
+    stats: UserStats = field(default_factory=UserStats)
+    allowed: range | None = None  # None = whole address space
+
+
+class MultiUserFrontEnd:
+    """Round-robin, ACL-checked multiplexer over one HybridORAM."""
+
+    def __init__(self, oram: HybridORAM):
+        self.oram = oram
+        self._users: dict[int, _UserQueue] = {}
+        self._round_robin: list[int] = []
+        self._cursor = 0
+
+    # -------------------------------------------------------------- set-up
+    def register_user(self, user: int, allowed: range | None = None) -> None:
+        """Add a user, optionally restricted to an address range."""
+        if user in self._users:
+            raise ValueError(f"user {user} already registered")
+        self._users[user] = _UserQueue(allowed=allowed)
+        self._round_robin.append(user)
+
+    def users(self) -> list[int]:
+        return list(self._round_robin)
+
+    def stats(self, user: int) -> UserStats:
+        return self._user(user).stats
+
+    # ------------------------------------------------------------- traffic
+    def submit(self, user: int, request: Request) -> None:
+        """Queue a request on the user's FIFO (ACL-checked here)."""
+        entry = self._user(user)
+        if entry.allowed is not None and request.addr not in entry.allowed:
+            raise AccessDenied(
+                f"user {user} may not touch address {request.addr} "
+                f"(allowed {entry.allowed})"
+            )
+        request.user = user
+        entry.queue.append(request)
+        entry.stats.submitted += 1
+
+    def pump(self, max_cycles: int | None = None) -> list[RobEntry]:
+        """Feed queued requests round-robin and run scheduler cycles.
+
+        Returns all entries retired.  Stops when every user queue and the
+        ROB have drained (or after ``max_cycles`` cycles).
+        """
+        retired: list[RobEntry] = []
+        cycles = 0
+        while self._has_queued() or self.oram.rob.has_work():
+            self._feed_round_robin()
+            retired.extend(self.oram.step())
+            cycles += 1
+            if max_cycles is not None and cycles >= max_cycles:
+                break
+        retired.extend(self.oram.rob.retire())
+        for entry in retired:
+            stats = self._user(entry.request.user).stats
+            stats.served += 1
+            if entry.latency_cycles >= 0:
+                stats.total_latency_cycles += entry.latency_cycles
+        return retired
+
+    # ------------------------------------------------------------ internals
+    def _user(self, user: int) -> _UserQueue:
+        try:
+            return self._users[user]
+        except KeyError:
+            raise ValueError(f"user {user} is not registered") from None
+
+    def _has_queued(self) -> bool:
+        return any(entry.queue for entry in self._users.values())
+
+    def _feed_round_robin(self, batch: int | None = None) -> None:
+        """Move up to one window's worth of requests into the shared ROB."""
+        if not self._round_robin:
+            return
+        if batch is None:
+            batch = max(2, self.oram.config.window_for(self.oram.current_c))
+        moved = 0
+        idle_passes = 0
+        while moved < batch and idle_passes < len(self._round_robin):
+            user = self._round_robin[self._cursor]
+            self._cursor = (self._cursor + 1) % len(self._round_robin)
+            queue = self._users[user].queue
+            if queue:
+                self.oram.submit(queue.popleft())
+                moved += 1
+                idle_passes = 0
+            else:
+                idle_passes += 1

@@ -1,0 +1,122 @@
+"""The ROB (reorder buffer) table of the control layer (Figure 4-1).
+
+Requests enter the ROB in program order and *retire* in program order, but
+the scheduler may service them out of order inside its lookahead window --
+exactly the role of a CPU reorder buffer, which is where the paper takes
+the name from.
+
+Entry life cycle::
+
+    PENDING --(scheduled as the cycle's miss)--> MISS_INFLIGHT
+    MISS_INFLIGHT --(I/O completes, block cached)--> READY
+    PENDING/READY --(serviced by an in-memory access)--> SERVED
+
+``READY`` entries are hits-in-waiting: their block reached the cache tree
+but the request itself has not yet been given its in-memory access (Figure
+4-2 services M1's request one cycle after its load).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.oram.base import Request
+
+
+class EntryState(Enum):
+    PENDING = "pending"
+    MISS_INFLIGHT = "miss-inflight"
+    READY = "ready"
+    SERVED = "served"
+
+
+@dataclass
+class RobEntry:
+    """One request tracked through the scheduler."""
+
+    request: Request
+    state: EntryState = EntryState.PENDING
+    result: bytes | None = None
+    submit_cycle: int = -1
+    served_cycle: int = -1
+
+    @property
+    def addr(self) -> int:
+        return self.request.addr
+
+    @property
+    def latency_cycles(self) -> int:
+        """Cycles between submission and service (-1 until served)."""
+        if self.served_cycle < 0 or self.submit_cycle < 0:
+            return -1
+        return self.served_cycle - self.submit_cycle
+
+
+class RobTable:
+    """FIFO of request entries with windowed scanning and in-order retire."""
+
+    def __init__(self) -> None:
+        self._entries: deque[RobEntry] = deque()
+        self.total_submitted = 0
+        self.total_retired = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def unserved(self) -> int:
+        return sum(1 for entry in self._entries if entry.state is not EntryState.SERVED)
+
+    def push(self, request: Request, cycle: int) -> RobEntry:
+        entry = RobEntry(request=request, submit_cycle=cycle)
+        self._entries.append(entry)
+        self.total_submitted += 1
+        return entry
+
+    def window(self, size: int) -> list[RobEntry]:
+        """The first ``size`` unserved entries, in program order.
+
+        This is the scheduler's lookahead: "scan the next d requests to
+        find a proper match for the current schedule group" (Section 4.2).
+        """
+        if size <= 0:
+            return []
+        selected: list[RobEntry] = []
+        for entry in self._entries:
+            if entry.state is EntryState.SERVED:
+                continue
+            selected.append(entry)
+            if len(selected) == size:
+                break
+        return selected
+
+    def retire(self) -> list[RobEntry]:
+        """Pop and return entries that are SERVED, from the front, in order."""
+        retired: list[RobEntry] = []
+        while self._entries and self._entries[0].state is EntryState.SERVED:
+            retired.append(self._entries.popleft())
+        self.total_retired += len(retired)
+        return retired
+
+    def has_work(self) -> bool:
+        return self.unserved > 0
+
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    def demote_ready(self) -> int:
+        """Send READY entries back to PENDING (their blocks left the cache).
+
+        Called at shuffle time: the eviction empties the cache tree, so a
+        request whose load completed but which was not yet serviced must
+        fetch again in the new period (the re-permutation makes the second
+        fetch touch a fresh slot, preserving read-once).
+        """
+        demoted = 0
+        for entry in self._entries:
+            if entry.state is EntryState.READY:
+                entry.state = EntryState.PENDING
+                demoted += 1
+        return demoted

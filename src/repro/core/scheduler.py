@@ -1,0 +1,94 @@
+"""The secure scheduler (Section 4.2, Figure 4-2).
+
+Every cycle has the same observable shape: exactly ``c`` in-memory path
+accesses and exactly one storage load.  The scheduler's job is to fill
+that fixed shape with as much *real* work as possible:
+
+* pick up to ``c`` hit requests (cached blocks, including requests whose
+  earlier miss has completed -- ``READY`` entries) from the lookahead
+  window;
+* pick one miss request to load, skipping addresses already in flight;
+* pad with dummy path reads / dummy loads when the window cannot fill
+  the shape.
+
+Because the shape never varies with the actual hit/miss outcomes, a bus
+adversary learns nothing about which requests hit (Section 4.4.2); the
+lookahead ("I/O pre-fetching", distance d > c) only reduces how much
+padding is needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.rob import EntryState, RobEntry, RobTable
+
+
+@dataclass
+class CyclePlan:
+    """What one scheduler cycle will execute."""
+
+    c: int
+    hits: list[RobEntry] = field(default_factory=list)
+    miss: RobEntry | None = None
+    dummy_hits: int = 0
+    dummy_miss: bool = False
+
+    @property
+    def real_hits(self) -> int:
+        return len(self.hits)
+
+    def shape(self) -> tuple[int, int]:
+        """(memory accesses, storage loads) -- must be (c, 1) always."""
+        return (self.real_hits + self.dummy_hits, 1)
+
+
+class SecureScheduler:
+    """Groups window requests into fixed-shape cycles."""
+
+    def __init__(self, window_for: Callable[[int], int]):
+        # window_for(c) -> lookahead distance d for the current stage.
+        self._window_for = window_for
+        self.cycles_planned = 0
+
+    def plan(
+        self,
+        rob: RobTable,
+        c: int,
+        is_cached: Callable[[int], bool],
+        inflight: set[int],
+    ) -> CyclePlan:
+        """Build the next cycle's plan from the ROB window.
+
+        ``is_cached(addr)`` consults the permutation list's in-memory bit;
+        ``inflight`` holds addresses whose load was scheduled but has not
+        completed (their requests must wait, not fetch twice).
+        """
+        plan = CyclePlan(c=c)
+        window = rob.window(self._window_for(c))
+        miss_addr: int | None = None
+
+        for entry in window:
+            if entry.state is EntryState.READY:
+                if len(plan.hits) < c:
+                    plan.hits.append(entry)
+                continue
+            if entry.state is not EntryState.PENDING:
+                continue  # MISS_INFLIGHT: waiting for its load
+            if entry.addr in inflight or entry.addr == miss_addr:
+                continue  # will become READY/hit once the load lands
+            if is_cached(entry.addr):
+                if len(plan.hits) < c:
+                    plan.hits.append(entry)
+                continue
+            if plan.miss is None:
+                plan.miss = entry
+                miss_addr = entry.addr
+
+        plan.dummy_hits = c - len(plan.hits)
+        plan.dummy_miss = plan.miss is None
+        if plan.miss is not None:
+            plan.miss.state = EntryState.MISS_INFLIGHT
+        self.cycles_planned += 1
+        return plan

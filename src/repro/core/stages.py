@@ -1,0 +1,86 @@
+"""Stage schedule for the scheduler's c parameter (Section 4.2).
+
+The hit rate of the cache tree grows as a period progresses: right after a
+shuffle the tree is empty (everything misses), later most hot blocks are
+cached.  The paper therefore divides each access period into stages and
+uses a larger c (in-memory hits grouped per I/O load) in later stages.
+
+The schedule is *public*: it depends only on how far the period has
+progressed (a count of I/O cycles), never on which requests hit, so it
+leaks nothing (Section 4.4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One stage: group ``c`` hits per I/O load for ``fraction`` of a period."""
+
+    c: int
+    fraction: float
+
+    def __post_init__(self) -> None:
+        if self.c < 1:
+            raise ValueError("c must be at least 1")
+        if self.fraction <= 0:
+            raise ValueError("stage fractions must be positive")
+
+
+class StageSchedule:
+    """An ordered list of stages covering one access period."""
+
+    def __init__(self, stages: Iterable[tuple[int, float]] | Sequence[Stage]):
+        parsed: list[Stage] = []
+        for item in stages:
+            parsed.append(item if isinstance(item, Stage) else Stage(*item))
+        if not parsed:
+            raise ValueError("a schedule needs at least one stage")
+        total = sum(stage.fraction for stage in parsed)
+        # Normalize so callers may pass fractions that do not sum exactly
+        # to 1 (the paper's {0.2, 0.13, 0.67} sums to 1.0 already).
+        self._stages = tuple(
+            Stage(stage.c, stage.fraction / total) for stage in parsed
+        )
+
+    def __iter__(self) -> Iterator[Stage]:
+        return iter(self._stages)
+
+    def __len__(self) -> int:
+        return len(self._stages)
+
+    @property
+    def stages(self) -> tuple[Stage, ...]:
+        return self._stages
+
+    def c_at(self, progress: float) -> int:
+        """c for a period progress in [0, 1] (fraction of I/O cycles done)."""
+        if progress < 0:
+            raise ValueError("progress cannot be negative")
+        cumulative = 0.0
+        for stage in self._stages:
+            cumulative += stage.fraction
+            if progress < cumulative:
+                return stage.c
+        return self._stages[-1].c
+
+    def average_c(self) -> float:
+        """Request-weighted average c (equation 5-1; paper value 3.94)."""
+        return sum(stage.c * stage.fraction for stage in self._stages)
+
+    @classmethod
+    def paper_default(cls) -> "StageSchedule":
+        """The Section 5.2 schedule: {c}={1,3,5}, fractions {0.2,0.13,0.67}."""
+        return cls([(1, 0.2), (3, 0.13), (5, 0.67)])
+
+    @classmethod
+    def fixed(cls, c: int) -> "StageSchedule":
+        """A single-stage schedule (used by the stage ablation)."""
+        return cls([(c, 1.0)])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(f"c={s.c}@{s.fraction:.2f}" for s in self._stages)
+        return f"StageSchedule({parts})"

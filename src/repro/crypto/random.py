@@ -1,0 +1,143 @@
+"""Deterministic CSPRNG used by every stochastic component.
+
+Experiments in this repository must replay bit-for-bit across platforms and
+Python versions, so protocol randomness never comes from :mod:`random`
+directly.  :class:`DeterministicRandom` generates its stream from keyed
+BLAKE2b in counter mode and implements the handful of draws the ORAM
+protocols need (``randrange``, ``shuffle``, ``sample``, ``random``,
+``token``).
+
+The construction is the standard hash-counter DRBG: ``block_i =
+BLAKE2b(key=seed, data=i)``; 64-bit words are consumed from successive
+blocks.  Rejection sampling keeps ``randrange`` unbiased.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Iterable, MutableSequence, Sequence, TypeVar
+
+T = TypeVar("T")
+
+_WORDS_PER_BLOCK = 8  # 64-byte BLAKE2b digest = 8 x 64-bit words
+
+
+class DeterministicRandom:
+    """Counter-mode BLAKE2b DRBG with the draw helpers ORAM needs."""
+
+    def __init__(self, seed: int | bytes | str = 0):
+        if isinstance(seed, int):
+            seed_bytes = struct.pack("<Q", seed & 0xFFFFFFFFFFFFFFFF)
+        elif isinstance(seed, str):
+            seed_bytes = seed.encode()
+        else:
+            seed_bytes = bytes(seed)
+        self._key = hashlib.blake2b(seed_bytes, digest_size=32).digest()
+        self._counter = 0
+        self._buffer: list[int] = []
+
+    # ------------------------------------------------------------------ core
+    def _refill(self) -> None:
+        digest = hashlib.blake2b(
+            struct.pack("<Q", self._counter), key=self._key, digest_size=64
+        ).digest()
+        self._counter += 1
+        self._buffer.extend(struct.unpack(f"<{_WORDS_PER_BLOCK}Q", digest))
+
+    def next_word(self) -> int:
+        """Next raw 64-bit word from the stream."""
+        if not self._buffer:
+            self._refill()
+        return self._buffer.pop()
+
+    def randbits(self, bits: int) -> int:
+        """Uniform integer with the given number of bits (0 allowed)."""
+        if bits < 0:
+            raise ValueError("bits must be non-negative")
+        value = 0
+        gathered = 0
+        while gathered < bits:
+            value = (value << 64) | self.next_word()
+            gathered += 64
+        return value >> (gathered - bits) if bits else 0
+
+    # ----------------------------------------------------------------- draws
+    def randrange(self, bound: int) -> int:
+        """Uniform integer in ``[0, bound)`` via rejection sampling."""
+        if bound <= 0:
+            raise ValueError("bound must be positive")
+        bits = bound.bit_length()
+        while True:
+            candidate = self.randbits(bits)
+            if candidate < bound:
+                return candidate
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in the inclusive range ``[low, high]``."""
+        if high < low:
+            raise ValueError("empty range")
+        return low + self.randrange(high - low + 1)
+
+    def random(self) -> float:
+        """Uniform float in [0, 1) with 53 bits of precision."""
+        return self.randbits(53) / (1 << 53)
+
+    def choice(self, seq: Sequence[T]) -> T:
+        if not seq:
+            raise IndexError("cannot choose from an empty sequence")
+        return seq[self.randrange(len(seq))]
+
+    def shuffle(self, seq: MutableSequence[T]) -> None:
+        """In-place Fisher-Yates shuffle."""
+        for i in range(len(seq) - 1, 0, -1):
+            j = self.randrange(i + 1)
+            seq[i], seq[j] = seq[j], seq[i]
+
+    def sample(self, population: Sequence[T], k: int) -> list[T]:
+        """k distinct elements, order random (selection sampling)."""
+        n = len(population)
+        if not 0 <= k <= n:
+            raise ValueError("sample size out of range")
+        picked = list(population)
+        for i in range(k):
+            j = i + self.randrange(n - i)
+            picked[i], picked[j] = picked[j], picked[i]
+        return picked[:k]
+
+    def token(self, size: int = 16) -> bytes:
+        """``size`` pseudo-random bytes (key material for sub-components)."""
+        words = []
+        for _ in range((size + 7) // 8):
+            words.append(struct.pack("<Q", self.next_word()))
+        return b"".join(words)[:size]
+
+    def spawn(self, label: str) -> "DeterministicRandom":
+        """Independent child stream; deterministic in (seed, label)."""
+        child = DeterministicRandom(0)
+        child._key = hashlib.blake2b(label.encode(), key=self._key, digest_size=32).digest()
+        return child
+
+    # -------------------------------------------------------------- utility
+    def permutation(self, n: int) -> list[int]:
+        """A fresh uniform permutation of ``range(n)``."""
+        order = list(range(n))
+        self.shuffle(order)
+        return order
+
+    def weighted_choice(self, weights: Iterable[float]) -> int:
+        """Index drawn with probability proportional to ``weights``."""
+        cumulative = []
+        total = 0.0
+        for w in weights:
+            if w < 0:
+                raise ValueError("weights must be non-negative")
+            total += w
+            cumulative.append(total)
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+        x = self.random() * total
+        for index, edge in enumerate(cumulative):
+            if x < edge:
+                return index
+        return len(cumulative) - 1

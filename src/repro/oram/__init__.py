@@ -1,0 +1,61 @@
+"""Baseline ORAM protocols and their shared building blocks.
+
+The paper positions H-ORAM against the three classical schemes described
+in its Section 2, all of which are implemented here in full:
+
+* :mod:`repro.oram.path_oram` -- Path ORAM (Stefanov et al. 2013) with the
+  tree-top cache of ZeroTrace-style designs: top levels in memory, bottom
+  levels on storage (Figure 3-1a).  This is the paper's baseline.
+* :mod:`repro.oram.square_root` -- square-root ORAM (Goldreich &
+  Ostrovsky) with shelter scanning and periodic full oblivious shuffles.
+* :mod:`repro.oram.partition` -- partition ORAM (Stefanov-style flat
+  partitions as described in the thesis Section 2.1.4) with per-partition
+  dummy pools and evict-time partition shuffles.
+
+Shared building blocks: the record codec (:mod:`repro.oram.base`), tree
+geometry math (:mod:`repro.oram.tree`), the stash
+(:mod:`repro.oram.stash`), and position maps
+(:mod:`repro.oram.position_map`).
+"""
+
+from repro.oram.base import (
+    DUMMY_ADDR,
+    BlockCodec,
+    CapacityError,
+    IntegrityError,
+    ORAMError,
+    ORAMProtocol,
+    OpKind,
+    Request,
+    StashOverflowError,
+)
+from repro.oram.tree import TreeGeometry
+from repro.oram.stash import Stash
+from repro.oram.position_map import ArrayPositionMap, DictPositionMap
+from repro.oram.path_oram import PathORAM, PathOramTree
+from repro.oram.square_root import SquareRootORAM
+from repro.oram.partition import PartitionORAM
+from repro.oram.insecure import PlainStore
+from repro.oram.recursive import RecursivePositionMap
+
+__all__ = [
+    "DUMMY_ADDR",
+    "BlockCodec",
+    "ORAMError",
+    "CapacityError",
+    "IntegrityError",
+    "StashOverflowError",
+    "ORAMProtocol",
+    "OpKind",
+    "Request",
+    "TreeGeometry",
+    "Stash",
+    "ArrayPositionMap",
+    "DictPositionMap",
+    "PathORAM",
+    "PathOramTree",
+    "SquareRootORAM",
+    "PartitionORAM",
+    "PlainStore",
+    "RecursivePositionMap",
+]

@@ -1,0 +1,210 @@
+"""Shared ORAM types: requests, the protocol interface, the record codec.
+
+Every slot in every tier stores a *sealed record*::
+
+    nonce (8 bytes, clear) || ciphertext( addr (8 bytes) || payload )
+
+The nonce is drawn fresh on every seal, so rewriting the same block always
+yields a new ciphertext (the re-encryption ORAM requires).  ``addr`` is the
+logical block address inside the ciphertext; the reserved value
+:data:`DUMMY_ADDR` marks dummy records, indistinguishable from real ones
+from the outside because the flag sits under encryption.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from enum import Enum
+from itertools import count
+from typing import Iterator, Protocol
+
+#: Logical address reserved for dummy records.
+DUMMY_ADDR = 0xFFFFFFFFFFFFFFFF
+
+_HEADER_FMT = "<Q"  # addr inside the ciphertext
+_NONCE_BYTES = 8
+_ADDR_BYTES = 8
+
+#: Bytes of overhead a sealed record adds on top of the payload.
+RECORD_OVERHEAD = _NONCE_BYTES + _ADDR_BYTES
+
+
+class ORAMError(Exception):
+    """Base class for protocol failures."""
+
+
+class CapacityError(ORAMError):
+    """A structure was asked to hold more real blocks than it can."""
+
+
+class StashOverflowError(ORAMError):
+    """The stash exceeded its configured bound (protocol parameter bug)."""
+
+
+class IntegrityError(ORAMError):
+    """A record failed MAC verification (tampering or corruption)."""
+
+
+class OpKind(Enum):
+    READ = "read"
+    WRITE = "write"
+
+
+_request_ids = count()
+
+
+@dataclass
+class Request:
+    """One logical block request, as produced by the workload generators."""
+
+    op: OpKind
+    addr: int
+    data: bytes | None = None
+    user: int = 0
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+
+    def __post_init__(self) -> None:
+        if self.op is OpKind.WRITE and self.data is None:
+            raise ValueError("write requests need data")
+        if self.addr < 0:
+            raise ValueError("addresses are non-negative")
+
+    @classmethod
+    def read(cls, addr: int, user: int = 0) -> "Request":
+        return cls(op=OpKind.READ, addr=addr, user=user)
+
+    @classmethod
+    def write(cls, addr: int, data: bytes, user: int = 0) -> "Request":
+        return cls(op=OpKind.WRITE, addr=addr, data=data, user=user)
+
+
+class RecordCipher(Protocol):
+    def encrypt(self, nonce: int, plaintext: bytes) -> bytes: ...
+
+    def decrypt(self, nonce: int, ciphertext: bytes) -> bytes: ...
+
+
+#: Bytes of the optional integrity tag appended to sealed records.
+MAC_BYTES = 8
+
+
+class BlockCodec:
+    """Seals and opens slot records (pad, address, encrypt, optional MAC).
+
+    With ``mac_key`` set, every record carries an 8-byte keyed BLAKE2b tag
+    over ``nonce || ciphertext``; :meth:`open` raises
+    :class:`IntegrityError` on mismatch.  This is the "integrity check" of
+    the trusted-hardware setting the paper's threat model assumes (the
+    enclave detects tampering with off-chip data).
+    """
+
+    def __init__(self, payload_bytes: int, cipher: RecordCipher, mac_key: bytes | None = None):
+        if payload_bytes <= 0:
+            raise ValueError("payload_bytes must be positive")
+        if mac_key is not None and not mac_key:
+            raise ValueError("mac_key must be non-empty when given")
+        self.payload_bytes = payload_bytes
+        self.mac_key = mac_key
+        self.slot_bytes = RECORD_OVERHEAD + payload_bytes + (MAC_BYTES if mac_key else 0)
+        self._cipher = cipher
+        self._nonce_counter = 0
+
+    def _next_nonce(self) -> int:
+        self._nonce_counter += 1
+        return self._nonce_counter
+
+    def _tag(self, body: bytes) -> bytes:
+        assert self.mac_key is not None
+        return hashlib.blake2b(body, key=self.mac_key[:64], digest_size=MAC_BYTES).digest()
+
+    def pad(self, data: bytes) -> bytes:
+        """Right-pad user data to the fixed payload size."""
+        if len(data) > self.payload_bytes:
+            raise ValueError(
+                f"payload of {len(data)} bytes exceeds block payload size {self.payload_bytes}"
+            )
+        return data.ljust(self.payload_bytes, b"\x00")
+
+    def seal(self, addr: int, payload: bytes) -> bytes:
+        """Encrypt (addr, payload) into a slot record with a fresh nonce."""
+        if len(payload) != self.payload_bytes:
+            payload = self.pad(payload)
+        nonce = self._next_nonce()
+        plaintext = struct.pack(_HEADER_FMT, addr) + payload
+        ciphertext = self._cipher.encrypt(nonce, plaintext)
+        body = struct.pack("<Q", nonce) + ciphertext
+        if self.mac_key is not None:
+            body += self._tag(body)
+        return body
+
+    def seal_dummy(self) -> bytes:
+        """A dummy record, outwardly indistinguishable from a real one."""
+        return self.seal(DUMMY_ADDR, b"\x00" * self.payload_bytes)
+
+    def open(self, record: bytes) -> tuple[int, bytes]:
+        """Decrypt (and verify, when MACed) a slot record into (addr, payload)."""
+        if len(record) != self.slot_bytes:
+            raise ValueError(
+                f"record is {len(record)} bytes, expected {self.slot_bytes}"
+            )
+        if self.mac_key is not None:
+            body, tag = record[:-MAC_BYTES], record[-MAC_BYTES:]
+            if self._tag(body) != tag:
+                raise IntegrityError("record failed MAC verification")
+            record = body
+        (nonce,) = struct.unpack("<Q", record[:_NONCE_BYTES])
+        plaintext = self._cipher.decrypt(nonce, record[_NONCE_BYTES:])
+        (addr,) = struct.unpack(_HEADER_FMT, plaintext[:_ADDR_BYTES])
+        return addr, plaintext[_ADDR_BYTES:]
+
+    def is_dummy(self, record: bytes) -> bool:
+        addr, _ = self.open(record)
+        return addr == DUMMY_ADDR
+
+
+def initial_payload(addr: int) -> bytes:
+    """Deterministic initial content of block ``addr`` (shared by all ORAMs).
+
+    Every protocol initializes block ``addr`` to this value, so the engine's
+    verification oracle knows what a read of a never-written block returns.
+    Kept to 8 bytes so it fits any payload size the codec allows.
+    """
+    return struct.pack("<Q", addr)
+
+
+class ORAMProtocol(ABC):
+    """The user-facing oblivious memory interface.
+
+    All four protocols in this repository (H-ORAM and the three baselines)
+    implement this; the simulation engine and the examples only talk to it.
+    """
+
+    @property
+    @abstractmethod
+    def n_blocks(self) -> int:
+        """Number of logical blocks protected."""
+
+    @abstractmethod
+    def read(self, addr: int) -> bytes:
+        """Obliviously read one block's payload."""
+
+    @abstractmethod
+    def write(self, addr: int, data: bytes) -> None:
+        """Obliviously update one block."""
+
+    def access(self, request: Request) -> bytes | None:
+        """Serve a request object (dispatch helper for the engine)."""
+        if request.op is OpKind.READ:
+            return self.read(request.addr)
+        self.write(request.addr, request.data or b"")
+        return None
+
+    def check_addr(self, addr: int) -> None:
+        if not 0 <= addr < self.n_blocks:
+            raise ORAMError(f"address {addr} outside [0, {self.n_blocks})")
+
+    def iter_addresses(self) -> Iterator[int]:
+        return iter(range(self.n_blocks))

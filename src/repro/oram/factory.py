@@ -1,0 +1,187 @@
+"""Factories that pair each protocol with a correctly sized hierarchy.
+
+Each ``build_*`` function computes the store geometry its protocol needs,
+creates a :class:`~repro.storage.hierarchy.StorageHierarchy` on the chosen
+device profiles, and returns the ready protocol instance.  They mirror
+:func:`repro.core.horam.build_horam` so experiments construct every scheme
+the same way.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.ctr import StreamCipher
+from repro.crypto.random import DeterministicRandom
+from repro.oram.base import BlockCodec
+from repro.oram.insecure import PlainStore
+from repro.oram.partition import PartitionORAM
+from repro.oram.path_oram import PathORAM
+from repro.oram.square_root import SquareRootORAM
+from repro.oram.tree import TreeGeometry
+from repro.storage.hierarchy import StorageHierarchy
+from repro.storage.trace import TraceRecorder
+
+
+def _make_codec(payload_bytes: int, seed: int, integrity: bool = False) -> BlockCodec:
+    rng = DeterministicRandom(seed)
+    key = rng.spawn("record-key").token(32)
+    mac_key = rng.spawn("mac-key").token(32) if integrity else None
+    return BlockCodec(payload_bytes, StreamCipher(key), mac_key=mac_key)
+
+
+def _make_hierarchy(
+    memory_slots: int,
+    storage_slots: int,
+    slot_bytes: int,
+    modeled_block_bytes: int,
+    memory_device,
+    storage_device,
+    trace: bool,
+) -> StorageHierarchy:
+    return StorageHierarchy(
+        memory_slots=memory_slots,
+        storage_slots=storage_slots,
+        slot_bytes=slot_bytes,
+        modeled_slot_bytes=modeled_block_bytes,
+        memory_device=memory_device,
+        storage_device=storage_device,
+        trace=TraceRecorder() if trace else TraceRecorder(capacity=0),
+    )
+
+
+def build_path_oram(
+    n_blocks: int,
+    memory_blocks: int,
+    payload_bytes: int = 16,
+    modeled_block_bytes: int = 1024,
+    bucket_size: int = 4,
+    seed: int = 0,
+    memory_device=None,
+    storage_device=None,
+    trace: bool = False,
+) -> PathORAM:
+    """The tree-top-cached baseline on its own hierarchy."""
+    codec = _make_codec(payload_bytes, seed)
+    geometry = TreeGeometry.for_real_blocks(n_blocks, bucket_size)
+    mem_levels = PathORAM._mem_levels_for_budget(geometry, memory_blocks)
+    mem_buckets = (1 << mem_levels) - 1
+    memory_slots = mem_buckets * bucket_size
+    storage_slots = (geometry.buckets - mem_buckets) * bucket_size
+    hierarchy = _make_hierarchy(
+        memory_slots=memory_slots,
+        storage_slots=max(1, storage_slots),
+        slot_bytes=codec.slot_bytes,
+        modeled_block_bytes=modeled_block_bytes,
+        memory_device=memory_device,
+        storage_device=storage_device,
+        trace=trace,
+    )
+    oram = PathORAM(
+        n_blocks=n_blocks,
+        memory_blocks=memory_blocks,
+        codec=codec,
+        memory_store=hierarchy.memory,
+        storage_store=hierarchy.storage,
+        clock=hierarchy.clock,
+        bucket_size=bucket_size,
+        rng=DeterministicRandom(seed).spawn("path-oram"),
+    )
+    oram.hierarchy = hierarchy
+    return oram
+
+
+def build_square_root(
+    n_blocks: int,
+    payload_bytes: int = 16,
+    modeled_block_bytes: int = 1024,
+    seed: int = 0,
+    memory_device=None,
+    storage_device=None,
+    trace: bool = False,
+) -> SquareRootORAM:
+    """The classic sqrt(N) scheme on its own hierarchy."""
+    codec = _make_codec(payload_bytes, seed)
+    memory_slots, storage_slots = SquareRootORAM.required_slots(n_blocks)
+    hierarchy = _make_hierarchy(
+        memory_slots=memory_slots,
+        storage_slots=storage_slots,
+        slot_bytes=codec.slot_bytes,
+        modeled_block_bytes=modeled_block_bytes,
+        memory_device=memory_device,
+        storage_device=storage_device,
+        trace=trace,
+    )
+    oram = SquareRootORAM(
+        n_blocks=n_blocks,
+        codec=codec,
+        memory_store=hierarchy.memory,
+        storage_store=hierarchy.storage,
+        clock=hierarchy.clock,
+        rng=DeterministicRandom(seed).spawn("sqrt-oram"),
+    )
+    oram.hierarchy = hierarchy
+    return oram
+
+
+def build_plain(
+    n_blocks: int,
+    payload_bytes: int = 16,
+    modeled_block_bytes: int = 1024,
+    seed: int = 0,
+    memory_device=None,
+    storage_device=None,
+    trace: bool = False,
+) -> PlainStore:
+    """The unprotected baseline (encrypted, pattern-leaking)."""
+    codec = _make_codec(payload_bytes, seed)
+    hierarchy = _make_hierarchy(
+        memory_slots=1,
+        storage_slots=n_blocks,
+        slot_bytes=codec.slot_bytes,
+        modeled_block_bytes=modeled_block_bytes,
+        memory_device=memory_device,
+        storage_device=storage_device,
+        trace=trace,
+    )
+    store = PlainStore(
+        n_blocks=n_blocks,
+        codec=codec,
+        storage_store=hierarchy.storage,
+        clock=hierarchy.clock,
+    )
+    store.hierarchy = hierarchy
+    return store
+
+
+def build_partition(
+    n_blocks: int,
+    payload_bytes: int = 16,
+    modeled_block_bytes: int = 1024,
+    seed: int = 0,
+    evict_rate: int | None = None,
+    memory_device=None,
+    storage_device=None,
+    trace: bool = False,
+) -> PartitionORAM:
+    """The partition-ORAM baseline on its own hierarchy."""
+    codec = _make_codec(payload_bytes, seed)
+    storage_slots = PartitionORAM.required_slots(n_blocks, evict_rate=evict_rate)
+    hierarchy = _make_hierarchy(
+        memory_slots=max(1, storage_slots // max(1, n_blocks)),  # shuffle buffer only
+        storage_slots=storage_slots,
+        slot_bytes=codec.slot_bytes,
+        modeled_block_bytes=modeled_block_bytes,
+        memory_device=memory_device,
+        storage_device=storage_device,
+        trace=trace,
+    )
+    oram = PartitionORAM(
+        n_blocks=n_blocks,
+        codec=codec,
+        storage_store=hierarchy.storage,
+        clock=hierarchy.clock,
+        rng=DeterministicRandom(seed).spawn("partition-oram"),
+        evict_rate=evict_rate,
+        memory_store=hierarchy.memory,
+    )
+    oram.hierarchy = hierarchy
+    return oram

@@ -1,0 +1,333 @@
+"""Path ORAM: the paper's baseline (Section 2.1.2, Figure 3-1a).
+
+Two classes:
+
+* :class:`PathOramTree` -- the tree machinery (bucket I/O, path read,
+  greedy path write-back) over a memory store and an optional storage
+  store.  The top ``mem_levels`` levels live in memory, the rest on
+  storage -- the "tree-top cache" layout of ZeroTrace-style designs.
+  H-ORAM reuses this class with *all* levels in memory as its cache tree.
+* :class:`PathORAM` -- the complete baseline protocol: dense position map,
+  stash, init-time bulk load of all N blocks, and the canonical
+  read-path / remap / write-path access.
+
+Timing: every bucket is moved with one ``read_run``/``write_run`` (one
+positioning + ``Z * block`` transfer), so a baseline access to a tree with
+``s`` storage levels costs ``s`` scattered bucket reads plus ``s``
+scattered bucket writes on the slow device -- exactly the
+``Z log2(2N/n)`` reads + writes of the paper's equation (5-3).
+"""
+
+from __future__ import annotations
+
+from repro.crypto.random import DeterministicRandom
+from repro.oram.base import (
+    DUMMY_ADDR,
+    BlockCodec,
+    CapacityError,
+    OpKind,
+    ORAMProtocol,
+    initial_payload,
+)
+from repro.oram.position_map import ArrayPositionMap
+from repro.oram.stash import Stash
+from repro.oram.tree import TreeGeometry
+from repro.sim.metrics import Metrics, TierTimes
+from repro.storage.backend import BlockStore
+
+
+class PathOramTree:
+    """Bucket and path machinery for a (possibly tier-split) ORAM tree."""
+
+    def __init__(
+        self,
+        geometry: TreeGeometry,
+        codec: BlockCodec,
+        memory_store: BlockStore,
+        storage_store: BlockStore | None = None,
+        mem_levels: int | None = None,
+        memory_slot_base: int = 0,
+        storage_slot_base: int = 0,
+    ):
+        self.geometry = geometry
+        self.codec = codec
+        self.memory_store = memory_store
+        self.storage_store = storage_store
+        self.mem_levels = geometry.levels if mem_levels is None else mem_levels
+        if not 1 <= self.mem_levels <= geometry.levels:
+            raise ValueError(
+                f"mem_levels {self.mem_levels} must be within [1, {geometry.levels}]"
+            )
+        if self.mem_levels < geometry.levels and storage_store is None:
+            raise ValueError("a tier-split tree needs a storage store")
+        self.memory_slot_base = memory_slot_base
+        self.storage_slot_base = storage_slot_base
+        self._mem_buckets = (1 << self.mem_levels) - 1
+        #: leaves of every path access, for the security analyzers
+        self.leaf_log: list[int] = []
+
+    # ----------------------------------------------------------- geometry
+    @property
+    def memory_slots_needed(self) -> int:
+        return self._mem_buckets * self.geometry.bucket_size
+
+    @property
+    def storage_slots_needed(self) -> int:
+        return (self.geometry.buckets - self._mem_buckets) * self.geometry.bucket_size
+
+    @property
+    def storage_levels(self) -> int:
+        """Tree levels that live on the slow device (the I/O cost driver)."""
+        return self.geometry.levels - self.mem_levels
+
+    def bucket_location(self, bucket: int) -> tuple[BlockStore, int]:
+        """(store, first slot) for a bucket index."""
+        z = self.geometry.bucket_size
+        if bucket < self._mem_buckets:
+            return self.memory_store, self.memory_slot_base + bucket * z
+        assert self.storage_store is not None
+        return (
+            self.storage_store,
+            self.storage_slot_base + (bucket - self._mem_buckets) * z,
+        )
+
+    # ----------------------------------------------------------- bucket I/O
+    def read_bucket(self, bucket: int, times: TierTimes) -> list[bytes]:
+        store, base = self.bucket_location(bucket)
+        records, duration = store.read_run(base, self.geometry.bucket_size)
+        if store.tier == "memory":
+            times.mem_us += duration
+        else:
+            times.io_us += duration
+        return records
+
+    def write_bucket(self, bucket: int, records: list[bytes], times: TierTimes) -> None:
+        store, base = self.bucket_location(bucket)
+        duration = store.write_run(base, records)
+        if store.tier == "memory":
+            times.mem_us += duration
+        else:
+            times.io_us += duration
+
+    # ------------------------------------------------------------ path ops
+    def read_path(self, leaf: int, times: TierTimes) -> list[tuple[int, bytes]]:
+        """Read every bucket on the path; return the real (addr, payload)s."""
+        self.leaf_log.append(leaf)
+        found: list[tuple[int, bytes]] = []
+        for bucket in self.geometry.path_buckets(leaf):
+            for record in self.read_bucket(bucket, times):
+                addr, payload = self.codec.open(record)
+                if addr != DUMMY_ADDR:
+                    found.append((addr, payload))
+        return found
+
+    def write_path(self, leaf: int, stash: Stash, times: TierTimes) -> None:
+        """Greedy write-back: deepest buckets first, fill from the stash."""
+        z = self.geometry.bucket_size
+        for level in range(self.geometry.levels - 1, -1, -1):
+            bucket = self.geometry.bucket_on_path(leaf, level)
+            entries = stash.select_for_bucket(self.geometry, leaf, level, z)
+            records = [self.codec.seal(e.addr, e.payload) for e in entries]
+            records.extend(self.codec.seal_dummy() for _ in range(z - len(records)))
+            self.write_bucket(bucket, records, times)
+
+    # ------------------------------------------------------------- bulk ops
+    def fill_empty(self) -> None:
+        """Initialize every slot with a dummy record (no simulated time)."""
+        store_slots = [
+            (self.memory_store, self.memory_slot_base, self.memory_slots_needed),
+        ]
+        if self.storage_slots_needed:
+            store_slots.append(
+                (self.storage_store, self.storage_slot_base, self.storage_slots_needed)
+            )
+        for store, base, count in store_slots:
+            for slot in range(base, base + count):
+                store.poke_slot(slot, self.codec.seal_dummy())
+
+    def read_all(self, times: TierTimes) -> list[tuple[int, bytes]]:
+        """Stream the whole tree in; return real blocks (eviction step 1)."""
+        blocks: list[tuple[int, bytes]] = []
+        runs = [(self.memory_store, self.memory_slot_base, self.memory_slots_needed, "memory")]
+        if self.storage_slots_needed:
+            runs.append(
+                (self.storage_store, self.storage_slot_base, self.storage_slots_needed, "storage")
+            )
+        for store, base, count, tier in runs:
+            records, duration = store.read_run(base, count)
+            if tier == "memory":
+                times.mem_us += duration
+            else:
+                times.io_us += duration
+            for record in records:
+                addr, payload = self.codec.open(record)
+                if addr != DUMMY_ADDR:
+                    blocks.append((addr, payload))
+        return blocks
+
+    def clear(self, times: TierTimes) -> None:
+        """Stream dummies over the whole tree (eviction step 3: fresh tree)."""
+        runs = [(self.memory_store, self.memory_slot_base, self.memory_slots_needed, "memory")]
+        if self.storage_slots_needed:
+            runs.append(
+                (self.storage_store, self.storage_slot_base, self.storage_slots_needed, "storage")
+            )
+        for store, base, count, tier in runs:
+            records = [self.codec.seal_dummy() for _ in range(count)]
+            duration = store.write_run(base, records)
+            if tier == "memory":
+                times.mem_us += duration
+            else:
+                times.io_us += duration
+
+
+class PathORAM(ORAMProtocol):
+    """The tree-top-cached Path ORAM baseline of the paper's evaluation.
+
+    Stores ``n_blocks`` real blocks in a tree of ~``2 * n_blocks`` slots;
+    the top levels that fit in ``memory_blocks`` live on the memory tier,
+    the remaining levels on the storage tier.
+    """
+
+    def __init__(
+        self,
+        n_blocks: int,
+        memory_blocks: int,
+        codec: BlockCodec,
+        memory_store: BlockStore,
+        storage_store: BlockStore,
+        clock,
+        bucket_size: int = 4,
+        rng: DeterministicRandom | None = None,
+        stash_limit: int | None = None,
+    ):
+        if n_blocks <= 0:
+            raise ValueError("n_blocks must be positive")
+        self._n_blocks = n_blocks
+        self.rng = rng or DeterministicRandom(0)
+        self.clock = clock
+        geometry = TreeGeometry.for_real_blocks(n_blocks, bucket_size)
+        mem_levels = self._mem_levels_for_budget(geometry, memory_blocks)
+        self.tree = PathOramTree(
+            geometry=geometry,
+            codec=codec,
+            memory_store=memory_store,
+            storage_store=storage_store,
+            mem_levels=mem_levels,
+        )
+        if memory_store.slots < self.tree.memory_slots_needed:
+            raise CapacityError(
+                f"memory store has {memory_store.slots} slots, tree top needs "
+                f"{self.tree.memory_slots_needed}"
+            )
+        if storage_store.slots < self.tree.storage_slots_needed:
+            raise CapacityError(
+                f"storage store has {storage_store.slots} slots, tree bottom needs "
+                f"{self.tree.storage_slots_needed}"
+            )
+        self.codec = codec
+        self.position_map = ArrayPositionMap(n_blocks, geometry.leaves, self.rng)
+        self.stash = Stash(limit=stash_limit)
+        self.metrics = Metrics()
+        self._bulk_load()
+
+    # ----------------------------------------------------------- properties
+    @property
+    def n_blocks(self) -> int:
+        return self._n_blocks
+
+    @property
+    def geometry(self) -> TreeGeometry:
+        return self.tree.geometry
+
+    @property
+    def storage_levels(self) -> int:
+        return self.tree.storage_levels
+
+    # ------------------------------------------------------------- plumbing
+    @staticmethod
+    def _mem_levels_for_budget(geometry: TreeGeometry, memory_blocks: int) -> int:
+        """Deepest level count whose cumulative slots fit the memory budget."""
+        z = geometry.bucket_size
+        levels = 1
+        while (
+            levels < geometry.levels
+            and ((1 << (levels + 1)) - 1) * z <= memory_blocks
+        ):
+            levels += 1
+        if ((1 << levels) - 1) * z > memory_blocks:
+            raise CapacityError(
+                f"memory budget of {memory_blocks} blocks cannot hold even the "
+                f"root level of a Z={z} tree"
+            )
+        return levels
+
+    def _bulk_load(self) -> None:
+        """Place all N blocks into the tree at init (no simulated time).
+
+        Blocks are pushed from their leaf bucket upward; anything that
+        finds no space lands in the stash (rare at 50% utilization).
+        Initial payloads encode the address so tests can verify reads
+        before any write.
+        """
+        z = self.geometry.bucket_size
+        occupancy: dict[int, list[tuple[int, bytes]]] = {}
+        for addr in range(self._n_blocks):
+            leaf = self.position_map.get(addr)
+            payload = self.codec.pad(initial_payload(addr))
+            placed = False
+            for bucket in reversed(self.geometry.path_buckets(leaf)):
+                content = occupancy.setdefault(bucket, [])
+                if len(content) < z:
+                    content.append((addr, payload))
+                    placed = True
+                    break
+            if not placed:
+                self.stash.put(addr, leaf, payload)
+        self.tree.fill_empty()
+        for bucket, content in occupancy.items():
+            store, base = self.tree.bucket_location(bucket)
+            for index, (addr, payload) in enumerate(content):
+                store.poke_slot(base + index, self.codec.seal(addr, payload))
+
+    # --------------------------------------------------------------- access
+    def _access(self, op: OpKind, addr: int, data: bytes | None) -> bytes:
+        self.check_addr(addr)
+        times = TierTimes()
+        leaf = self.position_map.get(addr)
+
+        for found_addr, payload in self.tree.read_path(leaf, times):
+            if found_addr not in self.stash:
+                self.stash.put(found_addr, self.position_map.get(found_addr), payload)
+
+        entry = self.stash.get(addr)
+        if entry is None:
+            # Every address is resident after bulk load; a miss here means
+            # state corruption, which we surface loudly.
+            raise CapacityError(f"block {addr} not found on its path or in the stash")
+        result = entry.payload
+        if op is OpKind.WRITE:
+            assert data is not None
+            entry.payload = self.codec.pad(data)
+            result = entry.payload
+
+        # Remap to a fresh uniform leaf, then write the old path back.
+        new_leaf = self.position_map.remap(addr, self.rng)
+        entry.leaf = new_leaf
+        self.tree.write_path(leaf, self.stash, times)
+
+        self.clock.advance(times.serial_us)  # the baseline does not overlap
+        self.metrics.requests_served += 1
+        if op is OpKind.READ:
+            self.metrics.read_requests += 1
+        else:
+            self.metrics.write_requests += 1
+        self.metrics.record_stash(len(self.stash))
+        self.metrics.stash_peak = max(self.metrics.stash_peak, self.stash.peak)
+        return result
+
+    def read(self, addr: int) -> bytes:
+        return self._access(OpKind.READ, addr, None)
+
+    def write(self, addr: int, data: bytes) -> None:
+        self._access(OpKind.WRITE, addr, data)

@@ -1,0 +1,93 @@
+"""Position maps for the tree ORAMs.
+
+The position map is part of the secure control layer (Figure 4-1 budgets
+4 MB for it).  Two flavors:
+
+* :class:`ArrayPositionMap` -- dense array for a fully populated tree
+  (the Path ORAM baseline, where every address always has a leaf).
+* :class:`DictPositionMap` -- sparse map for H-ORAM's in-memory cache
+  tree, where presence in the map doubles as the "is this block cached?"
+  bit of the paper's permutation list.
+
+Both report their secure-memory footprint so experiments can account for
+control-layer state the way Table 5-1 does.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.random import DeterministicRandom
+
+
+class ArrayPositionMap:
+    """Dense addr -> leaf map; every address always has a position."""
+
+    def __init__(self, n_blocks: int, leaves: int, rng: DeterministicRandom):
+        if n_blocks <= 0:
+            raise ValueError("n_blocks must be positive")
+        if leaves <= 0:
+            raise ValueError("leaves must be positive")
+        self.leaves = leaves
+        self._positions = [rng.randrange(leaves) for _ in range(n_blocks)]
+
+    def __len__(self) -> int:
+        return len(self._positions)
+
+    def get(self, addr: int) -> int:
+        return self._positions[addr]
+
+    def remap(self, addr: int, rng: DeterministicRandom) -> int:
+        """Assign and return a fresh uniform leaf for ``addr``."""
+        leaf = rng.randrange(self.leaves)
+        self._positions[addr] = leaf
+        return leaf
+
+    def set(self, addr: int, leaf: int) -> None:
+        if not 0 <= leaf < self.leaves:
+            raise ValueError(f"leaf {leaf} outside [0, {self.leaves})")
+        self._positions[addr] = leaf
+
+    def secure_bytes(self) -> int:
+        """Approximate control-layer footprint (4 bytes per entry)."""
+        return 4 * len(self._positions)
+
+
+class DictPositionMap:
+    """Sparse addr -> leaf map; absence means "not in this tree"."""
+
+    def __init__(self, leaves: int):
+        if leaves <= 0:
+            raise ValueError("leaves must be positive")
+        self.leaves = leaves
+        self._positions: dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._positions)
+
+    def __contains__(self, addr: int) -> bool:
+        return addr in self._positions
+
+    def get(self, addr: int) -> int | None:
+        return self._positions.get(addr)
+
+    def set(self, addr: int, leaf: int) -> None:
+        if not 0 <= leaf < self.leaves:
+            raise ValueError(f"leaf {leaf} outside [0, {self.leaves})")
+        self._positions[addr] = leaf
+
+    def remap(self, addr: int, rng: DeterministicRandom) -> int:
+        leaf = rng.randrange(self.leaves)
+        self._positions[addr] = leaf
+        return leaf
+
+    def remove(self, addr: int) -> int:
+        return self._positions.pop(addr)
+
+    def clear(self) -> None:
+        self._positions.clear()
+
+    def addresses(self) -> list[int]:
+        return list(self._positions)
+
+    def secure_bytes(self) -> int:
+        """Approximate footprint (12 bytes per sparse entry)."""
+        return 12 * len(self._positions)

@@ -1,0 +1,233 @@
+"""Square-root ORAM (Goldreich & Ostrovsky; Section 2.1.3, Figure 2-2).
+
+Layout: ``N`` real blocks plus ``D`` dummy blocks live at permuted slots on
+the storage tier; a shelter of ``T = ceil(sqrt(N))`` slots lives on the
+fast memory tier (the hardware setting of Figure 3-1b).  Per access:
+
+1. scan the whole shelter (oblivious: always all ``T`` slots),
+2. fetch one storage slot -- the target's permuted slot on a shelter miss,
+   the next unused dummy's slot on a shelter hit,
+3. rewrite the whole shelter (again all ``T`` slots).
+
+After ``T`` accesses everything is re-permuted with a full oblivious
+shuffle, charged as the two sequential read+write passes of a
+distribution-based shuffle (the O(4N) I/O the paper's Section 4.3.2
+attributes to the original square-root scheme).
+
+This is the structure H-ORAM redesigns: the shelter scan is the O(sqrt N)
+memory overhead Section 3.2 wants to reduce to O(log n), and the full
+shuffle is the I/O overhead the group/partition shuffle replaces.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.crypto.permutation import RandomPermutation
+from repro.crypto.random import DeterministicRandom
+from repro.oram.base import (
+    BlockCodec,
+    CapacityError,
+    OpKind,
+    ORAMProtocol,
+)
+from repro.oram.base import initial_payload
+from repro.sim.metrics import Metrics, TierTimes
+from repro.storage.backend import BlockStore
+
+
+class SquareRootORAM(ORAMProtocol):
+    """The classic sqrt(N) scheme on a memory-shelter / storage split."""
+
+    def __init__(
+        self,
+        n_blocks: int,
+        codec: BlockCodec,
+        memory_store: BlockStore,
+        storage_store: BlockStore,
+        clock,
+        rng: DeterministicRandom | None = None,
+        dummies: int | None = None,
+        shelter_size: int | None = None,
+    ):
+        if n_blocks <= 0:
+            raise ValueError("n_blocks must be positive")
+        self._n_blocks = n_blocks
+        self.codec = codec
+        self.memory = memory_store
+        self.storage = storage_store
+        self.clock = clock
+        self.rng = rng or DeterministicRandom(0)
+        self.dummies = dummies if dummies is not None else math.isqrt(n_blocks) + 1
+        self.shelter_size = shelter_size if shelter_size is not None else math.isqrt(n_blocks) + 1
+        if self.dummies < self.shelter_size:
+            # Every shelter hit consumes one dummy; a period has at most
+            # shelter_size accesses, so we need at least that many dummies.
+            raise ValueError("need at least shelter_size dummy blocks")
+        total = n_blocks + self.dummies
+        if storage_store.slots < total:
+            raise CapacityError(
+                f"storage store has {storage_store.slots} slots, need {total}"
+            )
+        if memory_store.slots < self.shelter_size:
+            raise CapacityError(
+                f"memory store has {memory_store.slots} slots, shelter needs {self.shelter_size}"
+            )
+        # Element space: [0, N) real addresses, [N, N+D) dummies.
+        self.permutation = RandomPermutation(total, self.rng.spawn("sqrt-perm"))
+        self._shelter: dict[int, bytes] = {}
+        self._dummy_cursor = 0
+        self._accesses_this_period = 0
+        self.metrics = Metrics()
+        self._initialize_storage()
+        self._write_shelter(TierTimes())  # lay down an all-dummy shelter
+
+    # ----------------------------------------------------------- properties
+    @property
+    def n_blocks(self) -> int:
+        return self._n_blocks
+
+    @property
+    def period_length(self) -> int:
+        return self.shelter_size
+
+    @staticmethod
+    def required_slots(n_blocks: int, dummies: int | None = None) -> tuple[int, int]:
+        """(memory slots, storage slots) a store pair must provide."""
+        shelter = math.isqrt(n_blocks) + 1
+        dummy_count = dummies if dummies is not None else math.isqrt(n_blocks) + 1
+        return shelter, n_blocks + dummy_count
+
+    # ------------------------------------------------------------ plumbing
+    def _initialize_storage(self) -> None:
+        """Seal every element at its permuted slot (setup, no charge)."""
+        for addr in range(self._n_blocks):
+            slot = self.permutation.forward(addr)
+            record = self.codec.seal(addr, self.codec.pad(initial_payload(addr)))
+            self.storage.poke_slot(slot, record)
+        for dummy_index in range(self.dummies):
+            slot = self.permutation.forward(self._n_blocks + dummy_index)
+            self.storage.poke_slot(slot, self.codec.seal_dummy())
+
+    def _scan_shelter(self, times: TierTimes) -> None:
+        """Oblivious full scan of the shelter region (memory tier)."""
+        _, duration = self.memory.read_run(0, self.shelter_size)
+        times.mem_us += duration
+
+    def _write_shelter(self, times: TierTimes) -> None:
+        """Rewrite the whole shelter (fresh ciphertexts, fixed shape)."""
+        records = [
+            self.codec.seal(addr, payload) for addr, payload in self._shelter.items()
+        ]
+        records.extend(
+            self.codec.seal_dummy() for _ in range(self.shelter_size - len(records))
+        )
+        times.mem_us += self.memory.write_run(0, records)
+
+    # --------------------------------------------------------------- access
+    def _access(self, op: OpKind, addr: int, data: bytes | None) -> bytes:
+        self.check_addr(addr)
+        times = TierTimes()
+        self._scan_shelter(times)
+
+        if addr in self._shelter:
+            # Shelter hit: touch the next unused dummy so storage still
+            # sees exactly one fetch.
+            element = self._n_blocks + self._dummy_cursor
+            self._dummy_cursor += 1
+            slot = self.permutation.forward(element)
+            record, duration = self.storage.read_slot(slot)
+            times.io_us += duration
+            self.codec.open(record)  # decrypt like any fetch would
+        else:
+            slot = self.permutation.forward(addr)
+            record, duration = self.storage.read_slot(slot)
+            times.io_us += duration
+            fetched_addr, payload = self.codec.open(record)
+            if fetched_addr != addr:
+                raise CapacityError(
+                    f"slot {slot} held block {fetched_addr}, expected {addr}"
+                )
+            self._shelter[addr] = payload
+
+        if op is OpKind.WRITE:
+            assert data is not None
+            self._shelter[addr] = self.codec.pad(data)
+        result = self._shelter[addr]
+
+        self._write_shelter(times)
+        self.clock.advance(times.serial_us)
+        self.metrics.requests_served += 1
+        if op is OpKind.READ:
+            self.metrics.read_requests += 1
+        else:
+            self.metrics.write_requests += 1
+        self.metrics.record_stash(len(self._shelter))
+
+        self._accesses_this_period += 1
+        if self._accesses_this_period >= self.period_length:
+            self._rebuild()
+        return result
+
+    def read(self, addr: int) -> bytes:
+        return self._access(OpKind.READ, addr, None)
+
+    def write(self, addr: int, data: bytes) -> None:
+        self._access(OpKind.WRITE, addr, data)
+
+    # -------------------------------------------------------------- shuffle
+    def _rebuild(self) -> None:
+        """Full oblivious re-permutation of storage (period end).
+
+        Charged as two sequential read+write passes over all N+D slots --
+        the cost profile of a distribution-based oblivious shuffle (about
+        4N I/O, Section 4.3.2).  Shelter updates are folded in and the
+        dummy pool is refreshed.
+        """
+        times = TierTimes()
+        total = self._n_blocks + self.dummies
+        io_before = self.storage.snapshot()
+
+        # Snapshot every block's current payload under the OLD permutation
+        # (shelter copies supersede storage copies).
+        payloads: list[bytes] = [b""] * self._n_blocks
+        for addr in range(self._n_blocks):
+            sheltered = self._shelter.get(addr)
+            payloads[addr] = sheltered if sheltered is not None else self._payload_of(addr)
+
+        self.permutation.refresh()
+
+        for _pass in range(2):
+            _, read_us = self.storage.read_run(0, total)
+            times.io_us += read_us
+            records: list[bytes] = [b""] * total
+            for addr in range(self._n_blocks):
+                slot = self.permutation.forward(addr)
+                records[slot] = self.codec.seal(addr, payloads[addr])
+            for dummy_index in range(self.dummies):
+                slot = self.permutation.forward(self._n_blocks + dummy_index)
+                records[slot] = self.codec.seal_dummy()
+            times.io_us += self.storage.write_run(0, records)
+
+        self._shelter.clear()
+        self._dummy_cursor = 0
+        self._accesses_this_period = 0
+        self._write_shelter(times)
+
+        self.clock.advance(times.serial_us)
+        io_delta = self.storage.snapshot().delta(io_before)
+        self.metrics.shuffle_count += 1
+        self.metrics.shuffle_time_us += times.serial_us
+        self.metrics.shuffle_bytes_read += io_delta.bytes_read
+        self.metrics.shuffle_bytes_written += io_delta.bytes_written
+        self.metrics.shuffle_io_reads += io_delta.reads
+        self.metrics.shuffle_io_writes += io_delta.writes
+        self.metrics.shuffle_io_time_us += io_delta.busy_us
+
+    def _payload_of(self, addr: int) -> bytes:
+        """Current payload of a block that is not in the shelter."""
+        slot = self.permutation.forward(addr)
+        stored_addr, payload = self.codec.open(self.storage.peek_slot(slot))
+        if stored_addr != addr:
+            raise CapacityError(f"storage corruption: slot {slot} holds {stored_addr}")
+        return payload

@@ -1,0 +1,87 @@
+"""The Path ORAM stash.
+
+The stash lives in the trusted controller (Figure 4-1's shelter) and holds
+blocks that were fetched off a path but could not yet be written back.
+Besides plain add/remove it implements the *greedy write-back selection*:
+given the leaf whose path is being written, pick for each bucket (deepest
+first) up to Z stash blocks whose assigned leaf shares the path down to
+that bucket's level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.oram.base import StashOverflowError
+from repro.oram.tree import TreeGeometry
+
+
+@dataclass
+class StashEntry:
+    addr: int
+    leaf: int
+    payload: bytes
+
+
+class Stash:
+    """addr -> (assigned leaf, payload), with occupancy tracking."""
+
+    def __init__(self, limit: int | None = None):
+        self._entries: dict[int, StashEntry] = {}
+        self.limit = limit
+        self.peak = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, addr: int) -> bool:
+        return addr in self._entries
+
+    def __iter__(self) -> Iterator[StashEntry]:
+        return iter(list(self._entries.values()))
+
+    def get(self, addr: int) -> StashEntry | None:
+        return self._entries.get(addr)
+
+    def put(self, addr: int, leaf: int, payload: bytes) -> None:
+        self._entries[addr] = StashEntry(addr=addr, leaf=leaf, payload=payload)
+        if len(self._entries) > self.peak:
+            self.peak = len(self._entries)
+        if self.limit is not None and len(self._entries) > self.limit:
+            raise StashOverflowError(
+                f"stash exceeded its limit of {self.limit} entries; "
+                "the tree is overfull or Z is too small"
+            )
+
+    def remove(self, addr: int) -> StashEntry:
+        return self._entries.pop(addr)
+
+    def pop_all(self) -> list[StashEntry]:
+        entries = list(self._entries.values())
+        self._entries.clear()
+        return entries
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    # ----------------------------------------------------- greedy write-back
+    def select_for_bucket(
+        self, geometry: TreeGeometry, path_leaf: int, level: int, space: int
+    ) -> list[StashEntry]:
+        """Remove and return up to ``space`` entries placeable at this bucket.
+
+        An entry is placeable in the bucket at ``level`` on the path to
+        ``path_leaf`` iff its own assigned leaf passes through the same
+        bucket -- i.e. the two paths agree at least down to ``level``.
+        """
+        if space <= 0:
+            return []
+        selected: list[StashEntry] = []
+        for entry in list(self._entries.values()):
+            if geometry.common_path_depth(entry.leaf, path_leaf) >= level:
+                selected.append(entry)
+                del self._entries[entry.addr]
+                if len(selected) == space:
+                    break
+        return selected

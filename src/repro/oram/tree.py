@@ -1,0 +1,146 @@
+"""Complete-binary-tree geometry for Path ORAM.
+
+Buckets are numbered in heap (level) order: the root is bucket 0, the
+children of bucket ``b`` are ``2b+1`` and ``2b+2``.  A tree with ``L``
+levels has ``2**L - 1`` buckets and ``2**(L-1)`` leaves; leaf ``x`` (0-based
+among leaves) is bucket ``2**(L-1) - 1 + x``.
+
+The split the paper draws in Figure 3-1a -- "top levels in memory, bottom
+levels on storage" -- is pure index arithmetic on this numbering, provided
+by :meth:`TreeGeometry.level_of` and friends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TreeGeometry:
+    """Shape of a Path ORAM tree: ``levels`` levels of ``bucket_size`` slots."""
+
+    levels: int
+    bucket_size: int
+
+    def __post_init__(self) -> None:
+        if self.levels < 1:
+            raise ValueError("a tree needs at least one level")
+        if self.bucket_size < 1:
+            raise ValueError("bucket size must be positive")
+
+    # ------------------------------------------------------------ capacity
+    @property
+    def buckets(self) -> int:
+        return (1 << self.levels) - 1
+
+    @property
+    def leaves(self) -> int:
+        return 1 << (self.levels - 1)
+
+    @property
+    def slots(self) -> int:
+        """Total block slots in the tree."""
+        return self.buckets * self.bucket_size
+
+    @property
+    def real_capacity(self) -> int:
+        """Real blocks the tree can hold healthily (~50% utilization).
+
+        Path ORAM needs at least as many dummies as real blocks for the
+        stash to stay small (Section 2.1.2: best utilization ~50%).
+        """
+        return self.slots // 2
+
+    # ----------------------------------------------------------- addressing
+    def leaf_bucket(self, leaf: int) -> int:
+        self._check_leaf(leaf)
+        return self.leaves - 1 + leaf
+
+    def path_buckets(self, leaf: int) -> list[int]:
+        """Bucket indices on the root-to-leaf path (root first)."""
+        self._check_leaf(leaf)
+        bucket = self.leaf_bucket(leaf)
+        path = []
+        while True:
+            path.append(bucket)
+            if bucket == 0:
+                break
+            bucket = (bucket - 1) // 2
+        path.reverse()
+        return path
+
+    def level_of(self, bucket: int) -> int:
+        """Level (root = 0) of a bucket index."""
+        self._check_bucket(bucket)
+        return (bucket + 1).bit_length() - 1
+
+    def bucket_on_path(self, leaf: int, level: int) -> int:
+        """The bucket at ``level`` on the path to ``leaf``."""
+        self._check_leaf(leaf)
+        if not 0 <= level < self.levels:
+            raise ValueError(f"level {level} outside [0, {self.levels})")
+        # The ancestor of the leaf bucket at the given level.
+        bucket = self.leaf_bucket(leaf)
+        for _ in range(self.levels - 1 - level):
+            bucket = (bucket - 1) // 2
+        return bucket
+
+    def common_path_depth(self, leaf_a: int, leaf_b: int) -> int:
+        """Deepest level at which the two leaves' paths still share a bucket."""
+        self._check_leaf(leaf_a)
+        self._check_leaf(leaf_b)
+        depth = 0
+        width = self.leaves
+        a, b = leaf_a, leaf_b
+        while width > 1 and (a // (width // 2)) == (b // (width // 2)):
+            # They fall in the same half at this split; descend.
+            half = width // 2
+            a %= half
+            b %= half
+            width = half
+            depth += 1
+        return depth
+
+    def buckets_at_level(self, level: int) -> range:
+        """Bucket indices that form the given level."""
+        if not 0 <= level < self.levels:
+            raise ValueError(f"level {level} outside [0, {self.levels})")
+        start = (1 << level) - 1
+        return range(start, (1 << (level + 1)) - 1)
+
+    # ------------------------------------------------------------ factories
+    @classmethod
+    def for_capacity(cls, block_slots: int, bucket_size: int) -> "TreeGeometry":
+        """Largest tree whose slot count does not exceed ``block_slots``."""
+        if block_slots < bucket_size:
+            raise ValueError("capacity smaller than one bucket")
+        levels = 1
+        while ((1 << (levels + 1)) - 1) * bucket_size <= block_slots:
+            levels += 1
+        return cls(levels=levels, bucket_size=bucket_size)
+
+    @classmethod
+    def for_real_blocks(cls, real_blocks: int, bucket_size: int) -> "TreeGeometry":
+        """Smallest tree that holds ``real_blocks`` at ~50% utilization.
+
+        The paper sizes the baseline at exactly 2N slots for N real blocks
+        (Section 2.1.2).  A complete tree has ``2**L - 1`` buckets, one shy
+        of a power of two, so we accept a one-bucket shortfall -- otherwise
+        every power-of-two N would pay a whole extra level that the paper's
+        level arithmetic (eq. 5-2) does not have.
+        """
+        if real_blocks < 1:
+            raise ValueError("need at least one real block")
+        levels = 1
+        while ((1 << levels) - 1) * bucket_size < 2 * real_blocks - bucket_size:
+            levels += 1
+        return cls(levels=levels, bucket_size=bucket_size)
+
+    # ------------------------------------------------------------ internals
+    def _check_leaf(self, leaf: int) -> None:
+        if not 0 <= leaf < self.leaves:
+            raise ValueError(f"leaf {leaf} outside [0, {self.leaves})")
+
+    def _check_bucket(self, bucket: int) -> None:
+        if not 0 <= bucket < self.buckets:
+            raise ValueError(f"bucket {bucket} outside [0, {self.buckets})")

@@ -1,0 +1,51 @@
+"""Empirical obliviousness analysis.
+
+Section 4.4 argues H-ORAM's security; this package *tests* it on recorded
+traces, the way a pattern adversary on the memory/I-O bus would try to
+break it:
+
+* :mod:`repro.security.statistics` -- chi-square uniformity machinery
+  (pure Python incomplete-gamma, no SciPy dependency in the library).
+* :mod:`repro.security.invariants` -- checks of the structural claims:
+  read-once per shuffle epoch, fixed cycle shape, public shuffle order.
+* :mod:`repro.security.adversary` -- a pattern analyzer that measures what
+  an attacker could extract: leaf-access uniformity, repeat-access slot
+  correlation, hit/miss distinguishability.
+
+The test suite runs these against every protocol; a regression that leaks
+(say, a scheduler that skips dummy padding) fails loudly.
+"""
+
+from repro.security.statistics import (
+    chi_square_statistic,
+    chi_square_p_value,
+    chi_square_uniform_test,
+)
+from repro.security.invariants import (
+    InvariantViolation,
+    check_cycle_shape,
+    check_read_once_per_epoch,
+    check_sequential_shuffle_order,
+)
+from repro.security.adversary import PatternAnalyzer
+from repro.security.attacks import (
+    AttackOutcome,
+    burst_correlation_attack,
+    frequency_attack,
+    repeat_access_attack,
+)
+
+__all__ = [
+    "AttackOutcome",
+    "frequency_attack",
+    "repeat_access_attack",
+    "burst_correlation_attack",
+    "chi_square_statistic",
+    "chi_square_p_value",
+    "chi_square_uniform_test",
+    "InvariantViolation",
+    "check_read_once_per_epoch",
+    "check_cycle_shape",
+    "check_sequential_shuffle_order",
+    "PatternAnalyzer",
+]

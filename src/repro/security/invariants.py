@@ -1,0 +1,119 @@
+"""Structural security invariants, checked on recorded traces.
+
+Each check takes a :class:`~repro.storage.trace.TraceRecorder` (the bus
+adversary's view) and raises :class:`InvariantViolation` with a concrete
+description when the property fails.  The tests run them after every
+simulated workload, so a protocol change that breaks a claim of Section
+4.4 cannot land silently.
+"""
+
+from __future__ import annotations
+
+from repro.storage.trace import TraceEvent, TraceRecorder
+
+
+class InvariantViolation(AssertionError):
+    """A trace contradicts one of the protocol's security claims."""
+
+
+def _is_single_read(event: TraceEvent) -> bool:
+    return (
+        event.tier == "storage"
+        and event.op == "read"
+        and not event.label.startswith("run:")
+    )
+
+
+def check_read_once_per_epoch(trace: TraceRecorder) -> int:
+    """Every storage slot is load-accessed at most once between shuffles.
+
+    The square-root invariant H-ORAM inherits (Section 4.4.1: "only
+    accessed once per access period").  Bulk run events are shuffle
+    streams, which re-permute slots and reset the epoch.
+
+    Returns the number of single-slot loads checked.
+    """
+    seen: set[int] = set()
+    checked = 0
+    for event in trace.events:
+        if event.is_marker:
+            if event.label == "shuffle-end":
+                seen.clear()
+            continue
+        if _is_single_read(event):
+            if event.slot in seen:
+                raise InvariantViolation(
+                    f"storage slot {event.slot} loaded twice within one access "
+                    f"period (t={event.time_us:.1f}us)"
+                )
+            seen.add(event.slot)
+            checked += 1
+    return checked
+
+
+def check_cycle_shape(trace: TraceRecorder) -> list[tuple[int, int]]:
+    """Between cycle markers, the bus sees a fixed (mem, io) shape.
+
+    Requires the protocol to emit ``cycle`` markers (HybridORAM does when
+    tracing is enabled).  Returns the list of (memory accesses, storage
+    loads) shapes per cycle so callers can also assert the c schedule.
+    """
+    shapes: list[tuple[int, int]] = []
+    mem = 0
+    io = 0
+    in_cycle = False
+    for event in trace.events:
+        if event.is_marker:
+            if event.label == "cycle-start":
+                mem, io = 0, 0
+                in_cycle = True
+            elif event.label == "cycle-end":
+                if not in_cycle:
+                    raise InvariantViolation("cycle-end marker without cycle-start")
+                shapes.append((mem, io))
+                in_cycle = False
+            continue
+        if not in_cycle:
+            continue
+        if event.tier == "storage" and _is_single_read(event):
+            io += 1
+        elif event.tier == "memory":
+            mem += 1
+    for index, (_, io_loads) in enumerate(shapes):
+        if io_loads != 1:
+            raise InvariantViolation(
+                f"cycle {index} issued {io_loads} storage loads; the shape "
+                "requires exactly 1"
+            )
+    return shapes
+
+
+def check_sequential_shuffle_order(trace: TraceRecorder) -> int:
+    """Shuffle-period partition writes proceed left-to-right (public order).
+
+    Section 4.3.3's argument needs the shuffle order to be data
+    independent; sequential order is trivially so.  Returns the number of
+    shuffle periods checked.
+    """
+    periods = 0
+    in_shuffle = False
+    last_write_start = -1
+    for event in trace.events:
+        if event.is_marker:
+            if event.label == "shuffle-start":
+                in_shuffle = True
+                last_write_start = -1
+                periods += 1
+            elif event.label == "shuffle-end":
+                in_shuffle = False
+            continue
+        if not in_shuffle:
+            continue
+        if event.tier == "storage" and event.op == "write" and event.label.startswith("run:"):
+            if event.slot < last_write_start:
+                raise InvariantViolation(
+                    f"shuffle wrote partition at slot {event.slot} after slot "
+                    f"{last_write_start}; order must be non-decreasing"
+                )
+            last_write_start = event.slot
+    return periods

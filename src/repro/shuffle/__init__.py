@@ -1,0 +1,58 @@
+"""Oblivious shuffle algorithms.
+
+Section 4.3.2 of the paper lets the in-memory shuffle algorithm be "free to
+choose because memory is fast enough" and uses CacheShuffle.  This package
+implements the candidates the paper cites plus a sorting-network shuffle,
+all behind one interface so the shuffle stage and the ablation bench can
+swap them:
+
+* :class:`~repro.shuffle.cache_shuffle.CacheShuffle` -- Patel et al. 2017,
+  the paper's default.
+* :class:`~repro.shuffle.melbourne.MelbourneShuffle` -- Ohrimenko et al.
+  2014, two-pass distribute-and-cleanup with padded buckets.
+* :class:`~repro.shuffle.bitonic.BitonicShuffle` -- oblivious bitonic sort
+  over random tags (data-independent compare-exchange network).
+* :class:`~repro.shuffle.fisher_yates.FisherYatesShuffle` -- the
+  non-oblivious baseline (what you would use if nobody was watching).
+
+Every algorithm reports the number of element *moves* it performed; the
+shuffle stage converts moves into simulated memory time.
+"""
+
+from repro.shuffle.base import ShuffleAlgorithm, ShuffleResult
+from repro.shuffle.bitonic import BitonicShuffle
+from repro.shuffle.cache_shuffle import CacheShuffle
+from repro.shuffle.fisher_yates import FisherYatesShuffle
+from repro.shuffle.melbourne import MelbourneShuffle
+
+_REGISTRY = {
+    "cache": CacheShuffle,
+    "melbourne": MelbourneShuffle,
+    "bitonic": BitonicShuffle,
+    "fisher-yates": FisherYatesShuffle,
+}
+
+
+def get_shuffle(name: str) -> ShuffleAlgorithm:
+    """Instantiate a shuffle algorithm by registry name."""
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(f"unknown shuffle algorithm '{name}' (known: {known})") from None
+
+
+def shuffle_names() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+__all__ = [
+    "ShuffleAlgorithm",
+    "ShuffleResult",
+    "CacheShuffle",
+    "MelbourneShuffle",
+    "BitonicShuffle",
+    "FisherYatesShuffle",
+    "get_shuffle",
+    "shuffle_names",
+]

@@ -1,0 +1,54 @@
+"""Shuffle algorithm interface.
+
+A shuffle takes a list of items and a :class:`DeterministicRandom` and
+returns a uniformly permuted copy together with a *move count* -- the
+number of element copies the algorithm performed.  Move counts are the
+currency the simulator charges: ``moves * per_record_memory_time`` is the
+in-memory shuffle cost of a partition (Section 4.3.2 shuffles partitions in
+memory after streaming them in from storage).
+
+Obliviousness here means the algorithm's *memory access pattern* does not
+depend on the data values or the realized permutation, only on public
+parameters (for CacheShuffle/Melbourne the pattern is randomized but
+independent of the input order in the K-oblivious sense of their papers).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.crypto.random import DeterministicRandom
+
+
+@dataclass
+class ShuffleResult:
+    """Outcome of one shuffle call."""
+
+    items: list
+    moves: int  # element copies performed (simulated-memory traffic)
+    retries: int = 0  # distribution-phase retries (Melbourne overflow)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class ShuffleAlgorithm(ABC):
+    """Base class for all shuffles."""
+
+    #: registry name
+    name: str = "base"
+    #: True when the access pattern leaks nothing about the permutation
+    oblivious: bool = False
+
+    @abstractmethod
+    def shuffle(self, items: Sequence[Any], rng: DeterministicRandom) -> ShuffleResult:
+        """Return a permuted copy of ``items`` plus accounting."""
+
+    def expected_moves(self, n: int) -> int:
+        """Analytic move count for ``n`` items (used by the cost model)."""
+        return n
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} oblivious={self.oblivious}>"

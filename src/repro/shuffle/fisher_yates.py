@@ -1,0 +1,32 @@
+"""Fisher-Yates shuffle: the non-oblivious baseline.
+
+Uniform and optimal in moves (one pass of swaps), but the sequence of
+swap indices *is* the permutation -- an adversary watching memory learns
+everything.  It exists as the ablation baseline and as the in-cache
+shuffle primitive other algorithms use on data that already sits inside
+the private shelter.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.crypto.random import DeterministicRandom
+from repro.shuffle.base import ShuffleAlgorithm, ShuffleResult
+
+
+class FisherYatesShuffle(ShuffleAlgorithm):
+    """Plain in-place Fisher-Yates (a.k.a. Knuth) shuffle."""
+
+    name = "fisher-yates"
+    oblivious = False
+
+    def shuffle(self, items: Sequence[Any], rng: DeterministicRandom) -> ShuffleResult:
+        output = list(items)
+        rng.shuffle(output)
+        # Each of the n-1 iterations touches two elements.
+        moves = max(0, 2 * (len(output) - 1))
+        return ShuffleResult(items=output, moves=moves)
+
+    def expected_moves(self, n: int) -> int:
+        return max(0, 2 * (n - 1))

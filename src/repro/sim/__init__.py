@@ -1,0 +1,25 @@
+"""Discrete simulated-time substrate.
+
+The paper evaluates H-ORAM with wall-clock measurements on a real machine
+(Table 5-2).  A Python re-run cannot reproduce those numbers with
+wall-clock -- it would measure the interpreter, not the protocol -- so this
+package provides *simulated* time:
+
+* :mod:`repro.sim.clock` -- a microsecond clock plus channels that model
+  overlapped memory/I-O work (Section 4.1: "the I/O loads and in-memory
+  reads are conducted simultaneously").
+* :mod:`repro.sim.metrics` -- the counters every experiment reports
+  (I/O count, per-tier time, shuffle time, dummy ratios...).
+* :mod:`repro.sim.engine` -- drives a workload through any ORAM front end
+  and collects a :class:`~repro.sim.metrics.Metrics`.
+
+Device models (:mod:`repro.storage.device`) convert byte movement into
+durations; protocols compose those durations (serially for Path ORAM,
+overlapped for H-ORAM cycles) and advance the clock.
+"""
+
+from repro.sim.clock import Channel, SimClock
+from repro.sim.metrics import Metrics
+from repro.sim.engine import SimulationEngine, run_workload
+
+__all__ = ["SimClock", "Channel", "Metrics", "SimulationEngine", "run_workload"]

@@ -1,0 +1,84 @@
+"""Simulated clock and overlap channels.
+
+All durations in this repository are microseconds (``us``) stored as
+floats.  The clock is advanced explicitly by protocol code; devices never
+advance it themselves -- they *return* durations so the protocol layer can
+decide what overlaps with what (H-ORAM overlaps the one storage load per
+cycle with the ``c`` in-memory path accesses; Path ORAM is fully serial).
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """Monotonic simulated clock (microseconds)."""
+
+    def __init__(self) -> None:
+        self._now_us = 0.0
+
+    @property
+    def now_us(self) -> float:
+        return self._now_us
+
+    @property
+    def now_ms(self) -> float:
+        return self._now_us / 1000.0
+
+    @property
+    def now_s(self) -> float:
+        return self._now_us / 1_000_000.0
+
+    def advance(self, duration_us: float) -> float:
+        """Move time forward; returns the new now."""
+        if duration_us < 0:
+            raise ValueError(f"cannot advance clock by negative time ({duration_us})")
+        self._now_us += duration_us
+        return self._now_us
+
+    def advance_to(self, timestamp_us: float) -> float:
+        """Move time forward to an absolute timestamp (no-op if in the past)."""
+        if timestamp_us > self._now_us:
+            self._now_us = timestamp_us
+        return self._now_us
+
+    def reset(self) -> None:
+        self._now_us = 0.0
+
+
+class Channel:
+    """A resource that serializes its own work but overlaps with other channels.
+
+    Typical use: one channel for the memory bus, one for the I/O bus.  Each
+    ``submit`` occupies the channel for a duration starting no earlier than
+    both the requested start and the channel's previous completion, and
+    returns the completion timestamp.  The caller then advances the global
+    clock to the max completion across channels for a synchronization
+    point (e.g. the end of an H-ORAM scheduler cycle).
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.busy_until_us = 0.0
+        self.busy_time_us = 0.0
+        self.operations = 0
+
+    def submit(self, start_us: float, duration_us: float) -> float:
+        """Schedule work; returns the completion timestamp."""
+        if duration_us < 0:
+            raise ValueError("duration must be non-negative")
+        begin = max(start_us, self.busy_until_us)
+        self.busy_until_us = begin + duration_us
+        self.busy_time_us += duration_us
+        self.operations += 1
+        return self.busy_until_us
+
+    def utilization(self, elapsed_us: float) -> float:
+        """Fraction of elapsed time this channel was busy."""
+        if elapsed_us <= 0:
+            return 0.0
+        return min(1.0, self.busy_time_us / elapsed_us)
+
+    def reset(self) -> None:
+        self.busy_until_us = 0.0
+        self.busy_time_us = 0.0
+        self.operations = 0

@@ -1,0 +1,45 @@
+"""Storage substrate: device timing models and the physical block layer.
+
+This package is the "real machine" of Table 5-2, rebuilt as a simulator:
+
+* :mod:`repro.storage.device` -- timing models for HDD / SSD / DRAM with
+  random-vs-sequential and read-vs-write asymmetry, including the
+  paper-calibrated HDD profile (102.7 MB/s read, 55.2 MB/s write).
+* :mod:`repro.storage.backend` -- :class:`BlockStore`, a fixed-slot byte
+  store mounted on a device model; every operation returns its simulated
+  duration and (optionally) appends to an adversary-visible trace.
+* :mod:`repro.storage.trace` -- the access trace an adversary on the
+  memory/I-O bus would observe; consumed by :mod:`repro.security`.
+* :mod:`repro.storage.hierarchy` -- bundles a memory-tier store and a
+  storage-tier store over one clock, mirroring Figure 3-1's hardware
+  setting.
+"""
+
+from repro.storage.device import (
+    DeviceModel,
+    DRAMModel,
+    HDDModel,
+    SSDModel,
+    ddr4_2133,
+    hdd_paper,
+    hdd_realistic,
+    ssd_sata,
+)
+from repro.storage.backend import BlockStore
+from repro.storage.trace import TraceEvent, TraceRecorder
+from repro.storage.hierarchy import StorageHierarchy
+
+__all__ = [
+    "DeviceModel",
+    "HDDModel",
+    "SSDModel",
+    "DRAMModel",
+    "hdd_paper",
+    "hdd_realistic",
+    "ssd_sata",
+    "ddr4_2133",
+    "BlockStore",
+    "TraceEvent",
+    "TraceRecorder",
+    "StorageHierarchy",
+]

@@ -1,0 +1,204 @@
+"""Fixed-slot block stores mounted on device timing models.
+
+:class:`BlockStore` is the physical layer every ORAM in this repository
+reads and writes.  It provides:
+
+* fixed-size slots backed by one flat ``bytearray`` (cheap even for the
+  2^21 slots of the 1 GB experiment),
+* simulated durations for every operation, with automatic
+  random-vs-sequential detection (an access to ``last+1`` with the same
+  operation kind continues a stream and skips the positioning cost),
+* bulk ``read_run``/``write_run`` operations used by the shuffle stages --
+  one positioning plus a streaming transfer, exactly how H-ORAM's
+  sequential shuffle beats Path ORAM's scattered bucket I/O,
+* an optional :class:`~repro.storage.trace.TraceRecorder` hook so the
+  security analyzers see what a bus adversary sees,
+* decoupled *modeled* and *stored* slot sizes: simulations can store a
+  24-byte record while charging the device model for the paper's 1 KB
+  block, keeping functional fidelity and timing fidelity independent.
+
+Durations are returned to the caller, never applied to a global clock --
+the protocol layer decides what overlaps (see :mod:`repro.sim.clock`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.storage.device import DeviceModel
+from repro.storage.trace import TraceEvent, TraceRecorder
+
+
+@dataclass
+class StoreCounters:
+    """Snapshot of a store's activity (deltas give per-phase accounting)."""
+
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    busy_us: float = 0.0
+
+    def delta(self, earlier: "StoreCounters") -> "StoreCounters":
+        return StoreCounters(
+            reads=self.reads - earlier.reads,
+            writes=self.writes - earlier.writes,
+            bytes_read=self.bytes_read - earlier.bytes_read,
+            bytes_written=self.bytes_written - earlier.bytes_written,
+            busy_us=self.busy_us - earlier.busy_us,
+        )
+
+
+class BlockStore:
+    """A tier of fixed-size slots with simulated access timing."""
+
+    def __init__(
+        self,
+        name: str,
+        tier: str,
+        slots: int,
+        slot_bytes: int,
+        device: DeviceModel,
+        modeled_slot_bytes: int | None = None,
+        trace: TraceRecorder | None = None,
+        clock=None,
+    ):
+        if slots <= 0:
+            raise ValueError("slots must be positive")
+        if slot_bytes <= 0:
+            raise ValueError("slot_bytes must be positive")
+        self.name = name
+        self.tier = tier
+        self.slots = slots
+        self.slot_bytes = slot_bytes
+        self.modeled_slot_bytes = modeled_slot_bytes or slot_bytes
+        self.device = device
+        self.trace = trace
+        self.clock = clock  # only used to timestamp trace events
+        self._data = bytearray(slots * slot_bytes)
+        self._next_seq_slot = -1
+        self._last_op = ""
+        self.counters = StoreCounters()
+
+    # --------------------------------------------------------------- sizing
+    @property
+    def capacity_bytes(self) -> int:
+        """Modeled capacity (what the experiment tables report)."""
+        return self.slots * self.modeled_slot_bytes
+
+    def _check_slot(self, slot: int) -> None:
+        if not 0 <= slot < self.slots:
+            raise IndexError(f"slot {slot} outside [0, {self.slots}) on store '{self.name}'")
+
+    def _now(self) -> float:
+        return self.clock.now_us if self.clock is not None else 0.0
+
+    def _emit(self, op: str, slot: int, size: int, label: str = "") -> None:
+        if self.trace is not None:
+            self.trace.record(
+                TraceEvent(op=op, tier=self.tier, slot=slot, size=size, time_us=self._now(), label=label)
+            )
+
+    def _sequential(self, op: str, slot: int) -> bool:
+        return op == self._last_op and slot == self._next_seq_slot
+
+    # ----------------------------------------------------------- single ops
+    def read_slot(self, slot: int) -> tuple[bytes, float]:
+        """Read one slot; returns (record bytes, simulated duration in us)."""
+        self._check_slot(slot)
+        sequential = self._sequential("read", slot)
+        duration = self.device.access_us(self.modeled_slot_bytes, write=False, sequential=sequential)
+        self._last_op, self._next_seq_slot = "read", slot + 1
+        self.counters.reads += 1
+        self.counters.bytes_read += self.modeled_slot_bytes
+        self.counters.busy_us += duration
+        self._emit("read", slot, self.modeled_slot_bytes)
+        offset = slot * self.slot_bytes
+        return bytes(self._data[offset : offset + self.slot_bytes]), duration
+
+    def write_slot(self, slot: int, record: bytes) -> float:
+        """Write one slot; returns the simulated duration in us."""
+        self._check_slot(slot)
+        if len(record) != self.slot_bytes:
+            raise ValueError(
+                f"record is {len(record)} bytes, store '{self.name}' slots are {self.slot_bytes}"
+            )
+        sequential = self._sequential("write", slot)
+        duration = self.device.access_us(self.modeled_slot_bytes, write=True, sequential=sequential)
+        self._last_op, self._next_seq_slot = "write", slot + 1
+        self.counters.writes += 1
+        self.counters.bytes_written += self.modeled_slot_bytes
+        self.counters.busy_us += duration
+        self._emit("write", slot, self.modeled_slot_bytes)
+        offset = slot * self.slot_bytes
+        self._data[offset : offset + self.slot_bytes] = record
+        return duration
+
+    # ------------------------------------------------------------- bulk ops
+    def read_run(self, start: int, count: int) -> tuple[list[bytes], float]:
+        """Stream ``count`` consecutive slots: one positioning + transfer."""
+        if count <= 0:
+            raise ValueError("count must be positive")
+        self._check_slot(start)
+        self._check_slot(start + count - 1)
+        size = count * self.modeled_slot_bytes
+        duration = self.device.run_us(size, write=False)
+        self._last_op, self._next_seq_slot = "read", start + count
+        self.counters.reads += count
+        self.counters.bytes_read += size
+        self.counters.busy_us += duration
+        self._emit("read", start, size, label=f"run:{count}")
+        records = []
+        for slot in range(start, start + count):
+            offset = slot * self.slot_bytes
+            records.append(bytes(self._data[offset : offset + self.slot_bytes]))
+        return records, duration
+
+    def write_run(self, start: int, records: list[bytes]) -> float:
+        """Stream consecutive slots out: one positioning + transfer."""
+        if not records:
+            raise ValueError("records must be non-empty")
+        self._check_slot(start)
+        self._check_slot(start + len(records) - 1)
+        size = len(records) * self.modeled_slot_bytes
+        duration = self.device.run_us(size, write=True)
+        self._last_op, self._next_seq_slot = "write", start + len(records)
+        self.counters.writes += len(records)
+        self.counters.bytes_written += size
+        self.counters.busy_us += duration
+        self._emit("write", start, size, label=f"run:{len(records)}")
+        for index, record in enumerate(records):
+            if len(record) != self.slot_bytes:
+                raise ValueError("record size mismatch inside write_run")
+            offset = (start + index) * self.slot_bytes
+            self._data[offset : offset + self.slot_bytes] = record
+        return duration
+
+    # ------------------------------------------------------------- utility
+    def peek_slot(self, slot: int) -> bytes:
+        """Read without timing or trace (tests and debugging only)."""
+        self._check_slot(slot)
+        offset = slot * self.slot_bytes
+        return bytes(self._data[offset : offset + self.slot_bytes])
+
+    def poke_slot(self, slot: int, record: bytes) -> None:
+        """Write without timing or trace (initialization only)."""
+        self._check_slot(slot)
+        if len(record) != self.slot_bytes:
+            raise ValueError("record size mismatch in poke_slot")
+        offset = slot * self.slot_bytes
+        self._data[offset : offset + self.slot_bytes] = record
+
+    def reset_stream(self) -> None:
+        """Force the next access to pay positioning (stream interrupted)."""
+        self._next_seq_slot = -1
+        self._last_op = ""
+
+    def snapshot(self) -> StoreCounters:
+        return StoreCounters(
+            reads=self.counters.reads,
+            writes=self.counters.writes,
+            bytes_read=self.counters.bytes_read,
+            bytes_written=self.counters.bytes_written,
+            busy_us=self.counters.busy_us,
+        )

@@ -1,0 +1,147 @@
+"""Device timing models.
+
+The paper's results are ratios of data-movement time driven by three
+effects the evaluation leans on explicitly (Section 5.2):
+
+1. how many bytes move per logical request,
+2. random vs sequential access ("sequential ... 10x to 20x faster than the
+   random page reading"),
+3. read vs write asymmetry ("read speed twice faster than the write").
+
+Each model converts one physical access into a duration in microseconds:
+``access_us(size_bytes, write, sequential)``.  Random accesses pay a
+positioning overhead (seek for HDD, channel latency for SSD/DRAM) plus the
+transfer; sequential accesses pay only the transfer.  The models are pure
+functions of their parameters -- no hidden state -- so protocols can reason
+about costs and tests can assert exact values.
+
+Profiles
+--------
+``hdd_paper``       seek calibrated so one random 1 KB read costs ~75 us,
+                    matching the 77/107 us the paper measured (its HDD was
+                    clearly assisted by the OS page cache; we calibrate to
+                    the *measured* behaviour, as DESIGN.md documents).
+``hdd_realistic``   8 ms average positioning (7200 RPM datasheet) -- shows
+                    the same winners with larger gaps.
+``ssd_sata``        a SATA SSD for the device-sensitivity ablation.
+``ddr4_2133``       the memory tier of Table 5-2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class DeviceModel:
+    """Base timing model: positioning overhead + streaming transfer."""
+
+    name: str
+    read_overhead_us: float
+    write_overhead_us: float
+    read_mb_per_s: float
+    write_mb_per_s: float
+
+    def transfer_us(self, size_bytes: int, write: bool) -> float:
+        """Streaming time for ``size_bytes`` (no positioning)."""
+        if size_bytes < 0:
+            raise ValueError("size must be non-negative")
+        rate = self.write_mb_per_s if write else self.read_mb_per_s
+        return size_bytes / (rate * MB) * 1_000_000.0
+
+    def access_us(self, size_bytes: int, write: bool = False, sequential: bool = False) -> float:
+        """Duration of one access; sequential accesses skip positioning."""
+        overhead = 0.0
+        if not sequential:
+            overhead = self.write_overhead_us if write else self.read_overhead_us
+        return overhead + self.transfer_us(size_bytes, write)
+
+    def run_us(self, size_bytes: int, write: bool = False) -> float:
+        """One positioning + a streaming run (bulk sequential I/O)."""
+        overhead = self.write_overhead_us if write else self.read_overhead_us
+        return overhead + self.transfer_us(size_bytes, write)
+
+
+class HDDModel(DeviceModel):
+    """Rotating disk: dominant random-access seek, modest streaming rates."""
+
+    def __init__(
+        self,
+        name: str = "hdd",
+        seek_us: float = 8000.0,
+        read_mb_per_s: float = 100.0,
+        write_mb_per_s: float = 55.0,
+    ):
+        super().__init__(
+            name=name,
+            read_overhead_us=seek_us,
+            write_overhead_us=seek_us,
+            read_mb_per_s=read_mb_per_s,
+            write_mb_per_s=write_mb_per_s,
+        )
+
+
+class SSDModel(DeviceModel):
+    """Flash device: microsecond-scale access latency, fast streaming."""
+
+    def __init__(
+        self,
+        name: str = "ssd",
+        read_latency_us: float = 90.0,
+        write_latency_us: float = 220.0,
+        read_mb_per_s: float = 520.0,
+        write_mb_per_s: float = 480.0,
+    ):
+        super().__init__(
+            name=name,
+            read_overhead_us=read_latency_us,
+            write_overhead_us=write_latency_us,
+            read_mb_per_s=read_mb_per_s,
+            write_mb_per_s=write_mb_per_s,
+        )
+
+
+class DRAMModel(DeviceModel):
+    """Main memory: ~100 ns access, tens of GB/s of bandwidth."""
+
+    def __init__(
+        self,
+        name: str = "dram",
+        latency_us: float = 0.1,
+        bandwidth_gb_per_s: float = 12.8,
+    ):
+        super().__init__(
+            name=name,
+            read_overhead_us=latency_us,
+            write_overhead_us=latency_us,
+            read_mb_per_s=bandwidth_gb_per_s * 1024,
+            write_mb_per_s=bandwidth_gb_per_s * 1024,
+        )
+
+
+def hdd_paper() -> HDDModel:
+    """HDD calibrated to the measured behaviour of Table 5-2 / 5-3.
+
+    With a 65 us effective seek: a random 1 KB read costs 65 + 9.5 = 74.5 us
+    (paper measured 77 us for the 64 MB set, 107 us for 1 GB); a Path ORAM
+    storage access of 4 bucket reads + 4 bucket writes of 4 KB costs about
+    0.97 ms (paper measured 1.03 ms).
+    """
+    return HDDModel(name="hdd-paper", seek_us=65.0, read_mb_per_s=102.7, write_mb_per_s=55.2)
+
+
+def hdd_realistic() -> HDDModel:
+    """Datasheet-faithful 7200 RPM disk (8 ms positioning)."""
+    return HDDModel(name="hdd-7200rpm", seek_us=8000.0, read_mb_per_s=102.7, write_mb_per_s=55.2)
+
+
+def ssd_sata() -> SSDModel:
+    """A SATA SSD profile for the device-sensitivity ablation."""
+    return SSDModel(name="ssd-sata")
+
+
+def ddr4_2133() -> DRAMModel:
+    """The DDR4 PC4-2133 memory of Table 5-2 (peak 17 GB/s, ~0.1 us access)."""
+    return DRAMModel(name="ddr4-2133", latency_us=0.1, bandwidth_gb_per_s=17.0)

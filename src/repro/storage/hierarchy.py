@@ -1,0 +1,81 @@
+"""The two-tier hierarchy of Figure 3-1: fast memory over slow storage.
+
+:class:`StorageHierarchy` bundles a memory-tier :class:`BlockStore` and a
+storage-tier :class:`BlockStore` over one :class:`~repro.sim.clock.SimClock`
+and one :class:`~repro.storage.trace.TraceRecorder`, plus the two overlap
+channels (memory bus, I/O bus) H-ORAM's scheduler uses.
+
+The constructor takes tier geometry in *blocks* so protocol code reads like
+the paper ("n blocks in memory, N in storage"); byte capacities derive from
+the modeled block size.
+"""
+
+from __future__ import annotations
+
+from repro.sim.clock import Channel, SimClock
+from repro.storage.backend import BlockStore
+from repro.storage.device import DeviceModel, ddr4_2133, hdd_paper
+from repro.storage.trace import TraceRecorder
+
+
+class StorageHierarchy:
+    """Memory tier + storage tier sharing a clock, trace and bus channels."""
+
+    def __init__(
+        self,
+        memory_slots: int,
+        storage_slots: int,
+        slot_bytes: int,
+        modeled_slot_bytes: int | None = None,
+        memory_device: DeviceModel | None = None,
+        storage_device: DeviceModel | None = None,
+        trace: TraceRecorder | None = None,
+    ):
+        self.clock = SimClock()
+        self.trace = trace if trace is not None else TraceRecorder()
+        self.memory = BlockStore(
+            name="memory",
+            tier="memory",
+            slots=memory_slots,
+            slot_bytes=slot_bytes,
+            device=memory_device or ddr4_2133(),
+            modeled_slot_bytes=modeled_slot_bytes,
+            trace=self.trace,
+            clock=self.clock,
+        )
+        self.storage = BlockStore(
+            name="storage",
+            tier="storage",
+            slots=storage_slots,
+            slot_bytes=slot_bytes,
+            device=storage_device or hdd_paper(),
+            modeled_slot_bytes=modeled_slot_bytes,
+            trace=self.trace,
+            clock=self.clock,
+        )
+        self.memory_channel = Channel("memory-bus")
+        self.io_channel = Channel("io-bus")
+
+    @property
+    def slot_bytes(self) -> int:
+        return self.memory.slot_bytes
+
+    @property
+    def modeled_slot_bytes(self) -> int:
+        return self.memory.modeled_slot_bytes
+
+    def mark(self, label: str) -> None:
+        """Emit a public period marker into the trace."""
+        self.trace.mark(label, self.clock.now_us)
+
+    def describe(self) -> dict:
+        """Geometry/summary dict used in experiment headers (Table 5-2 style)."""
+        return {
+            "memory_device": self.memory.device.name,
+            "storage_device": self.storage.device.name,
+            "memory_capacity_bytes": self.memory.capacity_bytes,
+            "storage_capacity_bytes": self.storage.capacity_bytes,
+            "modeled_block_bytes": self.modeled_slot_bytes,
+            "storage_read_mb_s": self.storage.device.read_mb_per_s,
+            "storage_write_mb_s": self.storage.device.write_mb_per_s,
+        }

@@ -1,0 +1,53 @@
+"""Save and replay request traces.
+
+A trace file is one line per request::
+
+    R <addr>
+    W <addr> <hex payload>
+
+Plain text keeps traces diffable and lets experiments pin the *exact*
+stream that produced a table, so paired comparisons between protocols and
+re-runs months later see identical inputs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from repro.oram.base import OpKind, Request
+
+
+def save_trace(path: str | Path, requests: Iterable[Request]) -> int:
+    """Write requests to a trace file; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="ascii") as handle:
+        for request in requests:
+            if request.op is OpKind.WRITE:
+                payload = (request.data or b"").hex()
+                handle.write(f"W {request.addr} {payload}\n")
+            else:
+                handle.write(f"R {request.addr}\n")
+            count += 1
+    return count
+
+
+def load_trace(path: str | Path) -> list[Request]:
+    """Read a trace file back into request objects."""
+    requests: list[Request] = []
+    with open(path, "r", encoding="ascii") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            try:
+                if parts[0] == "R" and len(parts) == 2:
+                    requests.append(Request.read(int(parts[1])))
+                elif parts[0] == "W" and len(parts) == 3:
+                    requests.append(Request.write(int(parts[1]), bytes.fromhex(parts[2])))
+                else:
+                    raise ValueError("unrecognized record")
+            except (ValueError, IndexError) as exc:
+                raise ValueError(f"{path}:{line_number}: bad trace line {line!r}") from exc
+    return requests

@@ -1,0 +1,90 @@
+"""Experiment harness tests (analytic experiments + registry plumbing).
+
+Simulation-heavy experiments are exercised at quick scale by the
+``benchmarks/`` suite; here we cover the closed-form ones fully and the
+harness plumbing cheaply.
+"""
+
+import pytest
+
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    ExperimentResult,
+    figure5_1,
+    get_experiment,
+    table5_1,
+)
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_present(self):
+        for required in ("table5_1", "table5_3", "table5_4", "figure5_1", "figure5_2"):
+            assert required in EXPERIMENTS
+
+    def test_get_experiment(self):
+        assert get_experiment("table5_1") is table5_1
+        with pytest.raises(ValueError):
+            get_experiment("table9_9")
+
+    def test_ablations_present(self):
+        ablations = [name for name in EXPERIMENTS if name.startswith("ablation_")]
+        assert len(ablations) >= 5
+
+
+class TestTable51:
+    def test_matches_paper_numbers(self):
+        result = table5_1(scale="full")
+        assert result.data["horam_avg_read_kb"] == pytest.approx(4.5)
+        assert result.data["horam_avg_write_kb"] == pytest.approx(4.0)
+        assert result.data["path_avg_read_kb"] == pytest.approx(16.0)
+        assert result.data["path_avg_write_kb"] == pytest.approx(16.0)
+
+    def test_renders(self):
+        result = table5_1()
+        text = result.render()
+        assert "H-ORAM" in text and "Path ORAM" in text
+        assert "262144" in text  # requests per period
+
+    def test_small_scale_variant(self):
+        result = table5_1(scale="quick")
+        # 64 MB / 8 MB keeps the same per-access baseline cost (same ratio).
+        assert result.data["path_avg_read_kb"] == pytest.approx(16.0)
+
+
+class TestFigure51:
+    def test_series_shape(self):
+        result = figure5_1()
+        series = result.data["series"]
+        assert set(series) == {1, 2, 4, 8, 16}
+        for c, points in series.items():
+            ratios = [r for r, _ in points]
+            assert ratios == sorted(ratios)
+
+    def test_gain_monotone_in_c(self):
+        series = figure5_1().data["series"]
+        at_ratio_8 = {c: dict(points)[8] for c, points in series.items()}
+        assert at_ratio_8[1] < at_ratio_8[4] < at_ratio_8[16]
+
+    def test_peak_in_paper_band(self):
+        assert 10 < figure5_1().data["peak_gain"] < 20
+
+
+class TestResultType:
+    def test_auto_renders_table(self):
+        result = ExperimentResult(
+            experiment_id="x",
+            title="T",
+            headers=["a", "b"],
+            rows=[[1, 2]],
+        )
+        assert "a" in result.table
+
+    def test_notes_rendered(self):
+        result = ExperimentResult(
+            experiment_id="x",
+            title="T",
+            headers=["a"],
+            rows=[[1]],
+            notes=["something important"],
+        )
+        assert "something important" in result.render()

@@ -1,0 +1,32 @@
+"""CLI runner tests (the ``horam-bench`` entry point)."""
+
+import pytest
+
+from repro.bench.runner import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table5_3" in out and "figure5_1" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["table9_9"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_analytic_experiment_runs(self, capsys):
+        assert main(["table5_1", "--scale", "full"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 5-1" in out
+        assert "Simulated machine" in out  # Table 5-2 header
+        assert "102.7" in out  # the calibrated read throughput
+
+    def test_figure_runs(self, capsys):
+        assert main(["figure5_1"]) == 0
+        out = capsys.readouterr().out
+        assert "c=4" in out
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table5_1", "--scale", "gigantic"])

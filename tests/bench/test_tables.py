@@ -1,0 +1,46 @@
+"""Table rendering tests."""
+
+import pytest
+
+from repro.bench.tables import format_bytes, format_us, render_kv, render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_rule(self):
+        text = render_table(["name", "value"], [["a", 1], ["longer", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", "+"}
+        assert len(lines) == 4
+        # Columns align: every '|' in the same position.
+        pipes = {line.index("|") for line in (lines[0], lines[2], lines[3])}
+        assert len(pipes) == 1
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_empty_headers(self):
+        with pytest.raises(ValueError):
+            render_table([], [])
+
+
+class TestRenderKv:
+    def test_title_and_pairs(self):
+        text = render_kv("Setup", [("cpu", "i7"), ("disk", "hdd")])
+        lines = text.splitlines()
+        assert lines[0] == "Setup"
+        assert lines[1] == "====="
+        assert "cpu" in lines[2] and "i7" in lines[2]
+
+
+class TestFormatters:
+    def test_format_us(self):
+        assert format_us(10.0) == "10.0 us"
+        assert format_us(2500.0) == "2.5 ms"
+        assert format_us(3_000_000.0) == "3.00 s"
+
+    def test_format_bytes(self):
+        assert format_bytes(100) == "100 B"
+        assert format_bytes(2048) == "2.00 KB"
+        assert format_bytes(1 << 30) == "1.00 GB"

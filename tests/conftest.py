@@ -1,0 +1,48 @@
+"""Shared fixtures: small, fast protocol instances for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.horam import HybridORAM, build_horam
+from repro.crypto.ctr import NullCipher, StreamCipher
+from repro.crypto.random import DeterministicRandom
+from repro.oram.base import BlockCodec
+from repro.oram.factory import build_partition, build_path_oram, build_square_root
+
+
+@pytest.fixture
+def rng() -> DeterministicRandom:
+    return DeterministicRandom(1234)
+
+
+@pytest.fixture
+def codec() -> BlockCodec:
+    return BlockCodec(16, StreamCipher(b"unit-test-key"))
+
+
+@pytest.fixture
+def plain_codec() -> BlockCodec:
+    """Codec with no encryption -- lets tests inspect stored bytes."""
+    return BlockCodec(16, NullCipher())
+
+
+@pytest.fixture
+def small_horam() -> HybridORAM:
+    """A 512-block H-ORAM with a 128-block memory tree (tree slots 124)."""
+    return build_horam(n_blocks=512, mem_tree_blocks=128, seed=42, trace=True)
+
+
+@pytest.fixture
+def small_path_oram():
+    return build_path_oram(n_blocks=256, memory_blocks=64, seed=42, trace=True)
+
+
+@pytest.fixture
+def small_square_root():
+    return build_square_root(n_blocks=256, seed=42, trace=True)
+
+
+@pytest.fixture
+def small_partition():
+    return build_partition(n_blocks=256, seed=42, trace=True)

@@ -1,0 +1,107 @@
+"""Analytical model tests against the paper's own numbers."""
+
+import pytest
+
+from repro.core import analysis
+from repro.storage.device import hdd_paper
+
+
+class TestEquation51:
+    def test_paper_average_c(self):
+        stages = [(1, 0.2), (3, 0.13), (5, 0.67)]
+        assert analysis.average_c(stages) == pytest.approx(3.94, abs=0.01)
+
+    def test_normalizes(self):
+        assert analysis.average_c([(2, 2.0), (4, 2.0)]) == pytest.approx(3.0)
+
+    def test_rejects_zero_weight(self):
+        with pytest.raises(ValueError):
+            analysis.average_c([(1, 0.0)])
+
+
+class TestEquation52:
+    def test_paper_storage_levels(self):
+        # 1 GB data, 128 MB memory: log2(2N/n) = log2(16) = 4.
+        assert analysis.storage_levels(1 << 20, 1 << 17) == pytest.approx(4.0)
+
+    def test_memory_covers_everything(self):
+        assert analysis.storage_levels(1024, 4096) == 0.0
+
+
+class TestEquation53And54:
+    def test_path_io_blocks(self):
+        reads, writes = analysis.path_oram_io_blocks(1 << 20, 1 << 17, 4)
+        assert reads == pytest.approx(16.0)  # 16 KB at 1 KB blocks
+        assert writes == pytest.approx(16.0)
+
+    def test_horam_io_blocks_paper_values(self):
+        # Table 5-1: 4.5 KB reads + 4 KB writes per request at c=4.
+        reads, writes = analysis.horam_io_blocks(1 << 20, 1 << 17, 4)
+        assert reads == pytest.approx(4.5)
+        assert writes == pytest.approx(4.0)
+
+    def test_requests_per_period_equation_55(self):
+        assert analysis.requests_per_period(1 << 17, 4) == 262144
+
+
+class TestTable51:
+    def test_paper_row_values(self):
+        horam, path = analysis.table5_1()
+        assert horam.requests_per_period == 262144
+        assert horam.avg_read_kb == pytest.approx(4.5)
+        assert horam.avg_write_kb == pytest.approx(4.0)
+        assert path.avg_read_kb == pytest.approx(16.0)
+        assert path.avg_write_kb == pytest.approx(16.0)
+        assert horam.shuffle_read_bytes == (1 << 30) - (1 << 27)  # 0.875 GB
+        assert horam.shuffle_write_bytes == 1 << 30
+
+    def test_storage_footprint_smaller_for_horam(self):
+        horam, path = analysis.table5_1()
+        assert horam.storage_bytes < path.storage_bytes
+
+
+class TestGainCurves:
+    def test_gain_increases_with_c(self):
+        gains = [analysis.theoretical_gain(8, c) for c in (1, 2, 4, 8)]
+        assert gains == sorted(gains)
+
+    def test_gain_decreases_with_ratio_at_fixed_c(self):
+        gains = [analysis.theoretical_gain(r, 4) for r in (2, 8, 32)]
+        assert gains[0] > gains[1] > gains[2]
+
+    def test_peak_band_matches_paper(self):
+        # "The best performance is 12 times or 16 times faster."
+        series = analysis.figure5_1_series()
+        peak = max(g for c in series for _, g in series[c])
+        assert 10 < peak < 20
+
+    def test_rejects_ratio_below_one(self):
+        with pytest.raises(ValueError):
+            analysis.theoretical_gain(1.0, 4)
+
+    def test_ideal_no_shuffle_gain(self):
+        # Table 5-1 configuration: the paper quotes 32x.
+        assert analysis.ideal_gain_no_shuffle(1 << 20, 1 << 17) == pytest.approx(32.0)
+
+
+class TestDeviceAwarePrediction:
+    def test_prediction_in_paper_band(self):
+        # With the paper-calibrated HDD the full-size Table 5-4 speedup
+        # prediction should land in the right order of magnitude.
+        speedup = analysis.predicted_speedup(
+            n_total=1 << 20, n_mem=1 << 17, c=3.94, device=hdd_paper()
+        )
+        assert 5 < speedup < 40
+
+    def test_no_shuffle_prediction_larger(self):
+        with_shuffle = analysis.predicted_speedup(
+            n_total=1 << 20, n_mem=1 << 17, c=3.94, device=hdd_paper()
+        )
+        without = analysis.predicted_speedup(
+            n_total=1 << 20,
+            n_mem=1 << 17,
+            c=3.94,
+            device=hdd_paper(),
+            include_shuffle=False,
+        )
+        assert without > with_shuffle

@@ -1,0 +1,66 @@
+"""HORAMConfig validation tests."""
+
+import pytest
+
+from repro.core.config import HORAMConfig
+from repro.core.stages import StageSchedule
+
+
+class TestValidation:
+    def test_defaults_are_the_papers(self):
+        config = HORAMConfig(n_blocks=1024, mem_tree_blocks=256)
+        assert config.bucket_size == 4
+        assert config.shuffle_algorithm == "cache"
+        assert config.shuffle_period_ratio == 1
+        assert config.average_c == pytest.approx(3.94, abs=0.01)
+
+    def test_memory_must_be_smaller_than_dataset(self):
+        with pytest.raises(ValueError):
+            HORAMConfig(n_blocks=256, mem_tree_blocks=256)
+
+    def test_memory_must_hold_two_buckets(self):
+        with pytest.raises(ValueError):
+            HORAMConfig(n_blocks=256, mem_tree_blocks=4)
+
+    def test_unknown_shuffle_rejected(self):
+        with pytest.raises(ValueError):
+            HORAMConfig(n_blocks=256, mem_tree_blocks=64, shuffle_algorithm="riffle")
+
+    def test_ratio_must_be_positive(self):
+        with pytest.raises(ValueError):
+            HORAMConfig(n_blocks=256, mem_tree_blocks=64, shuffle_period_ratio=0)
+
+    def test_window_must_fit_hit_and_miss(self):
+        with pytest.raises(ValueError):
+            HORAMConfig(n_blocks=256, mem_tree_blocks=64, prefetch_window=1)
+
+    def test_positive_sizes(self):
+        with pytest.raises(ValueError):
+            HORAMConfig(n_blocks=0, mem_tree_blocks=64)
+        with pytest.raises(ValueError):
+            HORAMConfig(n_blocks=256, mem_tree_blocks=64, payload_bytes=0)
+        with pytest.raises(ValueError):
+            HORAMConfig(n_blocks=256, mem_tree_blocks=64, modeled_block_bytes=0)
+
+
+class TestWindowFor:
+    def test_default_is_three_c(self):
+        config = HORAMConfig(n_blocks=256, mem_tree_blocks=64)
+        assert config.window_for(3) == 9  # the paper's example: c=3, d=9
+        assert config.window_for(5) == 15
+
+    def test_explicit_window(self):
+        config = HORAMConfig(n_blocks=256, mem_tree_blocks=64, prefetch_window=12)
+        assert config.window_for(3) == 12
+
+    def test_explicit_window_never_below_c_plus_one(self):
+        config = HORAMConfig(n_blocks=256, mem_tree_blocks=64, prefetch_window=4)
+        assert config.window_for(5) == 6
+
+    def test_custom_stage_schedule(self):
+        config = HORAMConfig(
+            n_blocks=256,
+            mem_tree_blocks=64,
+            stages=StageSchedule.fixed(2),
+        )
+        assert config.average_c == 2.0

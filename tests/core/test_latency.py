@@ -1,0 +1,54 @@
+"""Latency percentile tests."""
+
+import pytest
+
+from repro.core.horam import build_horam
+from repro.crypto.random import DeterministicRandom
+from repro.oram.base import Request
+from repro.sim.engine import SimulationEngine
+from repro.sim.metrics import percentile
+from repro.workload.generators import hotspot
+
+
+class TestPercentileHelper:
+    def test_nearest_rank(self):
+        values = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10]
+        assert percentile(values, 50) == 5.0
+        assert percentile(values, 90) == 9.0
+        assert percentile(values, 100) == 10.0
+        assert percentile(values, 0) == 1.0
+
+    def test_single_value(self):
+        assert percentile([7], 99) == 7.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+
+class TestProtocolLatencies:
+    def test_percentiles_populated(self):
+        oram = build_horam(n_blocks=512, mem_tree_blocks=128, seed=2)
+        rng = DeterministicRandom(3)
+        requests = list(hotspot(512, 400, rng, hot_blocks=30))
+        SimulationEngine(oram).run(requests)
+        p = oram.latency_percentiles()
+        assert set(p) == {50, 90, 99}
+        assert p[50] <= p[90] <= p[99]
+        assert p[99] >= 1  # misses always wait at least one cycle
+
+    def test_empty_log(self):
+        oram = build_horam(n_blocks=512, mem_tree_blocks=128, seed=2)
+        assert oram.latency_percentiles() == {50: 0.0, 90: 0.0, 99: 0.0}
+
+    def test_miss_latency_exceeds_hit_latency(self):
+        oram = build_horam(n_blocks=512, mem_tree_blocks=128, seed=2)
+        # Request A misses; immediately repeat it so the repeat hits.
+        first = oram.submit(Request.read(9))
+        oram.drain()
+        second = oram.submit(Request.read(9))
+        oram.drain()
+        assert first.latency_cycles >= 1  # load cycle + serve cycle
+        assert second.latency_cycles <= first.latency_cycles

@@ -1,0 +1,92 @@
+"""Multi-user front end tests (Section 5.3.2)."""
+
+import pytest
+
+from repro.core.horam import build_horam
+from repro.core.multiuser import AccessDenied, MultiUserFrontEnd
+from repro.oram.base import Request, initial_payload
+
+
+@pytest.fixture
+def front():
+    oram = build_horam(n_blocks=512, mem_tree_blocks=128, seed=21)
+    front = MultiUserFrontEnd(oram)
+    front.register_user(0, allowed=range(0, 256))
+    front.register_user(1, allowed=range(256, 512))
+    return front
+
+
+class TestRegistration:
+    def test_duplicate_user_rejected(self, front):
+        with pytest.raises(ValueError):
+            front.register_user(0)
+
+    def test_unknown_user_rejected(self, front):
+        with pytest.raises(ValueError):
+            front.submit(9, Request.read(1))
+
+    def test_users_listed(self, front):
+        assert front.users() == [0, 1]
+
+
+class TestAccessControl:
+    def test_acl_enforced(self, front):
+        with pytest.raises(AccessDenied):
+            front.submit(0, Request.read(300))
+        with pytest.raises(AccessDenied):
+            front.submit(1, Request.read(0))
+
+    def test_allowed_requests_pass(self, front):
+        front.submit(0, Request.read(10))
+        front.submit(1, Request.read(300))
+        retired = front.pump()
+        assert len(retired) == 2
+
+
+class TestServiceAndFairness:
+    def test_all_requests_served_correct(self, front):
+        oram = front.oram
+        for i in range(30):
+            front.submit(0, Request.read(i))
+            front.submit(1, Request.read(256 + i))
+        retired = front.pump()
+        assert len(retired) == 60
+        for entry in retired:
+            assert entry.result == oram.codec.pad(initial_payload(entry.addr))
+
+    def test_per_user_stats(self, front):
+        for i in range(10):
+            front.submit(0, Request.read(i))
+        front.submit(1, Request.read(256))
+        front.pump()
+        assert front.stats(0).served == 10
+        assert front.stats(1).served == 1
+        assert front.stats(0).mean_latency_cycles >= 0
+
+    def test_round_robin_interleaves(self, front):
+        # With equal load, service order should alternate users rather
+        # than serving user 0's whole queue first.
+        for i in range(20):
+            front.submit(0, Request.read(i))
+        for i in range(20):
+            front.submit(1, Request.read(256 + i))
+        retired = front.pump()
+        first_half_users = {e.request.user for e in retired[:10]}
+        assert first_half_users == {0, 1}
+
+    def test_write_isolation_between_users(self, front):
+        front.submit(0, Request.write(5, b"user0-data"))
+        front.submit(1, Request.read(256 + 5))
+        retired = front.pump()
+        user1_read = [e for e in retired if e.request.user == 1][0]
+        assert user1_read.result == front.oram.codec.pad(initial_payload(261))
+
+    def test_latency_balance(self, front):
+        for i in range(25):
+            front.submit(0, Request.read(i % 100))
+            front.submit(1, Request.read(256 + (i % 100)))
+        front.pump()
+        lat0 = front.stats(0).mean_latency_cycles
+        lat1 = front.stats(1).mean_latency_cycles
+        assert lat0 > 0 and lat1 > 0
+        assert max(lat0, lat1) / min(lat0, lat1) < 2.5

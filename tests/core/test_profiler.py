@@ -1,0 +1,55 @@
+"""Shuffle-ratio profiler tests (Section 5.3.1's "system profiling")."""
+
+import pytest
+
+from repro.core.config import HORAMConfig
+from repro.core.profiler import profile_shuffle_ratio
+from repro.crypto.random import DeterministicRandom
+from repro.workload.generators import hotspot
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    config = HORAMConfig(n_blocks=1024, mem_tree_blocks=256, seed=4)
+    rng = DeterministicRandom(6)
+    sample = list(hotspot(1024, 1500, rng, hot_blocks=80, hot_probability=0.6))
+    return profile_shuffle_ratio(config, sample, ratios=(1, 2, 4))
+
+
+class TestProfiler:
+    def test_profiles_every_candidate(self, sweep):
+        assert sorted(p.ratio for p in sweep.profiles) == [1, 2, 4]
+
+    def test_best_is_actual_minimum(self, sweep):
+        best = sweep.profile_for(sweep.best_ratio)
+        assert all(best.total_time_us <= p.total_time_us for p in sweep.profiles)
+
+    def test_partial_ratios_append_blocks(self, sweep):
+        assert sweep.profile_for(1).appended_blocks == 0
+        assert sweep.profile_for(4).appended_blocks > 0
+
+    def test_sample_crossed_periods(self, sweep):
+        # A profile that never shuffles is not a useful profile.
+        assert all(p.shuffles >= 1 for p in sweep.profiles)
+
+    def test_profile_for_unknown_ratio(self, sweep):
+        with pytest.raises(KeyError):
+            sweep.profile_for(99)
+
+    def test_validation(self):
+        config = HORAMConfig(n_blocks=256, mem_tree_blocks=64)
+        with pytest.raises(ValueError):
+            profile_shuffle_ratio(config, [], ratios=(1,))
+        with pytest.raises(ValueError):
+            profile_shuffle_ratio(config, [object()], ratios=())
+
+    def test_deterministic(self):
+        config = HORAMConfig(n_blocks=512, mem_tree_blocks=128, seed=1)
+        rng = DeterministicRandom(2)
+        sample = list(hotspot(512, 600, rng, hot_blocks=40))
+        a = profile_shuffle_ratio(config, sample, ratios=(1, 2))
+        b = profile_shuffle_ratio(config, sample, ratios=(1, 2))
+        assert a.best_ratio == b.best_ratio
+        assert [p.total_time_us for p in a.profiles] == [
+            p.total_time_us for p in b.profiles
+        ]

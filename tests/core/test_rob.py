@@ -1,0 +1,77 @@
+"""ROB table tests: windowing, in-order retirement, demotion."""
+
+from repro.core.rob import EntryState, RobTable
+from repro.oram.base import Request
+
+
+def push_reads(rob, addrs, cycle=0):
+    return [rob.push(Request.read(a), cycle) for a in addrs]
+
+
+class TestWindow:
+    def test_window_in_program_order(self):
+        rob = RobTable()
+        push_reads(rob, [5, 6, 7, 8])
+        window = rob.window(3)
+        assert [e.addr for e in window] == [5, 6, 7]
+
+    def test_window_skips_served(self):
+        rob = RobTable()
+        entries = push_reads(rob, [1, 2, 3, 4])
+        entries[1].state = EntryState.SERVED
+        window = rob.window(3)
+        assert [e.addr for e in window] == [1, 3, 4]
+
+    def test_window_empty_and_zero(self):
+        rob = RobTable()
+        assert rob.window(4) == []
+        push_reads(rob, [1])
+        assert rob.window(0) == []
+
+
+class TestRetirement:
+    def test_retires_in_order_only_from_front(self):
+        rob = RobTable()
+        entries = push_reads(rob, [1, 2, 3])
+        entries[1].state = EntryState.SERVED  # middle done first
+        assert rob.retire() == []  # head not served yet
+        entries[0].state = EntryState.SERVED
+        retired = rob.retire()
+        assert [e.addr for e in retired] == [1, 2]
+        entries[2].state = EntryState.SERVED
+        assert [e.addr for e in rob.retire()] == [3]
+
+    def test_counters(self):
+        rob = RobTable()
+        entries = push_reads(rob, [1, 2])
+        assert rob.total_submitted == 2
+        for entry in entries:
+            entry.state = EntryState.SERVED
+        rob.retire()
+        assert rob.total_retired == 2
+        assert not rob.has_work()
+
+
+class TestStates:
+    def test_unserved_count(self):
+        rob = RobTable()
+        entries = push_reads(rob, [1, 2, 3])
+        entries[0].state = EntryState.SERVED
+        assert rob.unserved == 2
+
+    def test_demote_ready(self):
+        rob = RobTable()
+        entries = push_reads(rob, [1, 2, 3])
+        entries[0].state = EntryState.READY
+        entries[1].state = EntryState.SERVED
+        demoted = rob.demote_ready()
+        assert demoted == 1
+        assert entries[0].state is EntryState.PENDING
+        assert entries[1].state is EntryState.SERVED
+
+    def test_latency_cycles(self):
+        rob = RobTable()
+        entry = rob.push(Request.read(1), cycle=10)
+        assert entry.latency_cycles == -1
+        entry.served_cycle = 15
+        assert entry.latency_cycles == 5

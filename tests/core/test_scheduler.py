@@ -1,0 +1,104 @@
+"""Secure scheduler tests: fixed shape, selection priorities, padding."""
+
+from repro.core.rob import EntryState, RobTable
+from repro.core.scheduler import SecureScheduler
+from repro.oram.base import Request
+
+
+def make_scheduler(window=9):
+    return SecureScheduler(window_for=lambda c: window)
+
+
+def push(rob, addrs):
+    return [rob.push(Request.read(a), 0) for a in addrs]
+
+
+class TestShape:
+    def test_shape_always_c_and_one(self):
+        rob = RobTable()
+        push(rob, [1, 2, 3])
+        cached = {1, 2}.__contains__
+        for c in (1, 3, 5):
+            plan = make_scheduler().plan(RobTable(), c, cached, set())
+            assert plan.shape() == (c, 1)
+
+    def test_all_dummies_when_empty(self):
+        plan = make_scheduler().plan(RobTable(), 3, lambda a: False, set())
+        assert plan.dummy_hits == 3
+        assert plan.dummy_miss
+        assert plan.shape() == (3, 1)
+
+
+class TestSelection:
+    def test_hits_and_miss_split(self):
+        rob = RobTable()
+        push(rob, [1, 2, 3, 4])
+        cached = {1, 3}.__contains__
+        plan = make_scheduler().plan(rob, 2, cached, set())
+        assert [e.addr for e in plan.hits] == [1, 3]
+        assert plan.miss.addr == 2
+        assert plan.dummy_hits == 0 and not plan.dummy_miss
+
+    def test_miss_marked_inflight(self):
+        rob = RobTable()
+        entries = push(rob, [9])
+        plan = make_scheduler().plan(rob, 1, lambda a: False, set())
+        assert plan.miss is entries[0]
+        assert entries[0].state is EntryState.MISS_INFLIGHT
+
+    def test_ready_entries_are_priority_hits(self):
+        rob = RobTable()
+        entries = push(rob, [7, 8])
+        entries[0].state = EntryState.READY
+        plan = make_scheduler().plan(rob, 1, lambda a: False, set())
+        assert plan.hits == [entries[0]]
+        assert plan.miss is entries[1]
+
+    def test_second_request_to_missing_addr_waits(self):
+        rob = RobTable()
+        entries = push(rob, [5, 5])
+        plan = make_scheduler().plan(rob, 2, lambda a: False, set())
+        assert plan.miss is entries[0]
+        # The duplicate must not be scheduled as a second miss or a hit.
+        assert entries[1].state is EntryState.PENDING
+        assert plan.dummy_hits == 2
+
+    def test_inflight_addresses_skipped(self):
+        rob = RobTable()
+        entries = push(rob, [5, 6])
+        plan = make_scheduler().plan(rob, 1, lambda a: False, {5})
+        assert plan.miss is entries[1]
+        assert entries[0].state is EntryState.PENDING
+
+    def test_one_miss_per_cycle(self):
+        rob = RobTable()
+        push(rob, [1, 2, 3])
+        plan = make_scheduler().plan(rob, 1, lambda a: False, set())
+        assert plan.miss.addr == 1
+        # Others stay pending for later cycles.
+        assert plan.dummy_hits == 1
+
+
+class TestWindowLimit:
+    def test_lookahead_respected(self):
+        rob = RobTable()
+        push(rob, [1, 2, 3, 4, 5])
+        cached = {5}.__contains__  # a hit exists but beyond the window
+        plan = make_scheduler(window=3).plan(rob, 2, cached, set())
+        assert plan.hits == []
+        assert plan.dummy_hits == 2
+        assert plan.miss.addr == 1
+
+    def test_wider_window_finds_the_hit(self):
+        rob = RobTable()
+        push(rob, [1, 2, 3, 4, 5])
+        cached = {5}.__contains__
+        plan = make_scheduler(window=5).plan(rob, 2, cached, set())
+        assert [e.addr for e in plan.hits] == [5]
+
+    def test_hits_capped_at_c(self):
+        rob = RobTable()
+        push(rob, [1, 2, 3, 4])
+        plan = make_scheduler().plan(rob, 2, lambda a: True, set())
+        assert len(plan.hits) == 2
+        assert plan.dummy_miss  # everything cached, nothing to load

@@ -1,0 +1,57 @@
+"""Stage schedule tests."""
+
+import pytest
+
+from repro.core.stages import Stage, StageSchedule
+
+
+class TestStage:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Stage(c=0, fraction=0.5)
+        with pytest.raises(ValueError):
+            Stage(c=1, fraction=0.0)
+
+
+class TestSchedule:
+    def test_paper_default_average(self):
+        # Equation 5-1 with {1,3,5} / {0.2, 0.13, 0.67} gives 3.94.
+        schedule = StageSchedule.paper_default()
+        assert schedule.average_c() == pytest.approx(3.94, abs=0.01)
+
+    def test_c_at_progress(self):
+        schedule = StageSchedule.paper_default()
+        assert schedule.c_at(0.0) == 1
+        assert schedule.c_at(0.19) == 1
+        assert schedule.c_at(0.21) == 3
+        assert schedule.c_at(0.34) == 5
+        assert schedule.c_at(0.99) == 5
+
+    def test_progress_past_one_clamps(self):
+        schedule = StageSchedule.paper_default()
+        assert schedule.c_at(1.5) == 5
+
+    def test_negative_progress_rejected(self):
+        with pytest.raises(ValueError):
+            StageSchedule.paper_default().c_at(-0.1)
+
+    def test_fractions_normalized(self):
+        schedule = StageSchedule([(2, 1.0), (4, 3.0)])
+        assert schedule.average_c() == pytest.approx(0.25 * 2 + 0.75 * 4)
+        assert schedule.c_at(0.2) == 2
+        assert schedule.c_at(0.3) == 4
+
+    def test_fixed(self):
+        schedule = StageSchedule.fixed(7)
+        assert schedule.c_at(0.0) == 7
+        assert schedule.c_at(0.9) == 7
+        assert schedule.average_c() == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            StageSchedule([])
+
+    def test_accepts_stage_objects(self):
+        schedule = StageSchedule([Stage(2, 0.5), Stage(6, 0.5)])
+        assert len(schedule) == 2
+        assert [s.c for s in schedule] == [2, 6]

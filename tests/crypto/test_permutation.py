@@ -1,0 +1,95 @@
+"""Permutation tests: bijectivity, inverses, refresh behavior."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.permutation import FeistelPermutation, RandomPermutation
+from repro.crypto.prf import Blake2Prf
+from repro.crypto.random import DeterministicRandom
+
+
+class TestFeistelPermutation:
+    @given(st.integers(min_value=1, max_value=500))
+    @settings(max_examples=30, deadline=None)
+    def test_bijection_property(self, domain):
+        perm = FeistelPermutation(Blake2Prf(b"k"), domain)
+        outputs = [perm.forward(x) for x in range(domain)]
+        assert sorted(outputs) == list(range(domain))
+
+    def test_inverse(self):
+        perm = FeistelPermutation(Blake2Prf(b"k"), 321)
+        for x in range(321):
+            assert perm.inverse(perm.forward(x)) == x
+
+    def test_forward_of_inverse(self):
+        perm = FeistelPermutation(Blake2Prf(b"k"), 97)
+        for y in range(97):
+            assert perm.forward(perm.inverse(y)) == y
+
+    def test_keys_give_different_permutations(self):
+        a = FeistelPermutation.from_key(b"key-a", 256)
+        b = FeistelPermutation.from_key(b"key-b", 256)
+        assert [a.forward(x) for x in range(256)] != [b.forward(x) for x in range(256)]
+
+    def test_domain_bounds_enforced(self):
+        perm = FeistelPermutation(Blake2Prf(b"k"), 10)
+        with pytest.raises(ValueError):
+            perm.forward(10)
+        with pytest.raises(ValueError):
+            perm.inverse(-1)
+
+    def test_rejects_tiny_round_count(self):
+        with pytest.raises(ValueError):
+            FeistelPermutation(Blake2Prf(b"k"), 16, rounds=2)
+
+    def test_domain_one(self):
+        perm = FeistelPermutation(Blake2Prf(b"k"), 1)
+        assert perm.forward(0) == 0
+
+
+class TestRandomPermutation:
+    def test_bijection(self):
+        perm = RandomPermutation(100, DeterministicRandom(5))
+        slots = [perm.forward(x) for x in range(100)]
+        assert sorted(slots) == list(range(100))
+
+    def test_inverse_consistency(self):
+        perm = RandomPermutation(64, DeterministicRandom(5))
+        for x in range(64):
+            assert perm.inverse(perm.forward(x)) == x
+
+    def test_refresh_changes_mapping(self):
+        perm = RandomPermutation(128, DeterministicRandom(5))
+        before = list(perm.as_sequence())
+        perm.refresh()
+        after = list(perm.as_sequence())
+        assert before != after
+        assert sorted(after) == list(range(128))
+
+    def test_swap_slots(self):
+        perm = RandomPermutation(16, DeterministicRandom(5))
+        a, b = perm.forward(3), perm.forward(7)
+        perm.swap_slots(a, b)
+        assert perm.forward(3) == b
+        assert perm.forward(7) == a
+        assert perm.inverse(a) == 7
+        assert perm.inverse(b) == 3
+
+    def test_assign_bulk(self):
+        perm = RandomPermutation(8, DeterministicRandom(5))
+        perm.assign((x, (x + 1) % 8) for x in range(8))
+        for x in range(8):
+            assert perm.forward(x) == (x + 1) % 8
+            assert perm.inverse((x + 1) % 8) == x
+
+    def test_uniformity_over_seeds(self):
+        # Element 0's slot over many fresh permutations should spread out.
+        counts = [0] * 8
+        for seed in range(400):
+            perm = RandomPermutation(8, DeterministicRandom(seed))
+            counts[perm.forward(0)] += 1
+        assert min(counts) > 20  # expectation 50 per slot
+
+    def test_rejects_empty_domain(self):
+        with pytest.raises(ValueError):
+            RandomPermutation(0, DeterministicRandom(1))

@@ -1,0 +1,78 @@
+"""PRF tests: determinism, domain separation, distribution sanity."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.prf import Blake2Prf, SpeckCbcMacPrf, derive_key
+
+
+@pytest.fixture(params=[Blake2Prf, SpeckCbcMacPrf])
+def prf(request):
+    return request.param(b"prf-test-key")
+
+
+class TestPrfBasics:
+    def test_deterministic(self, prf):
+        assert prf.value(b"hello") == prf.value(b"hello")
+
+    def test_different_inputs_differ(self, prf):
+        assert prf.value(b"hello") != prf.value(b"world")
+
+    def test_different_keys_differ(self):
+        for cls in (Blake2Prf, SpeckCbcMacPrf):
+            a = cls(b"key-a")
+            b = cls(b"key-b")
+            assert a.value(b"same") != b.value(b"same")
+
+    def test_64_bit_output(self, prf):
+        for data in (b"", b"x", b"y" * 100):
+            assert 0 <= prf.value(data) < 1 << 64
+
+    def test_int_input_with_domain_tags(self, prf):
+        assert prf.value_int(5, domain_tag=0) != prf.value_int(5, domain_tag=1)
+
+    def test_bounded(self, prf):
+        for bound in (1, 2, 7, 1000):
+            for x in range(20):
+                assert 0 <= prf.bounded_int(x, bound) < bound
+
+    def test_bounded_rejects_bad_bound(self, prf):
+        with pytest.raises(ValueError):
+            prf.bounded_int(1, 0)
+
+    def test_length_extension_resistance_shape(self, prf):
+        # Messages that are prefixes of each other must not collide --
+        # guards the 10*-padding / length-prefix construction.
+        assert prf.value(b"ab") != prf.value(b"ab\x00")
+        assert prf.value(b"") != prf.value(b"\x00")
+
+    @given(st.binary(max_size=64))
+    def test_blake_speck_disagree_but_both_deterministic(self, data):
+        blake = Blake2Prf(b"k")
+        speck = SpeckCbcMacPrf(b"k")
+        assert blake.value(data) == blake.value(data)
+        assert speck.value(data) == speck.value(data)
+
+
+class TestDistribution:
+    def test_bounded_outputs_cover_range(self, prf):
+        # 512 samples into 8 buckets: every bucket should be hit.
+        buckets = {prf.bounded_int(i, 8) for i in range(512)}
+        assert buckets == set(range(8))
+
+    def test_low_bit_balance(self, prf):
+        ones = sum(prf.value_int(i) & 1 for i in range(2000))
+        assert 800 < ones < 1200  # ~6 sigma corridor around 1000
+
+
+class TestDeriveKey:
+    def test_labels_separate(self):
+        master = b"master-key"
+        assert derive_key(master, "a") != derive_key(master, "b")
+
+    def test_deterministic(self):
+        assert derive_key(b"m", "label") == derive_key(b"m", "label")
+
+    def test_rejects_empty_master(self):
+        with pytest.raises(ValueError):
+            derive_key(b"", "label")

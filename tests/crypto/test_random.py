@@ -1,0 +1,122 @@
+"""Deterministic CSPRNG tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.random import DeterministicRandom
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRandom(99)
+        b = DeterministicRandom(99)
+        assert [a.next_word() for _ in range(50)] == [b.next_word() for _ in range(50)]
+
+    def test_different_seeds_differ(self):
+        a = DeterministicRandom(1)
+        b = DeterministicRandom(2)
+        assert [a.next_word() for _ in range(4)] != [b.next_word() for _ in range(4)]
+
+    def test_seed_types(self):
+        for seed in (0, 123456789, "label", b"bytes-seed"):
+            rng = DeterministicRandom(seed)
+            assert isinstance(rng.next_word(), int)
+
+    def test_spawn_independent_streams(self):
+        parent = DeterministicRandom(7)
+        child_a = parent.spawn("a")
+        child_b = parent.spawn("b")
+        assert child_a.next_word() != child_b.next_word()
+        # Spawning is deterministic in (seed, label).
+        again = DeterministicRandom(7).spawn("a")
+        assert DeterministicRandom(7).spawn("a").next_word() == again.next_word()
+
+
+class TestDraws:
+    def test_randrange_bounds(self):
+        rng = DeterministicRandom(3)
+        for bound in (1, 2, 3, 10, 1000, 1 << 40):
+            for _ in range(20):
+                assert 0 <= rng.randrange(bound) < bound
+
+    def test_randrange_rejects_nonpositive(self):
+        rng = DeterministicRandom(3)
+        with pytest.raises(ValueError):
+            rng.randrange(0)
+
+    def test_randint_inclusive(self):
+        rng = DeterministicRandom(3)
+        values = {rng.randint(5, 7) for _ in range(200)}
+        assert values == {5, 6, 7}
+
+    def test_random_unit_interval(self):
+        rng = DeterministicRandom(3)
+        for _ in range(100):
+            x = rng.random()
+            assert 0.0 <= x < 1.0
+
+    def test_randbits(self):
+        rng = DeterministicRandom(3)
+        assert rng.randbits(0) == 0
+        for bits in (1, 8, 64, 100):
+            assert 0 <= rng.randbits(bits) < 1 << bits
+
+    def test_choice(self):
+        rng = DeterministicRandom(3)
+        population = ["a", "b", "c"]
+        assert rng.choice(population) in population
+        with pytest.raises(IndexError):
+            rng.choice([])
+
+    def test_token_sizes(self):
+        rng = DeterministicRandom(3)
+        for size in (1, 16, 17, 64):
+            assert len(rng.token(size)) == size
+
+
+class TestShuffleAndSample:
+    @given(st.lists(st.integers(), max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_shuffle_is_permutation(self, items):
+        rng = DeterministicRandom(4)
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == sorted(items)
+
+    def test_sample_distinct(self):
+        rng = DeterministicRandom(4)
+        picked = rng.sample(range(100), 30)
+        assert len(set(picked)) == 30
+        assert all(0 <= p < 100 for p in picked)
+
+    def test_sample_rejects_oversize(self):
+        rng = DeterministicRandom(4)
+        with pytest.raises(ValueError):
+            rng.sample([1, 2], 3)
+
+    def test_permutation_uniform_first_element(self):
+        counts = [0] * 4
+        for seed in range(400):
+            rng = DeterministicRandom(seed)
+            counts[rng.permutation(4)[0]] += 1
+        assert min(counts) > 60  # expectation 100
+
+
+class TestWeightedChoice:
+    def test_respects_weights(self):
+        rng = DeterministicRandom(5)
+        picks = [rng.weighted_choice([0.0, 1.0, 0.0]) for _ in range(50)]
+        assert set(picks) == {1}
+
+    def test_rejects_bad_weights(self):
+        rng = DeterministicRandom(5)
+        with pytest.raises(ValueError):
+            rng.weighted_choice([0.0, 0.0])
+        with pytest.raises(ValueError):
+            rng.weighted_choice([-1.0, 2.0])
+
+    def test_rough_proportions(self):
+        rng = DeterministicRandom(5)
+        picks = [rng.weighted_choice([1, 3]) for _ in range(2000)]
+        share = picks.count(1) / len(picks)
+        assert 0.68 < share < 0.82

@@ -1,0 +1,85 @@
+"""Factory builder tests: geometry, devices, integrity plumbing."""
+
+import pytest
+
+from repro.core.horam import build_horam
+from repro.oram.factory import (
+    build_partition,
+    build_path_oram,
+    build_plain,
+    build_square_root,
+)
+from repro.storage.device import hdd_realistic, ssd_sata
+
+
+class TestGeometry:
+    def test_path_oram_stores_sized_exactly(self):
+        oram = build_path_oram(n_blocks=256, memory_blocks=64)
+        assert oram.hierarchy.memory.slots == oram.tree.memory_slots_needed
+        assert oram.hierarchy.storage.slots == oram.tree.storage_slots_needed
+
+    def test_square_root_stores_sized_exactly(self):
+        oram = build_square_root(n_blocks=256)
+        assert oram.hierarchy.memory.slots == oram.shelter_size
+        assert oram.hierarchy.storage.slots == 256 + oram.dummies
+
+    def test_partition_store_sized_exactly(self):
+        oram = build_partition(n_blocks=256)
+        assert (
+            oram.hierarchy.storage.slots
+            == oram.partition_count * oram.partition_capacity
+        )
+
+    def test_horam_store_covers_layout(self):
+        oram = build_horam(n_blocks=300, mem_tree_blocks=64)  # non-square N
+        assert oram.hierarchy.storage.slots >= oram.storage.total_slots
+
+
+class TestDevices:
+    def test_custom_devices_propagate(self):
+        oram = build_path_oram(
+            n_blocks=128,
+            memory_blocks=32,
+            storage_device=ssd_sata(),
+        )
+        assert oram.hierarchy.storage.device.name == "ssd-sata"
+
+    def test_device_changes_timing(self):
+        fast = build_plain(n_blocks=64, storage_device=ssd_sata())
+        slow = build_plain(n_blocks=64, storage_device=hdd_realistic())
+        fast.read(0)
+        slow.read(0)
+        assert slow.clock.now_us > fast.clock.now_us
+
+
+class TestSeeds:
+    def test_same_seed_reproduces(self):
+        a = build_square_root(n_blocks=64, seed=5)
+        b = build_square_root(n_blocks=64, seed=5)
+        assert a.permutation.as_sequence() == b.permutation.as_sequence()
+
+    def test_different_seed_differs(self):
+        a = build_square_root(n_blocks=64, seed=5)
+        b = build_square_root(n_blocks=64, seed=6)
+        assert a.permutation.as_sequence() != b.permutation.as_sequence()
+
+
+class TestTraceFlag:
+    @pytest.mark.parametrize(
+        "builder,kwargs",
+        [
+            (build_path_oram, {"n_blocks": 128, "memory_blocks": 32}),
+            (build_square_root, {"n_blocks": 128}),
+            (build_partition, {"n_blocks": 128}),
+            (build_plain, {"n_blocks": 128}),
+        ],
+    )
+    def test_trace_off_by_default(self, builder, kwargs):
+        oram = builder(**kwargs)
+        oram.read(1)
+        assert len(oram.hierarchy.trace) == 0  # capacity-0 recorder
+
+    def test_trace_on(self):
+        oram = build_plain(n_blocks=64, trace=True)
+        oram.read(1)
+        assert len(oram.hierarchy.trace) == 1

@@ -1,0 +1,45 @@
+"""PlainStore baseline tests (and the leakage it exists to demonstrate)."""
+
+import pytest
+
+from repro.crypto.random import DeterministicRandom
+from repro.oram.base import ORAMError, initial_payload
+from repro.oram.factory import build_plain
+from repro.workload.generators import hotspot
+
+
+class TestCorrectness:
+    def test_read_initial(self):
+        store = build_plain(n_blocks=64, seed=1)
+        assert store.read(9) == store.codec.pad(initial_payload(9))
+
+    def test_write_then_read(self):
+        store = build_plain(n_blocks=64, seed=1)
+        store.write(3, b"plain")
+        assert store.read(3).rstrip(b"\x00") == b"plain"
+
+    def test_bounds(self):
+        store = build_plain(n_blocks=64, seed=1)
+        with pytest.raises(ORAMError):
+            store.read(64)
+
+
+class TestLeakage:
+    def test_identity_layout_leaks_pattern(self):
+        # The property the ORAMs remove: physical slot == logical address.
+        store = build_plain(n_blocks=256, seed=1, trace=True)
+        rng = DeterministicRandom(2)
+        requests = list(hotspot(256, 300, rng, hot_blocks=10))
+        for request in requests:
+            store.read(request.addr)
+        slots = [e.slot for e in store.hierarchy.trace.storage_reads()]
+        assert slots == [r.addr for r in requests]
+
+    def test_cheapest_possible_access(self):
+        # One slot read per request -- the cost-of-security floor.
+        store = build_plain(n_blocks=64, seed=1)
+        before = store.hierarchy.storage.snapshot()
+        store.read(5)
+        delta = store.hierarchy.storage.snapshot().delta(before)
+        assert delta.reads == 1
+        assert delta.writes == 0

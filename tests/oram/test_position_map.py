@@ -1,0 +1,74 @@
+"""Position map tests."""
+
+import pytest
+
+from repro.crypto.random import DeterministicRandom
+from repro.oram.position_map import ArrayPositionMap, DictPositionMap
+
+
+class TestArrayPositionMap:
+    def test_all_addresses_mapped(self):
+        pm = ArrayPositionMap(100, leaves=16, rng=DeterministicRandom(1))
+        for addr in range(100):
+            assert 0 <= pm.get(addr) < 16
+
+    def test_remap_changes_and_is_uniformish(self):
+        pm = ArrayPositionMap(1, leaves=64, rng=DeterministicRandom(1))
+        rng = DeterministicRandom(2)
+        leaves = {pm.remap(0, rng) for _ in range(200)}
+        assert len(leaves) > 40  # covers most of the 64 leaves
+
+    def test_set_validates(self):
+        pm = ArrayPositionMap(4, leaves=8, rng=DeterministicRandom(1))
+        pm.set(0, 7)
+        assert pm.get(0) == 7
+        with pytest.raises(ValueError):
+            pm.set(0, 8)
+
+    def test_secure_bytes(self):
+        pm = ArrayPositionMap(1000, leaves=8, rng=DeterministicRandom(1))
+        assert pm.secure_bytes() == 4000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ArrayPositionMap(0, leaves=4, rng=DeterministicRandom(1))
+        with pytest.raises(ValueError):
+            ArrayPositionMap(4, leaves=0, rng=DeterministicRandom(1))
+
+
+class TestDictPositionMap:
+    def test_absence_means_not_cached(self):
+        pm = DictPositionMap(leaves=8)
+        assert 3 not in pm
+        assert pm.get(3) is None
+
+    def test_set_and_remove(self):
+        pm = DictPositionMap(leaves=8)
+        pm.set(3, 5)
+        assert 3 in pm and pm.get(3) == 5
+        assert pm.remove(3) == 5
+        assert 3 not in pm
+
+    def test_remap_inserts(self):
+        pm = DictPositionMap(leaves=8)
+        leaf = pm.remap(9, DeterministicRandom(1))
+        assert pm.get(9) == leaf
+
+    def test_clear_and_addresses(self):
+        pm = DictPositionMap(leaves=8)
+        pm.set(1, 0)
+        pm.set(2, 1)
+        assert sorted(pm.addresses()) == [1, 2]
+        pm.clear()
+        assert len(pm) == 0
+
+    def test_leaf_validation(self):
+        pm = DictPositionMap(leaves=8)
+        with pytest.raises(ValueError):
+            pm.set(0, 9)
+
+    def test_secure_bytes_tracks_occupancy(self):
+        pm = DictPositionMap(leaves=8)
+        assert pm.secure_bytes() == 0
+        pm.set(1, 1)
+        assert pm.secure_bytes() == 12

@@ -1,0 +1,114 @@
+"""Recursive position map tests."""
+
+import pytest
+
+from repro.crypto.random import DeterministicRandom
+from repro.oram.recursive import RecursivePositionMap
+from repro.sim.metrics import TierTimes
+
+
+def make_map(n=1024, leaves=128, entries_per_block=16, threshold=8, seed=1):
+    return RecursivePositionMap(
+        n_entries=n,
+        leaves=leaves,
+        rng=DeterministicRandom(seed),
+        entries_per_block=entries_per_block,
+        threshold=threshold,
+    )
+
+
+class TestConstruction:
+    def test_recursion_depth(self):
+        # 1024 entries / 16 per block = 64 blocks -> 4 blocks -> top.
+        pm = make_map()
+        assert pm.levels == 2
+
+    def test_small_map_stays_flat(self):
+        pm = make_map(n=100, threshold=256)
+        assert pm.levels == 0
+        assert pm.secure_bytes() == 400
+
+    def test_controller_state_shrinks(self):
+        flat_bytes = 4 * 4096
+        pm = make_map(n=4096, threshold=16)
+        assert pm.secure_bytes() < flat_bytes / 50
+        assert pm.memory_bytes() > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_map(n=0)
+        with pytest.raises(ValueError):
+            RecursivePositionMap(8, 0, DeterministicRandom(1))
+        with pytest.raises(ValueError):
+            RecursivePositionMap(8, 4, DeterministicRandom(1), entries_per_block=1)
+
+
+class TestLookups:
+    def test_initial_values_preserved(self):
+        pm = make_map(n=256, entries_per_block=8, threshold=4)
+        initial = pm.initial_leaves()
+        for addr in range(0, 256, 13):
+            assert pm.get(addr) == initial[addr]
+
+    def test_set_then_get(self):
+        pm = make_map(n=256, entries_per_block=8, threshold=4)
+        old = pm.set(10, 77)
+        assert pm.get(10) == 77
+        assert old == pm.initial_leaves()[10]
+
+    def test_neighbors_unaffected_by_set(self):
+        pm = make_map(n=256, entries_per_block=8, threshold=4)
+        initial = pm.initial_leaves()
+        pm.set(10, 77)  # same level-0 block as 8..15
+        for addr in (8, 9, 11, 15):
+            assert pm.get(addr) == initial[addr]
+
+    def test_many_updates_consistent(self):
+        pm = make_map(n=512, entries_per_block=16, threshold=8, seed=3)
+        reference = pm.initial_leaves()
+        rng = DeterministicRandom(9)
+        for _ in range(300):
+            addr = rng.randrange(512)
+            if rng.random() < 0.5:
+                leaf = rng.randrange(128)
+                pm.set(addr, leaf)
+                reference[addr] = leaf
+            else:
+                assert pm.get(addr) == reference[addr]
+
+    def test_remap_returns_new_leaf(self):
+        pm = make_map(n=256, entries_per_block=8, threshold=4)
+        rng = DeterministicRandom(4)
+        leaf = pm.remap(5, rng)
+        assert pm.get(5) == leaf
+
+    def test_leaf_bounds_checked(self):
+        pm = make_map(n=256)
+        with pytest.raises(ValueError):
+            pm.set(0, 128)
+        with pytest.raises(ValueError):
+            pm.get(256)
+
+
+class TestCostAccounting:
+    def test_lookup_charges_memory_time(self):
+        pm = make_map(n=1024, entries_per_block=16, threshold=8)
+        times = TierTimes()
+        pm.get(3, times)
+        assert times.mem_us > 0
+        assert times.io_us == 0
+
+    def test_deeper_recursion_costs_more(self):
+        shallow = make_map(n=1024, entries_per_block=64, threshold=64)
+        deep = make_map(n=1024, entries_per_block=4, threshold=4)
+        assert deep.levels > shallow.levels
+        t_shallow, t_deep = TierTimes(), TierTimes()
+        shallow.get(0, t_shallow)
+        deep.get(0, t_deep)
+        assert t_deep.mem_us > t_shallow.mem_us
+
+    def test_flat_map_lookup_free(self):
+        pm = make_map(n=64, threshold=256)
+        times = TierTimes()
+        pm.get(0, times)
+        assert times.mem_us == 0

@@ -1,0 +1,84 @@
+"""Stash tests including greedy write-back selection."""
+
+import pytest
+
+from repro.oram.base import StashOverflowError
+from repro.oram.stash import Stash
+from repro.oram.tree import TreeGeometry
+
+
+class TestBasics:
+    def test_put_get_remove(self):
+        stash = Stash()
+        stash.put(5, leaf=2, payload=b"five")
+        assert 5 in stash
+        assert stash.get(5).payload == b"five"
+        entry = stash.remove(5)
+        assert entry.addr == 5
+        assert 5 not in stash
+
+    def test_overwrite_same_addr(self):
+        stash = Stash()
+        stash.put(5, leaf=2, payload=b"old")
+        stash.put(5, leaf=3, payload=b"new")
+        assert len(stash) == 1
+        assert stash.get(5).payload == b"new"
+
+    def test_peak_tracking(self):
+        stash = Stash()
+        for addr in range(4):
+            stash.put(addr, leaf=0, payload=b"")
+        stash.remove(0)
+        assert stash.peak == 4
+
+    def test_limit_enforced(self):
+        stash = Stash(limit=2)
+        stash.put(0, 0, b"")
+        stash.put(1, 0, b"")
+        with pytest.raises(StashOverflowError):
+            stash.put(2, 0, b"")
+
+    def test_pop_all(self):
+        stash = Stash()
+        stash.put(1, 0, b"a")
+        stash.put(2, 0, b"b")
+        entries = stash.pop_all()
+        assert {e.addr for e in entries} == {1, 2}
+        assert len(stash) == 0
+
+
+class TestGreedySelection:
+    def test_only_matching_paths_selected(self):
+        g = TreeGeometry(levels=3, bucket_size=4)
+        stash = Stash()
+        stash.put(1, leaf=0, payload=b"")
+        stash.put(2, leaf=3, payload=b"")  # opposite half
+        # Bucket at level 2 on path to leaf 0 can only take leaf-0 blocks.
+        selected = stash.select_for_bucket(g, path_leaf=0, level=2, space=4)
+        assert [e.addr for e in selected] == [1]
+        # Root (level 0) accepts anything still in the stash.
+        selected = stash.select_for_bucket(g, path_leaf=0, level=0, space=4)
+        assert [e.addr for e in selected] == [2]
+
+    def test_space_respected(self):
+        g = TreeGeometry(levels=2, bucket_size=4)
+        stash = Stash()
+        for addr in range(6):
+            stash.put(addr, leaf=0, payload=b"")
+        selected = stash.select_for_bucket(g, path_leaf=0, level=0, space=4)
+        assert len(selected) == 4
+        assert len(stash) == 2
+
+    def test_selected_entries_removed(self):
+        g = TreeGeometry(levels=2, bucket_size=4)
+        stash = Stash()
+        stash.put(9, leaf=1, payload=b"")
+        stash.select_for_bucket(g, path_leaf=1, level=1, space=4)
+        assert 9 not in stash
+
+    def test_zero_space(self):
+        g = TreeGeometry(levels=2, bucket_size=4)
+        stash = Stash()
+        stash.put(9, leaf=1, payload=b"")
+        assert stash.select_for_bucket(g, path_leaf=1, level=1, space=0) == []
+        assert 9 in stash

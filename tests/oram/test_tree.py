@@ -1,0 +1,121 @@
+"""Tree geometry tests: addressing math and the paper's level arithmetic."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.oram.tree import TreeGeometry
+
+
+class TestCapacity:
+    def test_counts(self):
+        g = TreeGeometry(levels=4, bucket_size=4)
+        assert g.buckets == 15
+        assert g.leaves == 8
+        assert g.slots == 60
+        assert g.real_capacity == 30
+
+    def test_single_level(self):
+        g = TreeGeometry(levels=1, bucket_size=2)
+        assert g.buckets == 1 and g.leaves == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TreeGeometry(levels=0, bucket_size=4)
+        with pytest.raises(ValueError):
+            TreeGeometry(levels=3, bucket_size=0)
+
+
+class TestAddressing:
+    def test_path_root_to_leaf(self):
+        g = TreeGeometry(levels=3, bucket_size=4)
+        # Leaves are buckets 3..6; leaf 2 is bucket 5, parent 2, root 0.
+        assert g.path_buckets(2) == [0, 2, 5]
+
+    def test_path_length_equals_levels(self):
+        g = TreeGeometry(levels=7, bucket_size=4)
+        for leaf in (0, 31, 63):
+            assert len(g.path_buckets(leaf)) == 7
+
+    def test_leaf_bucket(self):
+        g = TreeGeometry(levels=3, bucket_size=4)
+        assert [g.leaf_bucket(x) for x in range(4)] == [3, 4, 5, 6]
+
+    def test_level_of(self):
+        g = TreeGeometry(levels=3, bucket_size=4)
+        assert g.level_of(0) == 0
+        assert g.level_of(1) == 1
+        assert g.level_of(2) == 1
+        assert g.level_of(6) == 2
+
+    def test_bucket_on_path(self):
+        g = TreeGeometry(levels=4, bucket_size=4)
+        for leaf in range(g.leaves):
+            path = g.path_buckets(leaf)
+            for level, bucket in enumerate(path):
+                assert g.bucket_on_path(leaf, level) == bucket
+
+    def test_buckets_at_level(self):
+        g = TreeGeometry(levels=3, bucket_size=4)
+        assert list(g.buckets_at_level(0)) == [0]
+        assert list(g.buckets_at_level(1)) == [1, 2]
+        assert list(g.buckets_at_level(2)) == [3, 4, 5, 6]
+
+    def test_bounds(self):
+        g = TreeGeometry(levels=3, bucket_size=4)
+        with pytest.raises(ValueError):
+            g.path_buckets(4)
+        with pytest.raises(ValueError):
+            g.bucket_on_path(0, 3)
+        with pytest.raises(ValueError):
+            g.level_of(7)
+
+
+class TestCommonDepth:
+    def test_same_leaf_shares_whole_path(self):
+        g = TreeGeometry(levels=5, bucket_size=4)
+        assert g.common_path_depth(9, 9) == 4
+
+    def test_opposite_halves_share_only_root(self):
+        g = TreeGeometry(levels=4, bucket_size=4)
+        assert g.common_path_depth(0, 7) == 0
+
+    def test_adjacent_leaves(self):
+        g = TreeGeometry(levels=4, bucket_size=4)
+        # Leaves 0 and 1 share buckets at levels 0..2; depth = 2.
+        assert g.common_path_depth(0, 1) == 2
+
+    @given(st.integers(2, 7), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_matches_path_intersection(self, levels, data):
+        g = TreeGeometry(levels=levels, bucket_size=4)
+        a = data.draw(st.integers(0, g.leaves - 1))
+        b = data.draw(st.integers(0, g.leaves - 1))
+        path_a = g.path_buckets(a)
+        path_b = g.path_buckets(b)
+        shared = sum(1 for x, y in zip(path_a, path_b) if x == y)
+        assert g.common_path_depth(a, b) == shared - 1
+        assert g.common_path_depth(a, b) == g.common_path_depth(b, a)
+
+
+class TestFactories:
+    def test_for_capacity_never_exceeds(self):
+        for budget in (8, 60, 100, 1024, 5000):
+            g = TreeGeometry.for_capacity(budget, 4)
+            assert g.slots <= budget
+            bigger = TreeGeometry(levels=g.levels + 1, bucket_size=4)
+            assert bigger.slots > budget
+
+    def test_for_capacity_too_small(self):
+        with pytest.raises(ValueError):
+            TreeGeometry.for_capacity(3, 4)
+
+    def test_for_real_blocks_paper_sizes(self):
+        # The paper's 64 MB set: N = 2^16 blocks -> 15 levels (eq. 5-2's
+        # 2N-slot sizing), and the 1 GB set: N = 2^20 -> 19 levels.
+        assert TreeGeometry.for_real_blocks(1 << 16, 4).levels == 15
+        assert TreeGeometry.for_real_blocks(1 << 20, 4).levels == 19
+
+    def test_for_real_blocks_holds_near_half(self):
+        for n in (10, 100, 1000, 1 << 16):
+            g = TreeGeometry.for_real_blocks(n, 4)
+            assert g.slots >= 2 * n - 4  # one-bucket tolerance

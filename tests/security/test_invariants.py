@@ -1,0 +1,103 @@
+"""Invariant checker tests: pass on honest traces, fail on doctored ones."""
+
+import pytest
+
+from repro.crypto.random import DeterministicRandom
+from repro.security.invariants import (
+    InvariantViolation,
+    check_cycle_shape,
+    check_read_once_per_epoch,
+    check_sequential_shuffle_order,
+)
+from repro.sim.engine import SimulationEngine
+from repro.storage.trace import TraceEvent, TraceRecorder
+from repro.workload.generators import hotspot
+
+
+def ev(op, tier, slot, label=""):
+    return TraceEvent(op=op, tier=tier, slot=slot, size=8, time_us=0.0, label=label)
+
+
+@pytest.fixture
+def horam_trace(small_horam):
+    # Enough cold traffic to cross several shuffle epochs.
+    rng = DeterministicRandom(9)
+    requests = list(
+        hotspot(
+            small_horam.n_blocks,
+            10 * small_horam.period_capacity,
+            rng,
+            hot_blocks=40,
+            hot_probability=0.6,
+        )
+    )
+    SimulationEngine(small_horam).run(requests)
+    assert small_horam.metrics.shuffle_count >= 1  # exercise epochs
+    return small_horam.hierarchy.trace
+
+
+class TestOnRealTraces:
+    def test_read_once_holds(self, horam_trace):
+        checked = check_read_once_per_epoch(horam_trace)
+        assert checked > 100
+
+    def test_cycle_shape_holds(self, horam_trace):
+        shapes = check_cycle_shape(horam_trace)
+        assert len(shapes) > 50
+        assert all(io == 1 for _, io in shapes)
+
+    def test_shuffle_order_sequential(self, horam_trace):
+        assert check_sequential_shuffle_order(horam_trace) >= 1
+
+
+class TestOnDoctoredTraces:
+    def test_double_read_detected(self):
+        trace = TraceRecorder()
+        trace.record(ev("read", "storage", 5))
+        trace.record(ev("read", "storage", 5))
+        with pytest.raises(InvariantViolation):
+            check_read_once_per_epoch(trace)
+
+    def test_shuffle_resets_epoch(self):
+        trace = TraceRecorder()
+        trace.record(ev("read", "storage", 5))
+        trace.mark("shuffle-end", 1.0)
+        trace.record(ev("read", "storage", 5))  # legal: new epoch
+        assert check_read_once_per_epoch(trace) == 2
+
+    def test_bulk_runs_exempt(self):
+        trace = TraceRecorder()
+        trace.record(ev("read", "storage", 5, label="run:10"))
+        trace.record(ev("read", "storage", 5, label="run:10"))
+        assert check_read_once_per_epoch(trace) == 0
+
+    def test_two_loads_in_a_cycle_detected(self):
+        trace = TraceRecorder()
+        trace.mark("cycle-start", 0.0)
+        trace.record(ev("read", "storage", 1))
+        trace.record(ev("read", "storage", 2))
+        trace.mark("cycle-end", 1.0)
+        with pytest.raises(InvariantViolation):
+            check_cycle_shape(trace)
+
+    def test_zero_loads_in_a_cycle_detected(self):
+        trace = TraceRecorder()
+        trace.mark("cycle-start", 0.0)
+        trace.record(ev("read", "memory", 1))
+        trace.mark("cycle-end", 1.0)
+        with pytest.raises(InvariantViolation):
+            check_cycle_shape(trace)
+
+    def test_out_of_order_shuffle_writes_detected(self):
+        trace = TraceRecorder()
+        trace.mark("shuffle-start", 0.0)
+        trace.record(ev("write", "storage", 100, label="run:10"))
+        trace.record(ev("write", "storage", 50, label="run:10"))
+        with pytest.raises(InvariantViolation):
+            check_sequential_shuffle_order(trace)
+
+    def test_stray_cycle_end_detected(self):
+        trace = TraceRecorder()
+        trace.mark("cycle-end", 0.0)
+        with pytest.raises(InvariantViolation):
+            check_cycle_shape(trace)

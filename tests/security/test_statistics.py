@@ -1,0 +1,81 @@
+"""Statistical machinery tests, cross-checked against SciPy."""
+
+import math
+
+import pytest
+
+scipy_stats = pytest.importorskip("scipy.stats")
+
+from repro.crypto.random import DeterministicRandom
+from repro.security.statistics import (
+    binned_histogram,
+    chi_square_p_value,
+    chi_square_statistic,
+    chi_square_uniform_test,
+    histogram,
+    regularized_gamma_q,
+)
+
+
+class TestIncompleteGamma:
+    @pytest.mark.parametrize("a", [0.5, 1.0, 2.5, 10.0, 50.0])
+    @pytest.mark.parametrize("x", [0.0, 0.1, 1.0, 5.0, 30.0, 100.0])
+    def test_matches_scipy(self, a, x):
+        ours = regularized_gamma_q(a, x)
+        reference = float(scipy_stats.gamma.sf(x, a))
+        assert ours == pytest.approx(reference, abs=1e-9)
+
+    def test_edges(self):
+        assert regularized_gamma_q(1.0, 0.0) == 1.0
+        with pytest.raises(ValueError):
+            regularized_gamma_q(0.0, 1.0)
+        with pytest.raises(ValueError):
+            regularized_gamma_q(1.0, -1.0)
+
+
+class TestChiSquare:
+    def test_statistic_hand_computed(self):
+        # observed [10, 20], expected uniform [15, 15]: 25/15 * 2 = 10/3.
+        assert chi_square_statistic([10, 20]) == pytest.approx(10.0 / 3.0)
+
+    def test_p_value_matches_scipy(self):
+        for statistic, dof in [(1.0, 1), (5.0, 3), (20.0, 10), (3.3, 7)]:
+            ours = chi_square_p_value(statistic, dof)
+            reference = float(scipy_stats.chi2.sf(statistic, dof))
+            assert ours == pytest.approx(reference, abs=1e-9)
+
+    def test_uniform_data_accepted(self):
+        rng = DeterministicRandom(1)
+        counts = histogram([rng.randrange(10) for _ in range(5000)], 10)
+        result = chi_square_uniform_test(counts)
+        assert result.p_value > 0.001
+
+    def test_skewed_data_rejected(self):
+        counts = [1000, 10, 10, 10]
+        result = chi_square_uniform_test(counts)
+        assert result.p_value < 1e-6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chi_square_statistic([])
+        with pytest.raises(ValueError):
+            chi_square_statistic([1, 2], [1])
+        with pytest.raises(ValueError):
+            chi_square_p_value(1.0, 0)
+
+
+class TestHistograms:
+    def test_histogram(self):
+        assert histogram([0, 1, 1, 2], 3) == [1, 2, 1]
+        with pytest.raises(ValueError):
+            histogram([5], 3)
+
+    def test_binned_histogram_folds_domain(self):
+        counts = binned_histogram([0, 99, 50], domain=100, bins=2)
+        assert counts == [1, 2]  # 0 -> bin 0; 50 and 99 -> bin 1
+
+    def test_binned_histogram_validation(self):
+        with pytest.raises(ValueError):
+            binned_histogram([0], domain=0, bins=2)
+        with pytest.raises(ValueError):
+            binned_histogram([100], domain=100, bins=2)

@@ -1,0 +1,90 @@
+"""SimClock / Channel tests."""
+
+import pytest
+
+from repro.sim.clock import Channel, SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now_us == 0.0
+
+    def test_advance(self):
+        clock = SimClock()
+        clock.advance(100.0)
+        clock.advance(50.0)
+        assert clock.now_us == 150.0
+
+    def test_unit_views(self):
+        clock = SimClock()
+        clock.advance(2_500_000.0)
+        assert clock.now_ms == pytest.approx(2500.0)
+        assert clock.now_s == pytest.approx(2.5)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1.0)
+
+    def test_advance_to_never_goes_back(self):
+        clock = SimClock()
+        clock.advance(100.0)
+        clock.advance_to(50.0)
+        assert clock.now_us == 100.0
+        clock.advance_to(200.0)
+        assert clock.now_us == 200.0
+
+    def test_reset(self):
+        clock = SimClock()
+        clock.advance(10.0)
+        clock.reset()
+        assert clock.now_us == 0.0
+
+
+class TestChannel:
+    def test_overlap_semantics(self):
+        # Two channels starting together overlap; the caller synchronizes
+        # at max completion -- exactly the H-ORAM cycle barrier.
+        mem = Channel("mem")
+        io = Channel("io")
+        mem_done = mem.submit(0.0, 30.0)
+        io_done = io.submit(0.0, 100.0)
+        assert mem_done == 30.0
+        assert io_done == 100.0
+        assert max(mem_done, io_done) == 100.0
+
+    def test_serialization_within_channel(self):
+        ch = Channel("io")
+        first = ch.submit(0.0, 40.0)
+        second = ch.submit(0.0, 10.0)  # must queue behind the first
+        assert first == 40.0
+        assert second == 50.0
+
+    def test_start_after_busy(self):
+        ch = Channel("io")
+        ch.submit(0.0, 10.0)
+        done = ch.submit(100.0, 5.0)  # channel idle at 100
+        assert done == 105.0
+
+    def test_busy_time_accumulates(self):
+        ch = Channel("io")
+        ch.submit(0.0, 10.0)
+        ch.submit(0.0, 20.0)
+        assert ch.busy_time_us == 30.0
+        assert ch.operations == 2
+
+    def test_utilization(self):
+        ch = Channel("io")
+        ch.submit(0.0, 25.0)
+        assert ch.utilization(100.0) == pytest.approx(0.25)
+        assert ch.utilization(0.0) == 0.0
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            Channel("x").submit(0.0, -1.0)
+
+    def test_reset(self):
+        ch = Channel("io")
+        ch.submit(0.0, 10.0)
+        ch.reset()
+        assert ch.busy_until_us == 0.0
+        assert ch.operations == 0

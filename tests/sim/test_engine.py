@@ -1,0 +1,100 @@
+"""Simulation engine tests."""
+
+import pytest
+
+from repro.core.horam import build_horam
+from repro.crypto.random import DeterministicRandom
+from repro.oram.base import Request, initial_payload
+from repro.oram.factory import build_path_oram
+from repro.sim.engine import SimulationEngine, VerificationError, run_workload
+from repro.workload.generators import hotspot, read_write_mix
+
+
+class TestBatchedPath:
+    def test_metrics_delta_isolated_between_runs(self):
+        oram = build_horam(n_blocks=256, mem_tree_blocks=64, seed=1)
+        engine = SimulationEngine(oram)
+        first = engine.run([Request.read(a) for a in range(10)])
+        second = engine.run([Request.read(a) for a in range(10, 20)])
+        assert first.requests_served == 10
+        assert second.requests_served == 10
+        assert second.total_time_us > 0
+
+    def test_verify_catches_protocol_lies(self):
+        oram = build_horam(n_blocks=256, mem_tree_blocks=64, seed=1)
+
+        # Sabotage: make every read return zeros by clobbering results.
+        class Lying:
+            def __init__(self, inner):
+                self._inner = inner
+                self.hierarchy = inner.hierarchy
+                self.metrics = inner.metrics
+                self.codec = inner.codec
+
+            def submit(self, request):
+                entry = self._inner.submit(request)
+                return entry
+
+            def drain(self):
+                retired = self._inner.drain()
+                for entry in retired:
+                    entry.result = b"\x00" * 16
+                return retired
+
+        engine = SimulationEngine(Lying(oram), verify=True)
+        with pytest.raises(VerificationError):
+            engine.run([Request.read(3)])
+
+    def test_write_read_verified(self):
+        oram = build_horam(n_blocks=256, mem_tree_blocks=64, seed=1)
+        rng = DeterministicRandom(2)
+        requests = list(read_write_mix(256, 200, rng, write_ratio=0.5, hot_blocks=30))
+        run_workload(oram, requests, verify=True)  # raises on any mismatch
+
+
+class TestSynchronousPath:
+    def test_baseline_verified(self):
+        oram = build_path_oram(n_blocks=128, memory_blocks=32, seed=1)
+        rng = DeterministicRandom(3)
+        requests = list(read_write_mix(128, 150, rng, write_ratio=0.4, hot_blocks=20))
+        metrics = run_workload(oram, requests, verify=True)
+        assert metrics.requests_served == 150
+        assert metrics.io_reads > 0 and metrics.io_writes > 0
+
+    def test_io_accounting_matches_store(self):
+        oram = build_path_oram(n_blocks=128, memory_blocks=32, seed=1)
+        engine = SimulationEngine(oram)
+        metrics = engine.run([Request.read(5)])
+        z, levels = 4, oram.storage_levels
+        assert metrics.io_reads == z * levels
+        assert metrics.io_writes == z * levels
+        assert metrics.mem_accesses > 0
+
+    def test_total_time_is_clock_delta(self):
+        oram = build_path_oram(n_blocks=128, memory_blocks=32, seed=1)
+        engine = SimulationEngine(oram)
+        metrics = engine.run([Request.read(1), Request.read(2)])
+        assert metrics.total_time_us == pytest.approx(oram.clock.now_us)
+
+
+class TestShuffleSeparation:
+    def test_access_io_excludes_shuffle_runs(self):
+        oram = build_horam(n_blocks=512, mem_tree_blocks=128, seed=4)
+        rng = DeterministicRandom(5)
+        requests = list(
+            hotspot(512, 10 * oram.period_capacity, rng, hot_blocks=40, hot_probability=0.6)
+        )
+        metrics = SimulationEngine(oram).run(requests)
+        assert metrics.shuffle_count >= 1
+        # Access-period I/O is single-block loads only: reads equal cycles
+        # and writes are zero (all storage writes happen inside shuffles).
+        assert metrics.io_reads == metrics.cycles
+        assert metrics.io_writes == 0
+        assert metrics.shuffle_io_writes > 0
+
+    def test_engine_requires_hierarchy(self):
+        class Bare:
+            pass
+
+        with pytest.raises(ValueError):
+            SimulationEngine(Bare())

@@ -1,0 +1,151 @@
+"""BlockStore tests: data integrity, timing semantics, counters, traces."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+from repro.storage.backend import BlockStore
+from repro.storage.device import HDDModel
+from repro.storage.trace import TraceRecorder
+
+
+def make_store(slots=16, slot_bytes=8, modeled=None, trace=None):
+    device = HDDModel(seek_us=100.0, read_mb_per_s=100.0, write_mb_per_s=50.0)
+    return BlockStore(
+        name="t",
+        tier="storage",
+        slots=slots,
+        slot_bytes=slot_bytes,
+        device=device,
+        modeled_slot_bytes=modeled,
+        trace=trace,
+        clock=SimClock(),
+    )
+
+
+class TestDataPath:
+    def test_write_read_roundtrip(self):
+        store = make_store()
+        store.write_slot(3, b"ABCDEFGH")
+        data, _ = store.read_slot(3)
+        assert data == b"ABCDEFGH"
+
+    def test_slots_start_zeroed(self):
+        store = make_store()
+        data, _ = store.read_slot(0)
+        assert data == b"\x00" * 8
+
+    def test_record_size_enforced(self):
+        store = make_store()
+        with pytest.raises(ValueError):
+            store.write_slot(0, b"short")
+
+    def test_slot_bounds(self):
+        store = make_store(slots=4)
+        with pytest.raises(IndexError):
+            store.read_slot(4)
+        with pytest.raises(IndexError):
+            store.write_slot(-1, b"X" * 8)
+
+    def test_runs_roundtrip(self):
+        store = make_store()
+        records = [bytes([i]) * 8 for i in range(5)]
+        store.write_run(2, records)
+        got, _ = store.read_run(2, 5)
+        assert got == records
+
+    def test_run_bounds(self):
+        store = make_store(slots=4)
+        with pytest.raises(IndexError):
+            store.read_run(2, 3)
+        with pytest.raises(ValueError):
+            store.read_run(0, 0)
+
+    def test_peek_poke_do_not_charge(self):
+        store = make_store()
+        store.poke_slot(1, b"12345678")
+        assert store.peek_slot(1) == b"12345678"
+        assert store.counters.reads == 0
+        assert store.counters.writes == 0
+        assert store.counters.busy_us == 0.0
+
+
+class TestTiming:
+    def test_random_then_sequential_read(self):
+        store = make_store(slot_bytes=1024)
+        _, first = store.read_slot(5)
+        _, second = store.read_slot(6)  # continues the stream
+        _, third = store.read_slot(9)  # jumps
+        assert first > second
+        assert third == pytest.approx(first)
+
+    def test_op_change_breaks_stream(self):
+        store = make_store(slot_bytes=1024)
+        store.read_slot(5)
+        duration = store.write_slot(6, b"x" * 1024)
+        # A write after a read at the next slot still pays positioning.
+        assert duration > store.device.transfer_us(1024, write=True)
+
+    def test_reset_stream(self):
+        store = make_store(slot_bytes=1024)
+        store.read_slot(5)
+        store.reset_stream()
+        _, duration = store.read_slot(6)
+        assert duration == pytest.approx(store.device.access_us(1024))
+
+    def test_run_cheaper_than_slot_loop(self):
+        store = make_store(slots=64, slot_bytes=1024)
+        _, run_time = store.read_run(0, 32)
+        store.reset_stream()
+        loop_time = 0.0
+        for slot in range(32, 64):
+            store.reset_stream()  # force worst-case scattered access
+            _, duration = store.read_slot(slot)
+            loop_time += duration
+        assert run_time < loop_time / 5
+
+    def test_modeled_size_decoupled(self):
+        store = make_store(slot_bytes=8, modeled=1024)
+        _, duration = store.read_slot(0)
+        assert duration == pytest.approx(store.device.access_us(1024))
+        assert store.counters.bytes_read == 1024
+
+
+class TestCounters:
+    def test_counts_accumulate(self):
+        store = make_store()
+        store.read_slot(0)
+        store.write_slot(1, b"y" * 8)
+        store.read_run(0, 4)
+        assert store.counters.reads == 5
+        assert store.counters.writes == 1
+
+    def test_snapshot_delta(self):
+        store = make_store()
+        before = store.snapshot()
+        store.read_slot(0)
+        delta = store.snapshot().delta(before)
+        assert delta.reads == 1
+        assert delta.busy_us > 0
+
+    def test_capacity_bytes_uses_modeled(self):
+        store = make_store(slots=4, slot_bytes=8, modeled=1024)
+        assert store.capacity_bytes == 4096
+
+
+class TestTraceHook:
+    def test_events_recorded(self):
+        trace = TraceRecorder()
+        store = make_store(trace=trace)
+        store.read_slot(3)
+        store.write_slot(4, b"z" * 8)
+        store.read_run(0, 2)
+        ops = [(e.op, e.slot) for e in trace.events]
+        assert ops == [("read", 3), ("write", 4), ("read", 0)]
+        assert trace.events[2].label == "run:2"
+
+    def test_capacity_zero_drops(self):
+        trace = TraceRecorder(capacity=0)
+        store = make_store(trace=trace)
+        store.read_slot(0)
+        assert len(trace) == 0
+        assert trace.dropped == 1

@@ -1,0 +1,43 @@
+"""StorageHierarchy construction and description tests."""
+
+from repro.storage.hierarchy import StorageHierarchy
+from repro.storage.device import hdd_realistic, ssd_sata
+
+
+class TestHierarchy:
+    def test_default_devices(self):
+        h = StorageHierarchy(memory_slots=8, storage_slots=32, slot_bytes=16)
+        assert h.memory.device.name == "ddr4-2133"
+        assert h.storage.device.name == "hdd-paper"
+
+    def test_shared_clock_and_trace(self):
+        h = StorageHierarchy(memory_slots=8, storage_slots=32, slot_bytes=16)
+        assert h.memory.clock is h.clock
+        assert h.storage.clock is h.clock
+        assert h.memory.trace is h.storage.trace
+
+    def test_custom_devices(self):
+        h = StorageHierarchy(
+            memory_slots=8,
+            storage_slots=32,
+            slot_bytes=16,
+            storage_device=ssd_sata(),
+            memory_device=hdd_realistic(),
+        )
+        assert h.storage.device.name == "ssd-sata"
+
+    def test_describe_reports_modeled_capacity(self):
+        h = StorageHierarchy(
+            memory_slots=8, storage_slots=32, slot_bytes=16, modeled_slot_bytes=1024
+        )
+        info = h.describe()
+        assert info["memory_capacity_bytes"] == 8 * 1024
+        assert info["storage_capacity_bytes"] == 32 * 1024
+        assert info["modeled_block_bytes"] == 1024
+
+    def test_mark_emits_trace_marker(self):
+        h = StorageHierarchy(memory_slots=8, storage_slots=32, slot_bytes=16)
+        h.clock.advance(12.5)
+        h.mark("period-start")
+        marker = h.trace.markers("period-start")[0]
+        assert marker.time_us == 12.5

@@ -1,0 +1,60 @@
+"""TraceRecorder tests: filters, markers, epoch splitting."""
+
+from repro.storage.trace import TraceEvent, TraceRecorder
+
+
+def ev(op, tier, slot, label=""):
+    return TraceEvent(op=op, tier=tier, slot=slot, size=8, time_us=0.0, label=label)
+
+
+class TestRecording:
+    def test_append_and_len(self):
+        trace = TraceRecorder()
+        trace.record(ev("read", "storage", 1))
+        trace.record(ev("write", "memory", 2))
+        assert len(trace) == 2
+
+    def test_markers_flagged(self):
+        trace = TraceRecorder()
+        trace.mark("shuffle-start", 1.0)
+        assert trace.events[0].is_marker
+        assert trace.markers("shuffle-start")[0].label == "shuffle-start"
+
+    def test_clear(self):
+        trace = TraceRecorder()
+        trace.record(ev("read", "storage", 1))
+        trace.clear()
+        assert len(trace) == 0
+
+
+class TestQueries:
+    def make(self):
+        trace = TraceRecorder()
+        trace.record(ev("read", "storage", 1))
+        trace.record(ev("write", "storage", 2))
+        trace.record(ev("read", "memory", 3))
+        trace.mark("shuffle-end", 5.0)
+        trace.record(ev("read", "storage", 4))
+        return trace
+
+    def test_tier_filters(self):
+        trace = self.make()
+        assert [e.slot for e in trace.storage_reads()] == [1, 4]
+        assert [e.slot for e in trace.storage_writes()] == [2]
+        assert [e.slot for e in trace.memory_accesses()] == [3]
+
+    def test_split_by_marker(self):
+        trace = self.make()
+        segments = trace.split_by_marker("shuffle-end")
+        assert len(segments) == 2
+        assert [e.slot for e in segments[0]] == [1, 2, 3]
+        assert [e.slot for e in segments[1]] == [4]
+
+    def test_slots_helper(self):
+        trace = self.make()
+        assert TraceRecorder.slots(trace.events) == [1, 2, 3, 4]
+
+    def test_generic_filter(self):
+        trace = self.make()
+        found = trace.filter(lambda e: e.slot == 2)
+        assert len(found) == 1 and found[0].op == "write"

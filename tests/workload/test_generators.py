@@ -1,0 +1,119 @@
+"""Workload generator tests."""
+
+import pytest
+
+from repro.crypto.random import DeterministicRandom
+from repro.oram.base import OpKind
+from repro.workload.generators import (
+    WorkloadSpec,
+    hotspot,
+    make_workload,
+    read_write_mix,
+    sequential_scan,
+    uniform,
+    zipfian,
+)
+
+
+class TestHotspot:
+    def test_count_and_bounds(self):
+        rng = DeterministicRandom(1)
+        requests = list(hotspot(1000, 500, rng))
+        assert len(requests) == 500
+        assert all(0 <= r.addr < 1000 for r in requests)
+
+    def test_hot_share_near_probability(self):
+        rng = DeterministicRandom(1)
+        requests = list(hotspot(10_000, 4000, rng, hot_blocks=100, hot_probability=0.8))
+        hot = sum(1 for r in requests if r.addr < 100)
+        # 80% target plus the uniform tail's 1% contribution.
+        assert 0.74 < hot / len(requests) < 0.87
+
+    def test_hot_blocks_clamped(self):
+        rng = DeterministicRandom(1)
+        requests = list(hotspot(10, 100, rng, hot_blocks=1000))
+        assert all(r.addr < 10 for r in requests)
+
+    def test_deterministic(self):
+        a = [r.addr for r in hotspot(100, 50, DeterministicRandom(2))]
+        b = [r.addr for r in hotspot(100, 50, DeterministicRandom(2))]
+        assert a == b
+
+    def test_reads_only_by_default(self):
+        requests = list(hotspot(100, 50, DeterministicRandom(2)))
+        assert all(r.op is OpKind.READ for r in requests)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            list(hotspot(100, 10, DeterministicRandom(1), hot_probability=0.0))
+
+
+class TestUniform:
+    def test_spreads_over_space(self):
+        requests = list(uniform(100, 2000, DeterministicRandom(3)))
+        seen = {r.addr for r in requests}
+        assert len(seen) > 90
+
+
+class TestZipfian:
+    def test_skew_toward_low_ranks(self):
+        requests = list(zipfian(1000, 3000, DeterministicRandom(4), theta=0.99))
+        top10 = sum(1 for r in requests if r.addr < 10)
+        assert top10 / len(requests) > 0.2  # heavy head
+
+    def test_higher_theta_more_skew(self):
+        mild = list(zipfian(1000, 3000, DeterministicRandom(4), theta=0.5))
+        steep = list(zipfian(1000, 3000, DeterministicRandom(4), theta=1.2))
+        head = lambda reqs: sum(1 for r in reqs if r.addr < 10)
+        assert head(steep) > head(mild)
+
+    def test_theta_bounds(self):
+        with pytest.raises(ValueError):
+            list(zipfian(10, 5, DeterministicRandom(1), theta=2.5))
+
+
+class TestScan:
+    def test_wraps_around(self):
+        requests = list(sequential_scan(10, 25, DeterministicRandom(5), start=8))
+        assert [r.addr for r in requests[:4]] == [8, 9, 0, 1]
+        assert len(requests) == 25
+
+
+class TestMix:
+    def test_write_ratio_honored(self):
+        requests = list(read_write_mix(100, 2000, DeterministicRandom(6), write_ratio=0.5))
+        writes = sum(1 for r in requests if r.op is OpKind.WRITE)
+        assert 0.42 < writes / len(requests) < 0.58
+        for r in requests:
+            if r.op is OpKind.WRITE:
+                assert r.data
+
+
+class TestSpec:
+    def test_make_workload(self):
+        spec = WorkloadSpec(kind="hotspot", n_blocks=100, count=50, seed=7)
+        requests = make_workload(spec)
+        assert len(requests) == 50
+
+    def test_spec_params_forwarded(self):
+        spec = WorkloadSpec(
+            kind="hotspot", n_blocks=100, count=200, seed=7, params={"hot_blocks": 5}
+        )
+        requests = make_workload(spec)
+        hot = sum(1 for r in requests if r.addr < 5)
+        assert hot > 120
+
+    def test_spec_write_ratio(self):
+        spec = WorkloadSpec(kind="uniform", n_blocks=50, count=200, seed=7, write_ratio=0.4)
+        requests = make_workload(spec)
+        assert any(r.op is OpKind.WRITE for r in requests)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_workload(WorkloadSpec(kind="bogus"))
+
+    def test_same_spec_same_stream(self):
+        spec = WorkloadSpec(kind="zipfian", n_blocks=64, count=64, seed=11)
+        assert [r.addr for r in make_workload(spec)] == [
+            r.addr for r in make_workload(spec)
+        ]

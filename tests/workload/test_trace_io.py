@@ -1,0 +1,44 @@
+"""Request trace save/load tests."""
+
+import pytest
+
+from repro.crypto.random import DeterministicRandom
+from repro.oram.base import OpKind, Request
+from repro.workload.generators import read_write_mix
+from repro.workload.trace import load_trace, save_trace
+
+
+class TestRoundTrip:
+    def test_mixed_trace(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        original = list(read_write_mix(100, 60, DeterministicRandom(1), write_ratio=0.5))
+        count = save_trace(path, original)
+        assert count == 60
+        loaded = load_trace(path)
+        assert len(loaded) == 60
+        for a, b in zip(original, loaded):
+            assert (a.op, a.addr, a.data) == (b.op, b.addr, b.data)
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        save_trace(path, [])
+        assert load_trace(path) == []
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("# header\n\nR 5\nW 6 68656c6c6f\n")
+        loaded = load_trace(path)
+        assert loaded[0].op is OpKind.READ and loaded[0].addr == 5
+        assert loaded[1].op is OpKind.WRITE and loaded[1].data == b"hello"
+
+    def test_bad_line_reports_location(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("R 5\nX nope\n")
+        with pytest.raises(ValueError, match="bad.txt:2"):
+            load_trace(path)
+
+    def test_bad_hex_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("W 5 zz\n")
+        with pytest.raises(ValueError):
+            load_trace(path)
