@@ -148,9 +148,14 @@ class HybridORAM(ORAMProtocol):
             self.cache.insert(plan.miss.addr, payload)
             plan.miss.state = EntryState.READY
         else:
+            exhausted_before = self.storage.dummy_pool_exhausted
             addr, payload, times = self.storage.dummy_fetch()
             io_times.add(times)
             self.metrics.dummy_misses += 1
+            if self.storage.dummy_pool_exhausted != exhausted_before:
+                self.metrics.extra["dummy_pool_exhausted"] = (
+                    self.metrics.extra.get("dummy_pool_exhausted", 0) + 1
+                )
             if addr is not None:
                 self.cache.insert(addr, payload)
                 self.metrics.prefetched_hits += 1

@@ -1,25 +1,64 @@
-"""System profiling for the partial-shuffle ratio (Section 5.3.1).
+"""System profiling: shuffle-ratio tuning and wall-clock phase accounting.
 
 The paper: "Through this method, we can compute a proper shuffle ratio
 with a system profiling, which balances the shuffle overhead and the I/O
-overhead."  This module is that profiler: it replays a sample of the
-target workload against candidate ratios on a throwaway H-ORAM clone and
-returns the ratio with the lowest simulated total time, together with the
-full sweep so callers can inspect the trade-off curve.
+overhead."  :func:`profile_shuffle_ratio` is that profiler: it replays a
+sample of the target workload against candidate ratios on a throwaway
+H-ORAM clone and returns the ratio with the lowest simulated total time,
+together with the full sweep so callers can inspect the trade-off curve.
 
 The profiling runs are cheap (the sample defaults to a few thousand
 requests at the instance's own geometry) and fully deterministic, so the
 recommendation is reproducible.
+
+:class:`PhaseProfiler` is the wall-clock side: a tiny named-phase timer
+the throughput benchmarks (``benchmarks/bench_wallclock.py``) use to
+split real elapsed time into build / access / shuffle phases, so perf
+regressions point at the layer that caused them.
 """
 
 from __future__ import annotations
 
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 from repro.core.config import HORAMConfig
 from repro.core.horam import build_horam
 from repro.oram.base import Request
 from repro.sim.engine import SimulationEngine
+
+
+class PhaseProfiler:
+    """Accumulates real (wall-clock) seconds per named phase.
+
+    Phases may nest or repeat; each ``with profiler.phase(name):`` block
+    adds its elapsed time to that phase's total and bumps its call count.
+    """
+
+    def __init__(self) -> None:
+        self.seconds: dict[str, float] = {}
+        self.calls: dict[str, int] = {}
+
+    @contextmanager
+    def phase(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            elapsed = time.perf_counter() - start
+            self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
+            self.calls[name] = self.calls.get(name, 0) + 1
+
+    def total(self, name: str) -> float:
+        return self.seconds.get(name, 0.0)
+
+    def report(self) -> dict[str, dict[str, float]]:
+        """JSON-friendly {phase: {seconds, calls}} summary."""
+        return {
+            name: {"seconds": self.seconds[name], "calls": self.calls[name]}
+            for name in self.seconds
+        }
 
 
 @dataclass(frozen=True)

@@ -101,7 +101,11 @@ class RobTable:
         return retired
 
     def has_work(self) -> bool:
-        return self.unserved > 0
+        # Retire keeps the front of the deque unserved, so this short-circuit
+        # is O(1) in the steady state -- unlike counting all unserved
+        # entries, which made every drain cycle scan the whole backlog.
+        served = EntryState.SERVED
+        return any(entry.state is not served for entry in self._entries)
 
     def occupancy(self) -> int:
         return len(self._entries)

@@ -131,6 +131,16 @@ class PermutedStorage:
 
         self._unread: list[int] = []
         self._unread_pos: dict[int, int] = {}
+        # Per-partition epoch bookkeeping: the ascending unconsumed-occupied
+        # slots of each partition as of its last compaction, plus a dirty
+        # bit set by _consume.  end_period folds these together instead of
+        # scanning all total_slots.
+        self._partition_unread: list[list[int]] = [[] for _ in self._partitions]
+        self._partition_dirty = bytearray(self.partition_count)
+
+        #: dummy loads that found no unconsumed slot (tiny configurations);
+        #: surfaced as ``metrics.extra["dummy_pool_exhausted"]`` by H-ORAM.
+        self.dummy_pool_exhausted = 0
 
         self._initialize()
 
@@ -142,32 +152,57 @@ class PermutedStorage:
             base_slots.extend(range(partition.base, partition.base + partition.size))
         order = list(base_slots)
         self.rng.shuffle(order)
+        slot_bytes = self.codec.slot_bytes
+        buffer = bytearray(self.total_slots * slot_bytes)
+        seal = self.codec.seal
+        pad = self.codec.pad
         for addr, slot in enumerate(order[: self.n_blocks]):
             self.location[addr] = slot
             self.slot_addr[slot] = addr
-            self.storage.poke_slot(
-                slot, self.codec.seal(addr, self.codec.pad(initial_payload(addr)))
+            buffer[slot * slot_bytes : (slot + 1) * slot_bytes] = seal(
+                addr, pad(initial_payload(addr))
             )
         for slot in order[self.n_blocks :]:
             self.slot_addr[slot] = DUMMY_ADDR
-            self.storage.poke_slot(slot, self.codec.seal_dummy())
-        for slot in base_slots:
-            self._occupied[slot] = 1
+            buffer[slot * slot_bytes : (slot + 1) * slot_bytes] = self.codec.seal_dummy()
+        self.storage.poke_run(0, buffer)
+        for index, partition in enumerate(self._partitions):
+            self._occupied[partition.base : partition.base + partition.size] = (
+                b"\x01" * partition.size
+            )
+            self._partition_unread[index] = list(
+                range(partition.base, partition.base + partition.size)
+            )
         self._rebuild_unread()
 
     def _rebuild_unread(self) -> None:
-        """Refresh the dummy-load candidate pool: unconsumed occupied slots."""
-        self._unread = [
-            slot
-            for slot in range(self.total_slots)
-            if self._occupied[slot] and not self.consumed[slot]
-        ]
-        self._unread_pos = {slot: index for index, slot in enumerate(self._unread)}
+        """Refresh the dummy-load candidate pool: unconsumed occupied slots.
+
+        Incremental: each partition's candidate list is cached and only
+        re-filtered when its dirty bit says slots were consumed since the
+        last compaction (shuffles and overflow appends update the cache in
+        place), so the per-period cost follows the live pool, not the
+        total slot count.
+        """
+        consumed = self.consumed
+        dirty = self._partition_dirty
+        partition_unread = self._partition_unread
+        unread: list[int] = []
+        for index in range(self.partition_count):
+            slots = partition_unread[index]
+            if dirty[index]:
+                slots = [slot for slot in slots if not consumed[slot]]
+                partition_unread[index] = slots
+                dirty[index] = 0
+            unread.extend(slots)
+        self._unread = unread
+        self._unread_pos = {slot: index for index, slot in enumerate(unread)}
 
     def _consume(self, slot: int) -> None:
         if self.consumed[slot]:
             raise CapacityError(f"slot {slot} fetched twice before a shuffle")
         self.consumed[slot] = 1
+        self._partition_dirty[self._partition_of(slot)] = 1
         index = self._unread_pos.pop(slot, None)
         if index is not None:
             last = self._unread[-1]
@@ -210,8 +245,10 @@ class PermutedStorage:
         times = TierTimes()
         if not self._unread:
             # Every occupied slot was consumed this epoch -- only possible
-            # in tiny configurations; fall back to a harmless re-read of
-            # slot 0 so the cycle shape stays fixed.
+            # in tiny configurations.  Fall back to a harmless re-read of
+            # slot 0 so the cycle shape stays fixed, and count the event so
+            # the protocol can surface it instead of hiding it.
+            self.dummy_pool_exhausted += 1
             _, duration = self.storage.read_slot(0)
             times.io_us += duration
             return None, None, times
@@ -273,24 +310,34 @@ class PermutedStorage:
     ) -> list[tuple[int, bytes]]:
         """Stream partition ``index`` (+overflow) in, merge, permute, write."""
         partition = self._partitions[index]
-        span = partition.size + partition.overflow_used
+        base = partition.base
+        size = partition.size
+        span = size + partition.overflow_used
 
-        _, read_us = self.storage.read_run(partition.base, span)
+        view, read_us = self.storage.read_run_view(base, span)
         stats.times.io_us += read_us
 
         # Survivors: blocks whose permutation-list entry still points here.
+        # The control layer already knows which slots are live, so only
+        # those records are opened (zero-copy slices of the run view).
+        slot_bytes = self.codec.slot_bytes
+        open_record = self.codec.open
+        slot_addr = self.slot_addr
+        location = self.location
         survivors: list[tuple[int, bytes]] = []
-        for slot in range(partition.base, partition.base + span):
-            addr = self.slot_addr[slot]
-            if addr != DUMMY_ADDR and self.location[addr] == slot:
-                _, payload = self.codec.open(self.storage.peek_slot(slot))
+        for offset in range(span):
+            addr = slot_addr[base + offset]
+            if addr != DUMMY_ADDR and location[addr] == base + offset:
+                _, payload = open_record(
+                    view[offset * slot_bytes : (offset + 1) * slot_bytes]
+                )
                 survivors.append((addr, payload))
 
         # Take the next chunk of evicted data that fits the base region.
         # (With partial shuffle, survivors from the overflow region can
         # exceed the base size; the excess is re-queued for placement in a
         # later partition or overflow group.)
-        room = max(0, partition.size - len(survivors))
+        room = max(0, size - len(survivors))
         chunk, pending = pending[:room], pending[room:]
         stats.blocks_replaced += len(chunk)
 
@@ -300,30 +347,28 @@ class PermutedStorage:
         stats.times.mem_us += result.moves * self.memory.device.transfer_us(
             self.memory.modeled_slot_bytes, write=False
         )
-        base_items = result.items[: partition.size]
-        requeued = result.items[partition.size :]
+        base_items = result.items[:size]
+        requeued = result.items[size:]
 
-        records: list[bytes] = []
-        for offset, (addr, payload) in enumerate(base_items):
-            slot = partition.base + offset
-            records.append(self.codec.seal(addr, payload))
-            self.location[addr] = slot
-            self.slot_addr[slot] = addr
-        for offset in range(len(base_items), partition.size):
-            slot = partition.base + offset
-            records.append(self.codec.seal_dummy())
-            self.slot_addr[slot] = DUMMY_ADDR
+        buffer = self.codec.seal_many(base_items, dummy_tail=size - len(base_items))
+        for offset, (addr, _) in enumerate(base_items):
+            location[addr] = base + offset
+            slot_addr[base + offset] = addr
+        for offset in range(len(base_items), size):
+            slot_addr[base + offset] = DUMMY_ADDR
 
-        stats.times.io_us += self.storage.write_run(partition.base, records)
+        stats.times.io_us += self.storage.write_run(base, buffer)
 
         # Fresh epoch for the whole span: base rewritten, overflow released.
-        for slot in range(partition.base, partition.base + partition.size):
-            self.consumed[slot] = 0
-            self._occupied[slot] = 1
-        for slot in range(partition.overflow_base, partition.overflow_base + partition.overflow_cap):
-            self.consumed[slot] = 0
-            self._occupied[slot] = 0
+        self.consumed[base : base + size] = bytes(size)
+        self._occupied[base : base + size] = b"\x01" * size
+        overflow_base = partition.overflow_base
+        overflow_cap = partition.overflow_cap
+        self.consumed[overflow_base : overflow_base + overflow_cap] = bytes(overflow_cap)
+        self._occupied[overflow_base : overflow_base + overflow_cap] = bytes(overflow_cap)
         partition.overflow_used = 0
+        self._partition_unread[index] = list(range(base, base + size))
+        self._partition_dirty[index] = 0
         stats.partitions_shuffled += 1
         return requeued + pending
 
@@ -337,7 +382,7 @@ class PermutedStorage:
         sequential write run.
         """
         remaining = pending
-        for partition in self._partitions:
+        for index, partition in enumerate(self._partitions):
             if not remaining:
                 break
             take = min(len(remaining), partition.overflow_free)
@@ -345,17 +390,20 @@ class PermutedStorage:
                 continue
             group, remaining = remaining[:take], remaining[take:]
             start = partition.overflow_base + partition.overflow_used
-            records = []
-            for offset, (addr, payload) in enumerate(group):
+            buffer = self.codec.seal_many(group)
+            for offset, (addr, _) in enumerate(group):
                 slot = start + offset
-                records.append(self.codec.seal(addr, payload))
                 self.location[addr] = slot
                 self.slot_addr[slot] = addr
-                self._occupied[slot] = 1
-                self.consumed[slot] = 0
-            stats.times.io_us += self.storage.write_run(start, records)
-            partition.overflow_used += len(group)
-            stats.blocks_appended += len(group)
+            count = len(group)
+            self._occupied[start : start + count] = b"\x01" * count
+            self.consumed[start : start + count] = bytes(count)
+            # Appended slots are fresh unconsumed candidates; they extend
+            # the partition's cached pool in ascending order.
+            self._partition_unread[index].extend(range(start, start + count))
+            stats.times.io_us += self.storage.write_run(start, buffer)
+            partition.overflow_used += count
+            stats.blocks_appended += count
         return remaining
 
     def end_period(self) -> None:

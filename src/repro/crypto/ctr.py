@@ -11,6 +11,12 @@ blocks across accesses by content.
 (C speed) with the same interface; it is the default for large simulations.
 :class:`NullCipher` is the identity and exists so functional tests can
 inspect stored bytes directly.
+
+The keystream XOR is word-wise: plaintext and keystream are folded into
+single big integers and XORed in one C operation (:func:`xor_bytes`), which
+is an order of magnitude faster than a per-byte generator for the record
+sizes ORAM moves.  Records that fit one 64-byte BLAKE2b digest -- the
+common case -- take a single hash call with no chunk assembly.
 """
 
 from __future__ import annotations
@@ -20,6 +26,31 @@ import struct
 from typing import Protocol
 
 from repro.crypto.cipher import BlockCipher
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+_PACK_QQ = struct.Struct("<QQ").pack
+_PACK_II = struct.Struct("<II").pack
+
+
+def xor_bytes(data: bytes | memoryview, stream: bytes) -> bytes:
+    """XOR ``data`` with the prefix of ``stream`` word-wise.
+
+    ``stream`` must be at least as long as ``data``.  Both operands are
+    converted to arbitrary-precision integers and XORed in one operation,
+    so the per-byte Python loop disappears from the hot path.
+    """
+    length = len(data)
+    if length == 0:
+        return b""
+    if len(stream) < length:
+        # Never zero-pad a keystream: the tail would pass through as
+        # plaintext.  Callers must supply at least len(data) bytes.
+        raise ValueError(f"keystream of {len(stream)} bytes for {length} bytes of data")
+    if len(stream) != length:
+        stream = stream[:length]
+    return (
+        int.from_bytes(data, "little") ^ int.from_bytes(stream, "little")
+    ).to_bytes(length, "little")
 
 
 class RecordCipher(Protocol):
@@ -43,16 +74,18 @@ class CtrCipher:
             raise ValueError("CtrCipher expects a 64-bit block cipher")
         self._cipher = cipher
 
-    def _keystream(self, nonce: int, length: int) -> bytes:
-        blocks = []
-        for counter in range((length + 7) // 8):
-            counter_block = struct.pack("<II", nonce & 0xFFFFFFFF, counter)
-            blocks.append(self._cipher.encrypt_block(counter_block))
-        return b"".join(blocks)[:length]
+    def keystream(self, nonce: int, length: int) -> bytes:
+        """At least ``length`` keystream bytes for ``nonce`` (block-rounded)."""
+        encrypt_block = self._cipher.encrypt_block
+        low = nonce & 0xFFFFFFFF
+        blocks = [
+            encrypt_block(_PACK_II(low, counter))
+            for counter in range((length + 7) // 8)
+        ]
+        return b"".join(blocks)
 
     def encrypt(self, nonce: int, plaintext: bytes) -> bytes:
-        stream = self._keystream(nonce, len(plaintext))
-        return bytes(p ^ s for p, s in zip(plaintext, stream))
+        return xor_bytes(plaintext, self.keystream(nonce, len(plaintext)))
 
     def decrypt(self, nonce: int, ciphertext: bytes) -> bytes:
         # CTR is an involution given the same nonce.
@@ -64,33 +97,58 @@ class StreamCipher:
 
     ``hashlib.blake2b`` runs at C speed, so encrypting the millions of slot
     records a full Table 5-4 run touches stays tractable while still
-    producing nonce-fresh ciphertexts.
+    producing nonce-fresh ciphertexts.  The keyed hash state is built once
+    and ``copy()``-ed per keystream block, which skips re-hashing the key
+    block on every record.
     """
 
     def __init__(self, key: bytes):
         if not key:
             raise ValueError("StreamCipher needs a non-empty key")
         self._key = key[:64]
+        self._hasher = hashlib.blake2b(key=self._key, digest_size=64)
 
-    def _keystream(self, nonce: int, length: int) -> bytes:
+    def _block(self, nonce: int, counter: int) -> bytes:
+        h = self._hasher.copy()
+        h.update(_PACK_QQ(nonce & _MASK64, counter))
+        return h.digest()
+
+    def keystream_block(self, nonce: int) -> bytes:
+        """First 64 keystream bytes for ``nonce`` -- the whole-record case.
+
+        Exposed so record codecs can take a single-call path for records
+        that fit one digest (see :class:`~repro.oram.base.BlockCodec`).
+        """
+        h = self._hasher.copy()
+        h.update(_PACK_QQ(nonce & _MASK64, 0))
+        return h.digest()
+
+    def keystream(self, nonce: int, length: int) -> bytes:
+        """At least ``length`` keystream bytes for ``nonce`` (64 B-rounded)."""
+        if length <= 64:
+            # One digest covers the whole record -- the common case for
+            # ORAM slot payloads; no chunk list, no join.
+            return self._block(nonce, 0)
         chunks = []
         produced = 0
         counter = 0
         while produced < length:
-            h = hashlib.blake2b(
-                struct.pack("<QQ", nonce & 0xFFFFFFFFFFFFFFFF, counter),
-                key=self._key,
-                digest_size=64,
-            )
-            chunk = h.digest()
-            chunks.append(chunk)
-            produced += len(chunk)
+            chunks.append(self._block(nonce, counter))
+            produced += 64
             counter += 1
-        return b"".join(chunks)[:length]
+        return b"".join(chunks)
 
     def encrypt(self, nonce: int, plaintext: bytes) -> bytes:
-        stream = self._keystream(nonce, len(plaintext))
-        return bytes(p ^ s for p, s in zip(plaintext, stream))
+        length = len(plaintext)
+        if 0 < length <= 64:
+            # Inlined hot path: one keyed-hash block, one word-wise XOR.
+            h = self._hasher.copy()
+            h.update(_PACK_QQ(nonce & _MASK64, 0))
+            return (
+                int.from_bytes(plaintext, "little")
+                ^ int.from_bytes(h.digest()[:length], "little")
+            ).to_bytes(length, "little")
+        return xor_bytes(plaintext, self.keystream(nonce, length))
 
     def decrypt(self, nonce: int, ciphertext: bytes) -> bytes:
         return self.encrypt(nonce, ciphertext)

@@ -21,6 +21,7 @@ from typing import Iterable, MutableSequence, Sequence, TypeVar
 T = TypeVar("T")
 
 _WORDS_PER_BLOCK = 8  # 64-byte BLAKE2b digest = 8 x 64-bit words
+_UNPACK_BLOCK = struct.Struct(f"<{_WORDS_PER_BLOCK}Q").unpack
 
 
 class DeterministicRandom:
@@ -36,14 +37,14 @@ class DeterministicRandom:
         self._key = hashlib.blake2b(seed_bytes, digest_size=32).digest()
         self._counter = 0
         self._buffer: list[int] = []
+        self._hasher = hashlib.blake2b(key=self._key, digest_size=64)
 
     # ------------------------------------------------------------------ core
     def _refill(self) -> None:
-        digest = hashlib.blake2b(
-            struct.pack("<Q", self._counter), key=self._key, digest_size=64
-        ).digest()
+        h = self._hasher.copy()
+        h.update(struct.pack("<Q", self._counter))
         self._counter += 1
-        self._buffer.extend(struct.unpack(f"<{_WORDS_PER_BLOCK}Q", digest))
+        self._buffer.extend(_UNPACK_BLOCK(h.digest()))
 
     def next_word(self) -> int:
         """Next raw 64-bit word from the stream."""
@@ -55,6 +56,12 @@ class DeterministicRandom:
         """Uniform integer with the given number of bits (0 allowed)."""
         if bits < 0:
             raise ValueError("bits must be non-negative")
+        if 0 < bits <= 64:
+            # One word covers the draw -- the overwhelmingly common case.
+            buffer = self._buffer
+            if not buffer:
+                self._refill()
+            return buffer.pop() >> (64 - bits)
         value = 0
         gathered = 0
         while gathered < bits:
@@ -68,6 +75,17 @@ class DeterministicRandom:
         if bound <= 0:
             raise ValueError("bound must be positive")
         bits = bound.bit_length()
+        if bits <= 64:
+            # Inlined single-word rejection loop (hot path: every leaf
+            # remap and shuffle swap draws through here).
+            shift = 64 - bits
+            buffer = self._buffer
+            while True:
+                if not buffer:
+                    self._refill()
+                candidate = buffer.pop() >> shift
+                if candidate < bound:
+                    return candidate
         while True:
             candidate = self.randbits(bits)
             if candidate < bound:
@@ -116,6 +134,7 @@ class DeterministicRandom:
         """Independent child stream; deterministic in (seed, label)."""
         child = DeterministicRandom(0)
         child._key = hashlib.blake2b(label.encode(), key=self._key, digest_size=32).digest()
+        child._hasher = hashlib.blake2b(key=child._key, digest_size=64)
         return child
 
     # -------------------------------------------------------------- utility

@@ -19,7 +19,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from enum import Enum
 from itertools import count
-from typing import Iterator, Protocol
+from typing import Iterable, Iterator, Protocol
 
 #: Logical address reserved for dummy records.
 DUMMY_ADDR = 0xFFFFFFFFFFFFFFFF
@@ -27,6 +27,8 @@ DUMMY_ADDR = 0xFFFFFFFFFFFFFFFF
 _HEADER_FMT = "<Q"  # addr inside the ciphertext
 _NONCE_BYTES = 8
 _ADDR_BYTES = 8
+_PACK_Q = struct.Struct("<Q").pack  # pre-compiled header packer (hot path)
+_MASK64 = 0xFFFFFFFFFFFFFFFF
 
 #: Bytes of overhead a sealed record adds on top of the payload.
 RECORD_OVERHEAD = _NONCE_BYTES + _ADDR_BYTES
@@ -99,6 +101,13 @@ class BlockCodec:
     :class:`IntegrityError` on mismatch.  This is the "integrity check" of
     the trusted-hardware setting the paper's threat model assumes (the
     enclave detects tampering with off-chip data).
+
+    Batch variants (:meth:`seal_many`, :meth:`open_run`, :meth:`open_many`)
+    move whole slot runs through the cipher with one call, producing or
+    consuming the flat buffers the :class:`~repro.storage.backend.BlockStore`
+    bulk APIs speak.  They are exactly equivalent to a loop of single-record
+    calls -- same nonce sequence, same bytes -- just without the per-record
+    Python overhead.
     """
 
     def __init__(self, payload_bytes: int, cipher: RecordCipher, mac_key: bytes | None = None):
@@ -111,14 +120,35 @@ class BlockCodec:
         self.slot_bytes = RECORD_OVERHEAD + payload_bytes + (MAC_BYTES if mac_key else 0)
         self._cipher = cipher
         self._nonce_counter = 0
+        self._mac_hasher = (
+            hashlib.blake2b(key=mac_key[:64], digest_size=MAC_BYTES)
+            if mac_key is not None
+            else None
+        )
+        # Fused fast paths: when the cipher exposes its keystream, the
+        # codec XORs records itself (fresh nonce per record as always),
+        # and the constant dummy plaintext is precomputed as an integer.
+        # keystream_block is the single-call variant for records that fit
+        # one 64-byte keystream block -- the common ORAM slot size.
+        self._cipher_keystream = getattr(cipher, "keystream", None)
+        self._plain_bytes = _ADDR_BYTES + payload_bytes
+        keystream_block = getattr(cipher, "keystream_block", None)
+        self._keystream_block = (
+            keystream_block if keystream_block is not None and self._plain_bytes <= 64 else None
+        )
+        self._dummy_plain_int = int.from_bytes(
+            _PACK_Q(DUMMY_ADDR) + b"\x00" * payload_bytes, "little"
+        )
 
     def _next_nonce(self) -> int:
         self._nonce_counter += 1
         return self._nonce_counter
 
     def _tag(self, body: bytes) -> bytes:
-        assert self.mac_key is not None
-        return hashlib.blake2b(body, key=self.mac_key[:64], digest_size=MAC_BYTES).digest()
+        assert self._mac_hasher is not None
+        h = self._mac_hasher.copy()
+        h.update(body)
+        return h.digest()
 
     def pad(self, data: bytes) -> bytes:
         """Right-pad user data to the fixed payload size."""
@@ -132,10 +162,28 @@ class BlockCodec:
         """Encrypt (addr, payload) into a slot record with a fresh nonce."""
         if len(payload) != self.payload_bytes:
             payload = self.pad(payload)
-        nonce = self._next_nonce()
-        plaintext = struct.pack(_HEADER_FMT, addr) + payload
-        ciphertext = self._cipher.encrypt(nonce, plaintext)
-        body = struct.pack("<Q", nonce) + ciphertext
+        nonce = self._nonce_counter + 1
+        self._nonce_counter = nonce
+        length = self._plain_bytes
+        keystream_block = self._keystream_block
+        if keystream_block is not None:
+            # Fused fast path: one keystream call, XOR header+payload with
+            # the stream as one integer -- no intermediate plaintext or
+            # ciphertext objects.
+            stream = keystream_block(nonce)[:length]
+        elif self._cipher_keystream is not None:
+            stream = self._cipher_keystream(nonce, length)
+            if len(stream) != length:
+                stream = stream[:length]
+        else:
+            body = _PACK_Q(nonce) + self._cipher.encrypt(nonce, _PACK_Q(addr) + payload)
+            if self.mac_key is not None:
+                body += self._tag(body)
+            return body
+        plain_int = int.from_bytes(_PACK_Q(addr) + payload, "little")
+        body = _PACK_Q(nonce) + (
+            plain_int ^ int.from_bytes(stream, "little")
+        ).to_bytes(length, "little")
         if self.mac_key is not None:
             body += self._tag(body)
         return body
@@ -144,7 +192,64 @@ class BlockCodec:
         """A dummy record, outwardly indistinguishable from a real one."""
         return self.seal(DUMMY_ADDR, b"\x00" * self.payload_bytes)
 
-    def open(self, record: bytes) -> tuple[int, bytes]:
+    def seal_many(
+        self, entries: "Iterable[tuple[int, bytes]]", dummy_tail: int = 0
+    ) -> bytearray:
+        """Seal a run of records into one flat buffer (bulk write path).
+
+        Nonces are drawn in entry order, then for each of the ``dummy_tail``
+        trailing dummy records -- byte-identical to the equivalent loop of
+        :meth:`seal` / :meth:`seal_dummy` calls.  The result is sized for
+        :meth:`~repro.storage.backend.BlockStore.write_run` /
+        ``poke_run`` flat-buffer input.
+        """
+        out = bytearray()
+        seal = self.seal
+        for addr, payload in entries:
+            out += seal(addr, payload)
+        if dummy_tail > 0:
+            keystream = self._cipher_keystream
+            if keystream is None:
+                dummy_payload = b"\x00" * self.payload_bytes
+                for _ in range(dummy_tail):
+                    out += seal(DUMMY_ADDR, dummy_payload)
+            else:
+                # Same bytes as seal_dummy(), minus the per-record plaintext
+                # assembly: XOR the constant dummy plaintext with each
+                # record's fresh keystream directly.
+                length = self._plain_bytes
+                dummy_int = self._dummy_plain_int
+                nonce = self._nonce_counter
+                mac = self._mac_hasher
+                keystream_block = self._keystream_block
+                if keystream_block is not None and mac is None:
+                    # Tightest loop: the overwhelmingly common shape
+                    # (StreamCipher records, no MAC).
+                    for _ in range(dummy_tail):
+                        nonce += 1
+                        out += _PACK_Q(nonce)
+                        out += (
+                            dummy_int
+                            ^ int.from_bytes(keystream_block(nonce)[:length], "little")
+                        ).to_bytes(length, "little")
+                else:
+                    for _ in range(dummy_tail):
+                        nonce += 1
+                        stream = keystream(nonce, length)
+                        if len(stream) != length:
+                            stream = stream[:length]
+                        body = _PACK_Q(nonce) + (
+                            dummy_int ^ int.from_bytes(stream, "little")
+                        ).to_bytes(length, "little")
+                        if mac is not None:
+                            h = mac.copy()
+                            h.update(body)
+                            body += h.digest()
+                        out += body
+                self._nonce_counter = nonce
+        return out
+
+    def open(self, record: bytes | memoryview) -> tuple[int, bytes]:
         """Decrypt (and verify, when MACed) a slot record into (addr, payload)."""
         if len(record) != self.slot_bytes:
             raise ValueError(
@@ -155,10 +260,59 @@ class BlockCodec:
             if self._tag(body) != tag:
                 raise IntegrityError("record failed MAC verification")
             record = body
-        (nonce,) = struct.unpack("<Q", record[:_NONCE_BYTES])
+        nonce = int.from_bytes(record[:_NONCE_BYTES], "little")
+        keystream_block = self._keystream_block
+        if keystream_block is not None:
+            # Fused fast path: one keystream call, one integer XOR, then
+            # split addr (low 64 bits, little-endian) from the payload.
+            length = self._plain_bytes
+            plain_int = int.from_bytes(record[_NONCE_BYTES:], "little") ^ int.from_bytes(
+                keystream_block(nonce)[:length], "little"
+            )
+            addr = plain_int & _MASK64
+            payload = (plain_int >> 64).to_bytes(self.payload_bytes, "little")
+            return addr, payload
+        if self._cipher_keystream is not None:
+            length = self._plain_bytes
+            stream = self._cipher_keystream(nonce, length)
+            if len(stream) != length:
+                stream = stream[:length]
+            plain_int = int.from_bytes(record[_NONCE_BYTES:], "little") ^ int.from_bytes(
+                stream, "little"
+            )
+            addr = plain_int & _MASK64
+            payload = (plain_int >> 64).to_bytes(self.payload_bytes, "little")
+            return addr, payload
         plaintext = self._cipher.decrypt(nonce, record[_NONCE_BYTES:])
-        (addr,) = struct.unpack(_HEADER_FMT, plaintext[:_ADDR_BYTES])
-        return addr, plaintext[_ADDR_BYTES:]
+        addr = int.from_bytes(plaintext[:_ADDR_BYTES], "little")
+        payload = plaintext[_ADDR_BYTES:]
+        if type(payload) is not bytes:
+            payload = bytes(payload)
+        return addr, payload
+
+    def open_many(
+        self, records: "Iterable[bytes | memoryview]"
+    ) -> list[tuple[int, bytes]]:
+        """Open a batch of records (amortizes per-call dispatch)."""
+        open_one = self.open
+        return [open_one(record) for record in records]
+
+    def open_run(self, buffer: bytes | bytearray | memoryview) -> list[tuple[int, bytes]]:
+        """Open every record in a flat slot-run buffer.
+
+        Accepts the memoryview returned by
+        :meth:`~repro.storage.backend.BlockStore.peek_run` /
+        ``read_run_view`` without copying individual records first.
+        """
+        view = memoryview(buffer)
+        size = self.slot_bytes
+        if view.nbytes % size:
+            raise ValueError(
+                f"buffer of {view.nbytes} bytes is not a whole number of "
+                f"{size}-byte records"
+            )
+        open_one = self.open
+        return [open_one(view[offset : offset + size]) for offset in range(0, view.nbytes, size)]
 
     def is_dummy(self, record: bytes) -> bool:
         addr, _ = self.open(record)

@@ -63,6 +63,13 @@ class PathOramTree:
         self.memory_slot_base = memory_slot_base
         self.storage_slot_base = storage_slot_base
         self._mem_buckets = (1 << self.mem_levels) - 1
+        # Controller-side map of which tree slots hold real records.  The
+        # controller writes every record itself, so this is knowledge it
+        # legitimately has (the tree tiers are private to it; obliviousness
+        # concerns the bus trace, which still touches every slot).  It lets
+        # the hot read path decrypt only real records instead of paying
+        # full crypto for every dummy.
+        self._real = bytearray(geometry.buckets * geometry.bucket_size)
         #: leaves of every path access, for the security analyzers
         self.leaf_log: list[int] = []
 
@@ -101,7 +108,12 @@ class PathOramTree:
             times.io_us += duration
         return records
 
-    def write_bucket(self, bucket: int, records: list[bytes], times: TierTimes) -> None:
+    def write_bucket(
+        self,
+        bucket: int,
+        records: "list[bytes] | bytes | bytearray | memoryview",
+        times: TierTimes,
+    ) -> None:
         store, base = self.bucket_location(bucket)
         duration = store.write_run(base, records)
         if store.tier == "memory":
@@ -111,27 +123,78 @@ class PathOramTree:
 
     # ------------------------------------------------------------ path ops
     def read_path(self, leaf: int, times: TierTimes) -> list[tuple[int, bytes]]:
-        """Read every bucket on the path; return the real (addr, payload)s."""
+        """Read every bucket on the path; return the real (addr, payload)s.
+
+        Every slot on the path is transferred (and charged, and traced);
+        only records the controller's real-slot map flags are decrypted --
+        opening a dummy would just confirm what the controller already
+        knows.
+        """
         self.leaf_log.append(leaf)
+        z = self.geometry.bucket_size
+        slot_bytes = self.codec.slot_bytes
+        open_record = self.codec.open
+        real = self._real
+        # MACed codecs verify every record on the path -- dummies included --
+        # so tampering anywhere is still detected; the dummy-skip fast path
+        # applies only when there is no integrity tag to check.
+        verify_all = self.codec.mac_key is not None
         found: list[tuple[int, bytes]] = []
         for bucket in self.geometry.path_buckets(leaf):
-            for record in self.read_bucket(bucket, times):
-                addr, payload = self.codec.open(record)
-                if addr != DUMMY_ADDR:
-                    found.append((addr, payload))
+            store, base = self.bucket_location(bucket)
+            view, duration = store.read_run_view(base, z)
+            if store.tier == "memory":
+                times.mem_us += duration
+            else:
+                times.io_us += duration
+            if verify_all:
+                for addr, payload in self.codec.open_run(view):
+                    if addr != DUMMY_ADDR:
+                        found.append((addr, payload))
+                continue
+            bucket_slot = bucket * z
+            bucket_end = bucket_slot + z
+            index = real.find(1, bucket_slot, bucket_end)
+            while index >= 0:
+                offset = (index - bucket_slot) * slot_bytes
+                found.append(open_record(view[offset : offset + slot_bytes]))
+                index = real.find(1, index + 1, bucket_end)
         return found
 
     def write_path(self, leaf: int, stash: Stash, times: TierTimes) -> None:
         """Greedy write-back: deepest buckets first, fill from the stash."""
         z = self.geometry.bucket_size
+        seal_many = self.codec.seal_many
+        real = self._real
+        path = self.geometry.path_buckets(leaf)
         for level in range(self.geometry.levels - 1, -1, -1):
-            bucket = self.geometry.bucket_on_path(leaf, level)
+            bucket = path[level]
             entries = stash.select_for_bucket(self.geometry, leaf, level, z)
-            records = [self.codec.seal(e.addr, e.payload) for e in entries]
-            records.extend(self.codec.seal_dummy() for _ in range(z - len(records)))
-            self.write_bucket(bucket, records, times)
+            buffer = seal_many(
+                ((e.addr, e.payload) for e in entries), dummy_tail=z - len(entries)
+            )
+            bucket_slot = bucket * z
+            filled = len(entries)
+            real[bucket_slot : bucket_slot + filled] = b"\x01" * filled
+            real[bucket_slot + filled : bucket_slot + z] = bytes(z - filled)
+            self.write_bucket(bucket, buffer, times)
 
     # ------------------------------------------------------------- bulk ops
+    def poke_bucket(self, bucket: int, entries: list[tuple[int, bytes]]) -> None:
+        """Seal real (addr, payload) entries into a bucket's first slots.
+
+        Initialization only (no timing or trace); keeps the real-slot map
+        in sync, which direct ``poke_slot`` calls would not.
+        """
+        z = self.geometry.bucket_size
+        if len(entries) > z:
+            raise ValueError(f"bucket holds {z} records, got {len(entries)}")
+        store, base = self.bucket_location(bucket)
+        bucket_slot = bucket * z
+        for index, (addr, payload) in enumerate(entries):
+            store.poke_slot(base + index, self.codec.seal(addr, payload))
+            self._real[bucket_slot + index] = 1
+
     def fill_empty(self) -> None:
         """Initialize every slot with a dummy record (no simulated time)."""
         store_slots = [
@@ -142,27 +205,45 @@ class PathOramTree:
                 (self.storage_store, self.storage_slot_base, self.storage_slots_needed)
             )
         for store, base, count in store_slots:
-            for slot in range(base, base + count):
-                store.poke_slot(slot, self.codec.seal_dummy())
+            store.poke_run(base, self.codec.seal_many([], dummy_tail=count))
+        self._real[:] = bytes(len(self._real))
 
     def read_all(self, times: TierTimes) -> list[tuple[int, bytes]]:
         """Stream the whole tree in; return real blocks (eviction step 1)."""
         blocks: list[tuple[int, bytes]] = []
-        runs = [(self.memory_store, self.memory_slot_base, self.memory_slots_needed, "memory")]
+        slot_bytes = self.codec.slot_bytes
+        open_record = self.codec.open
+        real = self._real
+        runs = [(self.memory_store, self.memory_slot_base, self.memory_slots_needed, "memory", 0)]
         if self.storage_slots_needed:
             runs.append(
-                (self.storage_store, self.storage_slot_base, self.storage_slots_needed, "storage")
+                (
+                    self.storage_store,
+                    self.storage_slot_base,
+                    self.storage_slots_needed,
+                    "storage",
+                    self.memory_slots_needed,
+                )
             )
-        for store, base, count, tier in runs:
-            records, duration = store.read_run(base, count)
+        verify_all = self.codec.mac_key is not None
+        for store, base, count, tier, slot_offset in runs:
+            view, duration = store.read_run_view(base, count)
             if tier == "memory":
                 times.mem_us += duration
             else:
                 times.io_us += duration
-            for record in records:
-                addr, payload = self.codec.open(record)
-                if addr != DUMMY_ADDR:
-                    blocks.append((addr, payload))
+            if verify_all:
+                # Integrity configs check every record's tag (see read_path).
+                for addr, payload in self.codec.open_run(view):
+                    if addr != DUMMY_ADDR:
+                        blocks.append((addr, payload))
+                continue
+            end = slot_offset + count
+            index = real.find(1, slot_offset, end)
+            while index >= 0:
+                offset = (index - slot_offset) * slot_bytes
+                blocks.append(open_record(view[offset : offset + slot_bytes]))
+                index = real.find(1, index + 1, end)
         return blocks
 
     def clear(self, times: TierTimes) -> None:
@@ -173,12 +254,12 @@ class PathOramTree:
                 (self.storage_store, self.storage_slot_base, self.storage_slots_needed, "storage")
             )
         for store, base, count, tier in runs:
-            records = [self.codec.seal_dummy() for _ in range(count)]
-            duration = store.write_run(base, records)
+            duration = store.write_run(base, self.codec.seal_many([], dummy_tail=count))
             if tier == "memory":
                 times.mem_us += duration
             else:
                 times.io_us += duration
+        self._real[:] = bytes(len(self._real))
 
 
 class PathORAM(ORAMProtocol):
@@ -286,9 +367,7 @@ class PathORAM(ORAMProtocol):
                 self.stash.put(addr, leaf, payload)
         self.tree.fill_empty()
         for bucket, content in occupancy.items():
-            store, base = self.tree.bucket_location(bucket)
-            for index, (addr, payload) in enumerate(content):
-                store.poke_slot(base + index, self.codec.seal(addr, payload))
+            self.tree.poke_bucket(bucket, content)
 
     # --------------------------------------------------------------- access
     def _access(self, op: OpKind, addr: int, data: bytes | None) -> bytes:

@@ -82,9 +82,7 @@ class _MapLevel:
             if not placed:
                 self.stash.put(block_id, leaf_of[block_id], payload)
         for bucket, content in occupancy.items():
-            store, base = self.tree.bucket_location(bucket)
-            for index, (block_id, payload) in enumerate(content):
-                store.poke_slot(base + index, self.codec.seal(block_id, payload))
+            self.tree.poke_bucket(bucket, content)
 
     def access(
         self, block_id: int, leaf: int, new_leaf: int, times: TierTimes

@@ -78,10 +78,13 @@ class Stash:
         if space <= 0:
             return []
         selected: list[StashEntry] = []
-        for entry in list(self._entries.values()):
-            if geometry.common_path_depth(entry.leaf, path_leaf) >= level:
+        common_path_depth = geometry.common_path_depth
+        for entry in self._entries.values():
+            if common_path_depth(entry.leaf, path_leaf) >= level:
                 selected.append(entry)
-                del self._entries[entry.addr]
                 if len(selected) == space:
                     break
+        entries = self._entries
+        for entry in selected:
+            del entries[entry.addr]
         return selected

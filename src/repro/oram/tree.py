@@ -86,20 +86,18 @@ class TreeGeometry:
         return bucket
 
     def common_path_depth(self, leaf_a: int, leaf_b: int) -> int:
-        """Deepest level at which the two leaves' paths still share a bucket."""
-        self._check_leaf(leaf_a)
-        self._check_leaf(leaf_b)
-        depth = 0
-        width = self.leaves
-        a, b = leaf_a, leaf_b
-        while width > 1 and (a // (width // 2)) == (b // (width // 2)):
-            # They fall in the same half at this split; descend.
-            half = width // 2
-            a %= half
-            b %= half
-            width = half
-            depth += 1
-        return depth
+        """Deepest level at which the two leaves' paths still share a bucket.
+
+        Two (levels-1)-bit leaf indices share a path prefix exactly as deep
+        as their common high bits, so the halving descent collapses to one
+        XOR and a bit_length -- this runs once per stash entry per
+        write-back level, squarely on the hot path.
+        """
+        leaves = self.leaves
+        if not (0 <= leaf_a < leaves and 0 <= leaf_b < leaves):
+            self._check_leaf(leaf_a)
+            self._check_leaf(leaf_b)
+        return self.levels - 1 - (leaf_a ^ leaf_b).bit_length()
 
     def buckets_at_level(self, level: int) -> range:
         """Bucket indices that form the given level."""

@@ -11,6 +11,10 @@ reads and writes.  It provides:
 * bulk ``read_run``/``write_run`` operations used by the shuffle stages --
   one positioning plus a streaming transfer, exactly how H-ORAM's
   sequential shuffle beats Path ORAM's scattered bucket I/O,
+* zero-copy data-plane companions: ``read_run_view`` (same accounting as
+  ``read_run``, returns one memoryview), ``peek_run``/``poke_run``
+  (uncharged bulk peeks/pokes for initialization and survivor scans), and
+  flat-buffer input to ``write_run``,
 * an optional :class:`~repro.storage.trace.TraceRecorder` hook so the
   security analyzers see what a bus adversary sees,
 * decoupled *modeled* and *stored* slot sizes: simulations can store a
@@ -25,7 +29,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.storage.device import DeviceModel
+from repro.storage.device import MB, DeviceModel
 from repro.storage.trace import TraceEvent, TraceRecorder
 
 
@@ -79,6 +83,19 @@ class BlockStore:
         self._next_seq_slot = -1
         self._last_op = ""
         self.counters = StoreCounters()
+        # Cached device constants so the run hot path skips two call hops;
+        # the arithmetic in _charge_run mirrors DeviceModel.run_us exactly
+        # (same expression, same float results).  Subclasses that override
+        # run_us/transfer_us keep their behavior: the inline form is used
+        # only for the stock implementation.
+        self._read_overhead_us = device.read_overhead_us
+        self._write_overhead_us = device.write_overhead_us
+        self._read_denominator = device.read_mb_per_s * MB
+        self._write_denominator = device.write_mb_per_s * MB
+        self._stock_run_us = (
+            type(device).run_us is DeviceModel.run_us
+            and type(device).transfer_us is DeviceModel.transfer_us
+        )
 
     # --------------------------------------------------------------- sizing
     @property
@@ -94,10 +111,17 @@ class BlockStore:
         return self.clock.now_us if self.clock is not None else 0.0
 
     def _emit(self, op: str, slot: int, size: int, label: str = "") -> None:
-        if self.trace is not None:
-            self.trace.record(
-                TraceEvent(op=op, tier=self.tier, slot=slot, size=size, time_us=self._now(), label=label)
-            )
+        trace = self.trace
+        if trace is None:
+            return
+        if not trace.accepting:
+            # Skip constructing the event a full recorder would drop anyway
+            # (capacity-0 recorders are the benchmarks' "tracing off" mode).
+            trace.dropped += 1
+            return
+        trace.record(
+            TraceEvent(op=op, tier=self.tier, slot=slot, size=size, time_us=self._now(), label=label)
+        )
 
     def _sequential(self, op: str, slot: int) -> bool:
         return op == self._last_op and slot == self._next_seq_slot
@@ -135,43 +159,81 @@ class BlockStore:
         return duration
 
     # ------------------------------------------------------------- bulk ops
-    def read_run(self, start: int, count: int) -> tuple[list[bytes], float]:
-        """Stream ``count`` consecutive slots: one positioning + transfer."""
+    def _charge_run(self, op: str, start: int, count: int, write: bool) -> float:
+        """Account one sequential run: timing, counters, trace event."""
         if count <= 0:
             raise ValueError("count must be positive")
         self._check_slot(start)
         self._check_slot(start + count - 1)
         size = count * self.modeled_slot_bytes
-        duration = self.device.run_us(size, write=False)
-        self._last_op, self._next_seq_slot = "read", start + count
-        self.counters.reads += count
-        self.counters.bytes_read += size
+        if not self._stock_run_us:
+            duration = self.device.run_us(size, write=write)
+        elif write:
+            duration = self._write_overhead_us + size / self._write_denominator * 1_000_000.0
+        else:
+            duration = self._read_overhead_us + size / self._read_denominator * 1_000_000.0
+        self._last_op, self._next_seq_slot = op, start + count
+        if write:
+            self.counters.writes += count
+            self.counters.bytes_written += size
+        else:
+            self.counters.reads += count
+            self.counters.bytes_read += size
         self.counters.busy_us += duration
-        self._emit("read", start, size, label=f"run:{count}")
-        records = []
-        for slot in range(start, start + count):
-            offset = slot * self.slot_bytes
-            records.append(bytes(self._data[offset : offset + self.slot_bytes]))
+        self._emit(op, start, size, label=f"run:{count}")
+        return duration
+
+    def read_run(self, start: int, count: int) -> tuple[list[bytes], float]:
+        """Stream ``count`` consecutive slots: one positioning + transfer."""
+        duration = self._charge_run("read", start, count, write=False)
+        slot_bytes = self.slot_bytes
+        data = self._data
+        base = start * slot_bytes
+        records = [
+            bytes(data[base + index * slot_bytes : base + (index + 1) * slot_bytes])
+            for index in range(count)
+        ]
         return records, duration
 
-    def write_run(self, start: int, records: list[bytes]) -> float:
-        """Stream consecutive slots out: one positioning + transfer."""
-        if not records:
-            raise ValueError("records must be non-empty")
-        self._check_slot(start)
-        self._check_slot(start + len(records) - 1)
-        size = len(records) * self.modeled_slot_bytes
-        duration = self.device.run_us(size, write=True)
-        self._last_op, self._next_seq_slot = "write", start + len(records)
-        self.counters.writes += len(records)
-        self.counters.bytes_written += size
-        self.counters.busy_us += duration
-        self._emit("write", start, size, label=f"run:{len(records)}")
+    def read_run_view(self, start: int, count: int) -> tuple[memoryview, float]:
+        """Like :meth:`read_run` but returns one zero-copy memoryview.
+
+        Timing, counters and the emitted trace event are identical to
+        :meth:`read_run`; only the per-slot ``bytes`` materialization is
+        skipped.  The view aliases live storage -- slice it before any
+        subsequent write to the same slots.
+        """
+        duration = self._charge_run("read", start, count, write=False)
+        return self.peek_run(start, count), duration
+
+    def write_run(self, start: int, records: "list[bytes] | bytes | bytearray | memoryview") -> float:
+        """Stream consecutive slots out: one positioning + transfer.
+
+        ``records`` is either a list of slot-sized records or one flat
+        buffer holding a whole number of records (the output of
+        :meth:`~repro.oram.base.BlockCodec.seal_many`); both are charged
+        identically.
+        """
+        if isinstance(records, (bytes, bytearray, memoryview)):
+            view = memoryview(records)
+            if view.nbytes == 0 or view.nbytes % self.slot_bytes:
+                raise ValueError(
+                    f"flat write_run buffer of {view.nbytes} bytes is not a "
+                    f"positive multiple of the {self.slot_bytes}-byte slot size"
+                )
+            count = view.nbytes // self.slot_bytes
+            duration = self._charge_run("write", start, count, write=True)
+            offset = start * self.slot_bytes
+            self._data[offset : offset + view.nbytes] = view
+            return duration
+        duration = self._charge_run("write", start, len(records), write=True)
+        slot_bytes = self.slot_bytes
+        data = self._data
         for index, record in enumerate(records):
-            if len(record) != self.slot_bytes:
+            if len(record) != slot_bytes:
                 raise ValueError("record size mismatch inside write_run")
-            offset = (start + index) * self.slot_bytes
-            self._data[offset : offset + self.slot_bytes] = record
+            offset = (start + index) * slot_bytes
+            data[offset : offset + slot_bytes] = record
         return duration
 
     # ------------------------------------------------------------- utility
@@ -188,6 +250,38 @@ class BlockStore:
             raise ValueError("record size mismatch in poke_slot")
         offset = slot * self.slot_bytes
         self._data[offset : offset + self.slot_bytes] = record
+
+    def peek_run(self, start: int, count: int) -> memoryview:
+        """Zero-copy view of ``count`` consecutive slots (no timing or trace).
+
+        The view aliases the store's backing buffer: it is valid until the
+        next write to those slots and must not be held across one.
+        """
+        if count <= 0:
+            raise ValueError("count must be positive")
+        self._check_slot(start)
+        self._check_slot(start + count - 1)
+        slot_bytes = self.slot_bytes
+        return memoryview(self._data)[start * slot_bytes : (start + count) * slot_bytes]
+
+    def poke_run(self, start: int, data: bytes | bytearray | memoryview) -> None:
+        """Bulk write of consecutive slots without timing or trace.
+
+        ``data`` must hold a positive whole number of slot records
+        (e.g. the buffer built by
+        :meth:`~repro.oram.base.BlockCodec.seal_many`); initialization only.
+        """
+        view = memoryview(data)
+        if view.nbytes == 0 or view.nbytes % self.slot_bytes:
+            raise ValueError(
+                f"poke_run buffer of {view.nbytes} bytes is not a positive "
+                f"multiple of the {self.slot_bytes}-byte slot size"
+            )
+        count = view.nbytes // self.slot_bytes
+        self._check_slot(start)
+        self._check_slot(start + count - 1)
+        offset = start * self.slot_bytes
+        self._data[offset : offset + view.nbytes] = view
 
     def reset_stream(self) -> None:
         """Force the next access to pay positioning (stream interrupted)."""

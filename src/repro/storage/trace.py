@@ -42,6 +42,11 @@ class TraceRecorder:
         self.capacity = capacity
         self.dropped = 0
 
+    @property
+    def accepting(self) -> bool:
+        """Whether the next event would be kept (lets emitters skip building it)."""
+        return self.capacity is None or len(self.events) < self.capacity
+
     def record(self, event: TraceEvent) -> None:
         if self.capacity is not None and len(self.events) >= self.capacity:
             self.dropped += 1

@@ -1,0 +1,83 @@
+"""Golden determinism guard for the batched hot-path engine.
+
+The batched fast path (vectorized record crypto, bulk store I/O,
+incremental shuffle bookkeeping) must be *observationally identical* to
+the original single-record implementation: same seed -> same served_log,
+same Metrics, same bus trace.  The GOLDEN fingerprints below were
+captured on the pre-batching tree (the parent of the PR that introduced
+the batch APIs), so matching them proves the old single-record path and
+the new batch path produce bit-identical simulated behavior -- and pins
+every future refactor to the same contract.
+
+If one of these tests fails after an intentional behavioral change (a
+protocol fix, a new timing model), re-derive the fingerprint with the
+``fingerprint`` helper below and document why it moved.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.core.horam import HybridORAM, build_horam
+from repro.crypto.random import DeterministicRandom
+from repro.sim.engine import SimulationEngine
+from repro.sim.metrics import Metrics
+from repro.workload.generators import hotspot
+
+#: Captured on the pre-batching tree; see module docstring.
+GOLDEN = {
+    "full_shuffle": "c72c6471846deb7140404e1eb25bb451",
+    "partial_shuffle": "11183473162ce57e9a4f9e3d07beb3d9",
+}
+
+
+def fingerprint(oram: HybridORAM, metrics: Metrics) -> str:
+    """Digest of everything observable: served log, metrics, bus trace."""
+    h = hashlib.blake2b(digest_size=16)
+    for addr, cycle in oram.served_log:
+        h.update(f"s:{addr}:{cycle};".encode())
+    md = metrics.to_dict()
+    for key in sorted(md):
+        if key == "extra":
+            continue
+        h.update(f"m:{key}={md[key]!r};".encode())
+    for key in sorted(md["extra"]):
+        h.update(f"x:{key}={md['extra'][key]!r};".encode())
+    for e in oram.hierarchy.trace.events:
+        h.update(f"t:{e.op}:{e.tier}:{e.slot}:{e.size}:{e.time_us!r}:{e.label};".encode())
+    return h.hexdigest()
+
+
+def run_case(n_blocks, mem_tree_blocks, requests, ratio=1, write_ratio=0.25):
+    oram = build_horam(
+        n_blocks=n_blocks,
+        mem_tree_blocks=mem_tree_blocks,
+        seed=42,
+        trace=True,
+        shuffle_period_ratio=ratio,
+    )
+    stream = list(
+        hotspot(
+            n_blocks,
+            requests,
+            DeterministicRandom(7),
+            hot_blocks=max(16, oram.period_capacity // 3),
+            write_ratio=write_ratio,
+        )
+    )
+    metrics = SimulationEngine(oram, verify=True).run(stream)
+    return fingerprint(oram, metrics)
+
+
+class TestGoldenFingerprints:
+    def test_full_shuffle_matches_prebatch_engine(self):
+        """Seeded full-shuffle run is bit-identical to the single-record path."""
+        assert run_case(512, 128, 600) == GOLDEN["full_shuffle"]
+
+    def test_partial_shuffle_matches_prebatch_engine(self):
+        """Ratio-4 partial shuffle (overflow appends) is bit-identical too."""
+        assert run_case(1024, 128, 900, ratio=4) == GOLDEN["partial_shuffle"]
+
+    def test_repeat_runs_are_identical(self):
+        """Two fresh instances on the same seed produce the same fingerprint."""
+        assert run_case(512, 128, 300) == run_case(512, 128, 300)

@@ -118,9 +118,27 @@ class TestDummyFetch:
         layer, _ = make_layer(n_blocks=4)
         for _ in range(4):
             layer.dummy_fetch()
+        assert layer.dummy_pool_exhausted == 0
         addr, payload, times = layer.dummy_fetch()
         assert addr is None and payload is None
         assert times.io_us > 0  # the cycle shape still sees one load
+        assert layer.dummy_pool_exhausted == 1
+        layer.dummy_fetch()
+        assert layer.dummy_pool_exhausted == 2
+
+    def test_exhausted_pool_surfaces_in_horam_metrics(self):
+        # Idle cycles with an empty dummy pool (possible under partial
+        # shuffle in tiny configurations) must be counted in the metrics,
+        # not silently re-read slot 0.
+        from repro.core.horam import build_horam
+
+        oram = build_horam(n_blocks=256, mem_tree_blocks=64, seed=3)
+        oram.storage._unread.clear()
+        oram.storage._unread_pos.clear()
+        oram.step()  # no queued work: the cycle's load is a dummy fetch
+        oram.step()
+        assert oram.storage.dummy_pool_exhausted == 2
+        assert oram.metrics.extra["dummy_pool_exhausted"] == 2
 
 
 class TestFullShuffle:
@@ -172,6 +190,45 @@ class TestFullShuffle:
             + layer.storage.device.run_us(10 * 1024, write=True)
         )
         assert delta.busy_us == pytest.approx(expected, rel=0.01)
+
+
+class TestIncrementalUnreadPool:
+    """The cached per-partition pool must always equal a full slot scan."""
+
+    @staticmethod
+    def brute_force_unread(layer):
+        return [
+            slot
+            for slot in range(layer.total_slots)
+            if layer._occupied[slot] and not layer.consumed[slot]
+        ]
+
+    def test_pool_matches_full_scan_across_periods(self):
+        layer, _ = make_layer(n_blocks=64)
+        assert layer._unread == self.brute_force_unread(layer)
+        evicted = []
+        for addr in (2, 11, 40):
+            payload, _ = layer.fetch(addr)
+            evicted.append((addr, payload))
+        for _ in range(5):
+            layer.dummy_fetch()
+        layer.shuffle_into(evicted, period_index=0)
+        layer.end_period()
+        assert layer._unread == self.brute_force_unread(layer)
+
+    def test_pool_matches_full_scan_with_overflow_appends(self):
+        layer, _ = make_layer(n_blocks=100, ratio=4, period_capacity=16)
+        for period in range(4):
+            evicted = []
+            for addr in range(period * 10, period * 10 + 6):
+                if layer.is_in_memory(addr):
+                    continue
+                payload, _ = layer.fetch(addr)
+                evicted.append((addr, payload))
+            layer.dummy_fetch()
+            layer.shuffle_into(evicted, period_index=period)
+            layer.end_period()
+            assert layer._unread == self.brute_force_unread(layer)
 
 
 class TestPartialShuffle:

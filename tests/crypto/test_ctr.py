@@ -47,6 +47,41 @@ class TestRecordCiphers:
         assert cipher.decrypt(nonce, cipher.encrypt(nonce, data)) == data
 
 
+class TestVectorizedKeystream:
+    """The word-wise XOR fast paths must equal a byte-by-byte reference."""
+
+    @staticmethod
+    def reference_xor(data: bytes, stream: bytes) -> bytes:
+        return bytes(p ^ s for p, s in zip(data, stream))
+
+    @pytest.mark.parametrize("size", [0, 1, 7, 8, 24, 63, 64, 65, 200])
+    def test_stream_cipher_matches_reference(self, size):
+        cipher = StreamCipher(b"vec-key")
+        data = bytes(range(256))[:size] if size <= 256 else bytes(size)
+        stream = cipher.keystream(9, size)[:size] if size else b""
+        assert cipher.encrypt(9, data) == self.reference_xor(data, stream)
+
+    @pytest.mark.parametrize("size", [0, 1, 8, 24, 65])
+    def test_ctr_cipher_matches_reference(self, size):
+        cipher = CtrCipher(Speck64(bytes(range(16))))
+        data = bytes((i * 7) % 256 for i in range(size))
+        stream = cipher.keystream(5, size)[:size] if size else b""
+        assert cipher.encrypt(5, data) == self.reference_xor(data, stream)
+
+    def test_keystream_block_is_keystream_prefix(self):
+        cipher = StreamCipher(b"vec-key")
+        assert cipher.keystream_block(13) == cipher.keystream(13, 64)
+        assert cipher.keystream_block(13)[:24] == cipher.keystream(13, 24)[:24]
+
+    def test_xor_bytes_helper(self):
+        from repro.crypto.ctr import xor_bytes
+
+        data, stream = b"hello-world", bytes(range(200, 216))
+        assert xor_bytes(data, stream) == self.reference_xor(data, stream)
+        assert xor_bytes(b"", stream) == b""
+        assert xor_bytes(memoryview(data), stream) == self.reference_xor(data, stream)
+
+
 class TestCtrConstruction:
     def test_rejects_non_64bit_cipher(self):
         class Wide:

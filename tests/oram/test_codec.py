@@ -48,6 +48,80 @@ class TestSealOpen:
         assert b"visible-payload!" in record
 
 
+class TestBatchCodec:
+    """seal_many / open_run / open_many must equal the single-record loop."""
+
+    ENTRIES = [(3, b"alpha"), (9, b"bravo"), (27, b"charlie")]
+
+    @staticmethod
+    def pair(mac_key=None):
+        """Two codecs with identical key material (independent nonce streams)."""
+        make = lambda: BlockCodec(16, StreamCipher(b"codec-key"), mac_key=mac_key)
+        return make(), make()
+
+    def test_seal_many_bytes_match_seal_loop(self):
+        batched, sequential = self.pair()
+        entries = [(addr, sequential.pad(data)) for addr, data in self.ENTRIES]
+        buffer = batched.seal_many(entries, dummy_tail=2)
+        expected = bytearray()
+        for addr, payload in entries:
+            expected += sequential.seal(addr, payload)
+        expected += sequential.seal_dummy()
+        expected += sequential.seal_dummy()
+        assert bytes(buffer) == bytes(expected)
+
+    def test_seal_many_bytes_match_with_mac(self):
+        batched, sequential = self.pair(mac_key=b"mac-key")
+        buffer = batched.seal_many([(5, sequential.pad(b"x"))], dummy_tail=3)
+        expected = sequential.seal(5, sequential.pad(b"x"))
+        expected += b"".join(sequential.seal_dummy() for _ in range(3))
+        assert bytes(buffer) == expected
+
+    def test_open_run_roundtrip(self, codec):
+        entries = [(addr, codec.pad(data)) for addr, data in self.ENTRIES]
+        buffer = codec.seal_many(entries, dummy_tail=1)
+        opened = codec.open_run(buffer)
+        assert opened[:3] == entries
+        assert opened[3][0] == DUMMY_ADDR
+
+    def test_open_run_accepts_memoryview(self, codec):
+        buffer = codec.seal_many([(1, codec.pad(b"mv"))])
+        (result,) = codec.open_run(memoryview(bytes(buffer)))
+        assert result == (1, codec.pad(b"mv"))
+
+    def test_open_run_rejects_partial_records(self, codec):
+        with pytest.raises(ValueError):
+            codec.open_run(b"\x00" * (codec.slot_bytes + 1))
+
+    def test_open_many_matches_open(self, codec):
+        records = [codec.seal(addr, codec.pad(data)) for addr, data in self.ENTRIES]
+        assert codec.open_many(records) == [codec.open(r) for r in records]
+
+    def test_open_accepts_memoryview(self, codec):
+        record = codec.seal(7, codec.pad(b"view"))
+        addr, payload = codec.open(memoryview(record))
+        assert addr == 7
+        assert isinstance(payload, bytes)
+        assert payload == codec.pad(b"view")
+
+    def test_batch_apis_with_null_cipher(self):
+        # NullCipher has no keystream: exercises the generic fallbacks.
+        codec = BlockCodec(16, NullCipher())
+        entries = [(4, codec.pad(b"plain"))]
+        buffer = codec.seal_many(entries, dummy_tail=1)
+        opened = codec.open_run(buffer)
+        assert opened[0] == entries[0]
+        assert opened[1][0] == DUMMY_ADDR
+
+    def test_ctr_cipher_fused_roundtrip(self):
+        from repro.crypto.cipher import Speck64
+        from repro.crypto.ctr import CtrCipher
+
+        codec = BlockCodec(16, CtrCipher(Speck64(bytes(range(16)))))
+        record = codec.seal(11, codec.pad(b"speck"))
+        assert codec.open(record) == (11, codec.pad(b"speck"))
+
+
 class TestDummies:
     def test_dummy_roundtrip(self, codec):
         record = codec.seal_dummy()
@@ -149,3 +223,17 @@ class TestIntegrity:
         oram.hierarchy.storage.poke_slot(victim, bytes(record))
         with pytest.raises(IntegrityError):
             oram.read(0)
+
+    def test_horam_detects_dummy_slot_tampering(self):
+        # The real-slot fast path must not skip MAC checks: corrupting a
+        # DUMMY record in the cache tree is tampering too.  Slot 0 is the
+        # root bucket's first slot, so every path access reads it.
+        from repro.core.horam import build_horam
+        from repro.oram.base import IntegrityError
+
+        oram = build_horam(n_blocks=256, mem_tree_blocks=64, seed=1, integrity=True)
+        record = bytearray(oram.hierarchy.memory.peek_slot(0))
+        record[10] ^= 0xFF
+        oram.hierarchy.memory.poke_slot(0, bytes(record))
+        with pytest.raises(IntegrityError):
+            oram.read(5)
