@@ -1,0 +1,176 @@
+"""Scaling study for the sharded serving layer (ShardedHORAM).
+
+Sweeps shard counts (1/2/4/8) against workload shapes (uniform, hotspot,
+zipf), running every cell through the engine's ``verify=True`` oracle
+over **two sequential runs** -- the second run re-reads addresses the
+first run wrote, exercising the cross-run replay -- and reports:
+
+* simulated throughput (requests per simulated second) and the speedup
+  over the single-shard deployment of the same workload;
+* load balance: per-shard served counts and the max/mean imbalance, plus
+  per-shard cycle counts (lockstep keeps them identical by construction);
+* aggregate and per-shard metrics (cycles, shuffles, dummy ratios).
+
+The result is persisted to ``BENCH_sharding.json`` at the repo root so
+successive PRs can track the scaling trajectory, mirroring
+``BENCH_wallclock.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sharding.py            # full sweep + JSON
+    PYTHONPATH=src python benchmarks/bench_sharding.py --smoke    # tiny CI sanity run
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - convenience for direct invocation
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.sharding import build_sharded_horam
+from repro.crypto.random import DeterministicRandom
+from repro.sim.engine import SimulationEngine
+from repro.workload.generators import hotspot, uniform, zipfian
+
+SHARD_COUNTS = (1, 2, 4, 8)
+
+FULL_CONFIG = {"n_blocks": 4096, "mem_tree_blocks": 512, "requests": 1500}
+SMOKE_CONFIG = {"n_blocks": 512, "mem_tree_blocks": 128, "requests": 100}
+
+
+def _make_stream(kind: str, n_blocks: int, count: int, seed: int):
+    rng = DeterministicRandom(seed)
+    if kind == "uniform":
+        return list(uniform(n_blocks, count, rng, write_ratio=0.3))
+    if kind == "hotspot":
+        return list(
+            hotspot(n_blocks, count, rng, hot_blocks=max(16, n_blocks // 16), write_ratio=0.3)
+        )
+    if kind == "zipf":
+        return list(zipfian(n_blocks, count, rng, write_ratio=0.3))
+    raise ValueError(f"unknown workload kind '{kind}'")
+
+
+WORKLOADS = ("uniform", "hotspot", "zipf")
+
+
+def run_cell(n_shards: int, kind: str, n_blocks: int, mem_tree_blocks: int, requests: int) -> dict:
+    """One (shard count, workload) cell: two verified sequential runs."""
+    sharded = build_sharded_horam(
+        n_blocks=n_blocks,
+        mem_tree_blocks=mem_tree_blocks,
+        n_shards=n_shards,
+        seed=0,
+    )
+    engine = SimulationEngine(sharded, verify=True)
+    wall_start = time.perf_counter()
+    first = engine.run(_make_stream(kind, n_blocks, requests, seed=100))
+    second = engine.run(_make_stream(kind, n_blocks, requests, seed=101))
+    wall_seconds = time.perf_counter() - wall_start
+
+    served = first.requests_served + second.requests_served
+    simulated_us = first.total_time_us + second.total_time_us
+    balance = sharded.load_balance()
+    merged = sharded.metrics
+    per_shard = [
+        {
+            "served": metrics.requests_served,
+            "cycles": metrics.cycles,
+            "shuffles": metrics.shuffle_count,
+            "dummy_hit_ratio": round(metrics.dummy_hit_ratio, 4),
+        }
+        for metrics in sharded.shard_metrics()
+    ]
+    return {
+        "shards": n_shards,
+        "workload": kind,
+        "served": served,
+        "verified_runs": 2,
+        "simulated_ms": round(simulated_us / 1000.0, 2),
+        "throughput_rps": round(served / (simulated_us / 1e6), 1) if simulated_us else None,
+        "imbalance": round(balance["imbalance"], 4),
+        "cycle_spread": round(balance["cycle_spread"], 4),
+        "per_shard": per_shard,
+        "aggregate": {
+            "cycles": merged.cycles,
+            "shuffles": merged.shuffle_count,
+            "dummy_hit_ratio": round(merged.dummy_hit_ratio, 4),
+            "dummy_miss_ratio": round(merged.dummy_miss_ratio, 4),
+        },
+        "wall_seconds": round(wall_seconds, 3),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny configuration for CI sanity (no JSON written by default)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="result JSON path (default: BENCH_sharding.json at the repo root; "
+        "smoke runs write nothing unless this is given)",
+    )
+    args = parser.parse_args(argv)
+
+    config = SMOKE_CONFIG if args.smoke else FULL_CONFIG
+    cells = []
+    baseline_throughput: dict[str, float] = {}
+    for kind in WORKLOADS:
+        for n_shards in SHARD_COUNTS:
+            cell = run_cell(n_shards, kind, **config)
+            if n_shards == 1:
+                baseline_throughput[kind] = cell["throughput_rps"] or 0.0
+            base = baseline_throughput[kind]
+            cell["speedup_vs_1_shard"] = (
+                round(cell["throughput_rps"] / base, 2) if base and cell["throughput_rps"] else None
+            )
+            cells.append(cell)
+            print(
+                f"{kind:>8} x {n_shards} shard(s): {cell['served']} verified, "
+                f"{cell['throughput_rps']:.0f} req/s simulated "
+                f"({cell['speedup_vs_1_shard']}x vs 1 shard), "
+                f"imbalance {cell['imbalance']:.3f}, "
+                f"{cell['wall_seconds']:.2f} s wall"
+            )
+
+    report = {
+        "benchmark": "bench_sharding",
+        "mode": "smoke" if args.smoke else "full",
+        "workloads": list(WORKLOADS),
+        "shard_counts": list(SHARD_COUNTS),
+        "config": dict(config),
+        "lockstep": True,
+        "machine": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "platform": platform.platform(),
+        },
+        "cells": cells,
+    }
+
+    out = args.out
+    if out is None and not args.smoke:
+        out = REPO_ROOT / "BENCH_sharding.json"
+    if out is not None:
+        out.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

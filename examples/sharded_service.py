@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Many tenants on a sharded oblivious deployment.
+
+Run:  python examples/sharded_service.py
+
+Eight tenants share a ShardedHORAM fleet of four shards.  The address
+space is striped across the shards, each tenant owns a contiguous region
+of the *global* space (enforced by the front end's ACL), and the
+front end's round-robin feed interleaves all tenants into the fleet.
+Lockstep cycles keep every shard's bus shape fixed, so neither the
+storage servers nor a bus adversary learns which tenant -- or which
+shard -- is busy.
+"""
+
+from repro import Request
+from repro.bench.tables import render_table
+from repro.core.multiuser import AccessDenied, MultiUserFrontEnd
+from repro.core.sharding import build_sharded_horam
+from repro.crypto.random import DeterministicRandom
+from repro.workload.generators import read_write_mix
+
+N_BLOCKS = 4096
+N_SHARDS = 4
+TENANTS = 8
+REGION = N_BLOCKS // TENANTS
+REQUESTS_PER_TENANT = 150
+
+
+def main() -> None:
+    fleet = build_sharded_horam(
+        n_blocks=N_BLOCKS, mem_tree_blocks=512, n_shards=N_SHARDS, seed=17
+    )
+    print(f"fleet: {fleet.describe()}\n")
+    front = MultiUserFrontEnd(fleet)
+    for tenant in range(TENANTS):
+        front.register_user(tenant, allowed=range(tenant * REGION, (tenant + 1) * REGION))
+
+    # The ACL still holds across shards: tenant 3 cannot touch tenant 0's region.
+    try:
+        front.submit(3, Request.read(5))
+    except AccessDenied as denied:
+        print(f"ACL works: {denied}\n")
+
+    rng = DeterministicRandom(31)
+    for tenant in range(TENANTS):
+        stream = read_write_mix(
+            REGION,
+            REQUESTS_PER_TENANT,
+            rng.spawn(f"tenant-{tenant}"),
+            write_ratio=0.25,
+            hot_blocks=32,
+        )
+        for request in stream:
+            request.addr += tenant * REGION
+            front.submit(tenant, request)
+
+    retired = front.pump()
+    elapsed_ms = fleet.hierarchy.clock.now_ms
+
+    rows = []
+    for tenant in range(TENANTS):
+        stats = front.stats(tenant)
+        rows.append(
+            [f"tenant-{tenant}", stats.submitted, stats.served,
+             f"{stats.mean_latency_cycles:.1f} cycles"]
+        )
+    print(render_table(["tenant", "submitted", "served", "mean latency"], rows))
+
+    balance = fleet.load_balance()
+    shard_rows = [
+        [f"shard-{i}", served, cycles]
+        for i, (served, cycles) in enumerate(
+            zip(balance["per_shard_served"], balance["per_shard_cycles"])
+        )
+    ]
+    print()
+    print(render_table(["shard", "requests served", "cycles"], shard_rows))
+    print(
+        f"\n{len(retired)} requests served in {elapsed_ms:.1f} ms simulated "
+        f"({len(retired) / (elapsed_ms / 1000):.0f} req/s); "
+        f"load imbalance {balance['imbalance']:.2f} (max/mean), "
+        f"cycle spread {balance['cycle_spread']:.2f} "
+        "(1.00 = lockstep, every shard runs every cycle)."
+    )
+    pct = fleet.latency_percentiles()
+    print(f"latency percentiles (cycles): p50={pct[50]:.0f} p90={pct[90]:.0f} p99={pct[99]:.0f}")
+
+    latencies = [front.stats(t).mean_latency_cycles for t in range(TENANTS)]
+    print(
+        f"fairness (max/min mean latency): {max(latencies) / min(latencies):.2f} "
+        "-- round-robin keeps tenants balanced across the fleet."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -15,7 +15,9 @@ The hybrid ORAM splits state across three layers (Figure 4-1):
 :class:`~repro.core.horam.HybridORAM` protocol;
 :mod:`repro.core.analysis` implements the closed-form model of Section
 5.1 (equations 5-1 through 5-6, Table 5-1, Figure 5-1);
-:mod:`repro.core.multiuser` adds the Section 5.3.2 multi-user front end.
+:mod:`repro.core.multiuser` adds the Section 5.3.2 multi-user front end;
+:mod:`repro.core.sharding` scales past one instance by striping the
+address space across independent shards behind the same interface.
 """
 
 from repro.core.config import HORAMConfig
@@ -26,6 +28,7 @@ from repro.core.cache_tree import CacheTree
 from repro.core.storage_layer import PermutedStorage
 from repro.core.horam import HybridORAM, build_horam
 from repro.core.multiuser import MultiUserFrontEnd, UserStats
+from repro.core.sharding import ShardedHORAM, build_sharded_horam
 from repro.core.profiler import ProfileResult, RatioProfile, profile_shuffle_ratio
 from repro.core import analysis
 
@@ -44,6 +47,8 @@ __all__ = [
     "build_horam",
     "MultiUserFrontEnd",
     "UserStats",
+    "ShardedHORAM",
+    "build_sharded_horam",
     "ProfileResult",
     "RatioProfile",
     "profile_shuffle_ratio",

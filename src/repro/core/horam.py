@@ -50,6 +50,7 @@ class HybridORAM(ORAMProtocol):
         config: HORAMConfig,
         hierarchy: StorageHierarchy,
         codec: BlockCodec | None = None,
+        initial_addr_map=None,
     ):
         self.config = config
         self.hierarchy = hierarchy
@@ -82,6 +83,7 @@ class HybridORAM(ORAMProtocol):
             shuffle=get_shuffle(config.shuffle_algorithm),
             shuffle_period_ratio=config.shuffle_period_ratio,
             period_capacity=self.cache.period_capacity,
+            initial_addr_map=initial_addr_map,
         )
         self.rob = RobTable()
         self.scheduler = SecureScheduler(window_for=config.window_for)
@@ -193,6 +195,14 @@ class HybridORAM(ORAMProtocol):
         retired.extend(self.rob.retire())
         return retired
 
+    def has_work(self) -> bool:
+        """Whether any submitted request has not yet been served."""
+        return self.rob.has_work()
+
+    def retire(self) -> list[RobEntry]:
+        """Pop served entries waiting at the ROB head (in program order)."""
+        return self.rob.retire()
+
     # -------------------------------------------------------- synchronous API
     def read(self, addr: int) -> bytes:
         entry = self.submit(Request.read(addr))
@@ -301,6 +311,7 @@ def build_horam(
     storage_device=None,
     memory_device=None,
     integrity: bool = False,
+    initial_addr_map=None,
     **config_kwargs,
 ) -> HybridORAM:
     """Convenience factory: config + hierarchy + protocol in one call.
@@ -354,4 +365,4 @@ def build_horam(
         storage_device=storage_device,
         trace=TraceRecorder() if trace else TraceRecorder(capacity=0),
     )
-    return HybridORAM(config, hierarchy, codec=codec)
+    return HybridORAM(config, hierarchy, codec=codec, initial_addr_map=initial_addr_map)

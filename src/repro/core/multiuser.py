@@ -1,6 +1,6 @@
 """Multi-user front end (Section 5.3.2).
 
-Several users share one H-ORAM instance.  The front end:
+Several users share one oblivious back end.  The front end:
 
 * keeps one FIFO per user and interleaves them round-robin into the
   shared ROB, so the bus-visible request mix is independent of any single
@@ -12,14 +12,21 @@ Several users share one H-ORAM instance.  The front end:
 The underlying scheduler already groups arbitrary requests into
 fixed-shape cycles, so nothing changes at the protocol layer -- which is
 the paper's point: the group strategy extends to multiple users for free.
+
+The front end is back-end agnostic: anything implementing the batched
+``submit``/``drain`` protocol works, including
+:class:`~repro.core.horam.HybridORAM` and the sharded
+:class:`~repro.core.sharding.ShardedHORAM`.  When the back end also
+exposes ``step``/``has_work``/``retire`` (both of the above do), the
+front end interleaves feeding with cycle execution; otherwise it falls
+back to feed-everything-then-drain.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
-from repro.core.horam import HybridORAM
 from repro.core.rob import RobEntry
 from repro.oram.base import ORAMError, Request
 
@@ -30,15 +37,22 @@ class AccessDenied(ORAMError):
 
 @dataclass
 class UserStats:
-    """Per-user service accounting."""
+    """Per-user service accounting.
+
+    ``served`` counts every retired request attributed to the user;
+    ``latency_samples`` counts the subset that carried a valid latency
+    measurement, so :attr:`mean_latency_cycles` is never skewed by
+    entries retired without a served-cycle stamp.
+    """
 
     submitted: int = 0
     served: int = 0
+    latency_samples: int = 0
     total_latency_cycles: int = 0
 
     @property
     def mean_latency_cycles(self) -> float:
-        return self.total_latency_cycles / self.served if self.served else 0.0
+        return self.total_latency_cycles / self.latency_samples if self.latency_samples else 0.0
 
 
 @dataclass
@@ -49,13 +63,25 @@ class _UserQueue:
 
 
 class MultiUserFrontEnd:
-    """Round-robin, ACL-checked multiplexer over one HybridORAM."""
+    """Round-robin, ACL-checked multiplexer over one oblivious back end."""
 
-    def __init__(self, oram: HybridORAM):
+    #: fallback feed batch when the back end exposes no window sizing.
+    _DEFAULT_BATCH = 8
+
+    def __init__(self, oram):
+        if not (hasattr(oram, "submit") and hasattr(oram, "drain")):
+            raise TypeError(
+                "MultiUserFrontEnd needs a batched back end with submit()/drain()"
+            )
         self.oram = oram
         self._users: dict[int, _UserQueue] = {}
         self._round_robin: list[int] = []
         self._cursor = 0
+        #: retired entries whose user tag was missing or never registered
+        #: (e.g. requests submitted directly to the back end before the
+        #: front end attached); they are counted here instead of crashing
+        #: stats accounting.
+        self.unattributed_retired = 0
 
     # -------------------------------------------------------------- set-up
     def register_user(self, user: int, allowed: range | None = None) -> None:
@@ -73,40 +99,65 @@ class MultiUserFrontEnd:
 
     # ------------------------------------------------------------- traffic
     def submit(self, user: int, request: Request) -> None:
-        """Queue a request on the user's FIFO (ACL-checked here)."""
+        """Queue a request on the user's FIFO (ACL-checked here).
+
+        The caller's ``Request`` is never mutated: the queued entry is a
+        tagged copy, so one request object can safely be templated across
+        users without silently re-tagging earlier queued entries.
+        """
         entry = self._user(user)
         if entry.allowed is not None and request.addr not in entry.allowed:
             raise AccessDenied(
                 f"user {user} may not touch address {request.addr} "
                 f"(allowed {entry.allowed})"
             )
-        request.user = user
-        entry.queue.append(request)
+        entry.queue.append(replace(request, user=user))
         entry.stats.submitted += 1
 
     def pump(self, max_cycles: int | None = None) -> list[RobEntry]:
         """Feed queued requests round-robin and run scheduler cycles.
 
         Returns all entries retired.  Stops when every user queue and the
-        ROB have drained (or after ``max_cycles`` cycles).
+        back end have drained (or after ``max_cycles`` cycles).
         """
         retired: list[RobEntry] = []
         cycles = 0
-        while self._has_queued() or self.oram.rob.has_work():
+        step = getattr(self.oram, "step", None)
+        while self._has_queued() or self._backend_has_work():
             self._feed_round_robin()
-            retired.extend(self.oram.step())
+            if step is not None:
+                retired.extend(step())
+            else:
+                retired.extend(self.oram.drain())
             cycles += 1
             if max_cycles is not None and cycles >= max_cycles:
                 break
-        retired.extend(self.oram.rob.retire())
-        for entry in retired:
-            stats = self._user(entry.request.user).stats
-            stats.served += 1
-            if entry.latency_cycles >= 0:
-                stats.total_latency_cycles += entry.latency_cycles
+        retired.extend(self._backend_retire())
+        self._account(retired)
         return retired
 
     # ------------------------------------------------------------ internals
+    def _account(self, retired: list[RobEntry]) -> None:
+        for entry in retired:
+            user = entry.request.user
+            bucket = self._users.get(user) if user is not None else None
+            if bucket is None:
+                self.unattributed_retired += 1
+                continue
+            bucket.stats.served += 1
+            latency = entry.latency_cycles
+            if latency >= 0:
+                bucket.stats.latency_samples += 1
+                bucket.stats.total_latency_cycles += latency
+
+    def _backend_has_work(self) -> bool:
+        has_work = getattr(self.oram, "has_work", None)
+        return bool(has_work()) if has_work is not None else False
+
+    def _backend_retire(self) -> list[RobEntry]:
+        retire = getattr(self.oram, "retire", None)
+        return retire() if retire is not None else []
+
     def _user(self, user: int) -> _UserQueue:
         try:
             return self._users[user]
@@ -116,12 +167,19 @@ class MultiUserFrontEnd:
     def _has_queued(self) -> bool:
         return any(entry.queue for entry in self._users.values())
 
+    def _feed_batch(self) -> int:
+        config = getattr(self.oram, "config", None)
+        current_c = getattr(self.oram, "current_c", None)
+        if config is not None and current_c is not None and hasattr(config, "window_for"):
+            return max(2, config.window_for(current_c))
+        return self._DEFAULT_BATCH
+
     def _feed_round_robin(self, batch: int | None = None) -> None:
         """Move up to one window's worth of requests into the shared ROB."""
         if not self._round_robin:
             return
         if batch is None:
-            batch = max(2, self.oram.config.window_for(self.oram.current_c))
+            batch = self._feed_batch()
         moved = 0
         idle_passes = 0
         while moved < batch and idle_passes < len(self._round_robin):

@@ -1,0 +1,360 @@
+"""Sharded H-ORAM serving layer: N independent instances, one address space.
+
+The paper's grouped, fixed-shape scheduler "extends to multiple users for
+free" (Section 5.3.2) -- but one :class:`~repro.core.horam.HybridORAM`
+instance is still one device: one cache tree, one permuted storage, one
+I/O channel.  :class:`ShardedHORAM` scales past that by partitioning the
+logical address space across ``n_shards`` fully independent instances,
+the same move throughput-oriented oblivious memories (Palermo) and
+parameterized outsourced storage (BIOS ORAM) make.
+
+Design points:
+
+* **striped partitioning** -- block ``a`` lives on shard ``a % n_shards``
+  at local address ``a // n_shards``.  Striping (rather than contiguous
+  ranges) spreads every workload's hot region across all shards, so
+  hotspot and zipfian streams load-balance as well as uniform ones.
+* **independent shards** -- each shard owns its cache tree, permuted
+  storage, scheduler and clock, seeded from one root seed via
+  ``DeterministicRandom.spawn("shard-i")``; replays stay bit-exact for a
+  fixed ``(seed, n_shards)``.
+* **lockstep cycles** -- by default every scheduler cycle steps *all*
+  shards; a shard with no useful work runs a fully padded cycle.  Each
+  shard's bus then shows the same fixed ``(c, 1)`` shape every cycle
+  regardless of how requests split across shards, so the routing itself
+  leaks nothing beyond what a single instance leaks.  ``lockstep=False``
+  steps only busy shards -- faster, but the per-shard traffic envelope
+  then tracks the (address-dependent) routing, which is only safe when
+  the address-to-shard map is considered public.
+* **drop-in interface** -- the dual ``submit``/``drain`` + ``read``/
+  ``write`` API of :class:`HybridORAM`, plus ``metrics``/``hierarchy``
+  facades, so :class:`~repro.sim.engine.SimulationEngine` (including its
+  ``verify=True`` oracle) and
+  :class:`~repro.core.multiuser.MultiUserFrontEnd` work unchanged.
+
+Aggregate timing treats shards as parallel devices: the sharded clock
+reads the *maximum* of the shard clocks (wall time of a parallel
+deployment), while I/O and memory counters sum across shards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.config import HORAMConfig
+from repro.core.horam import HybridORAM, build_horam
+from repro.core.rob import RobEntry
+from repro.crypto.random import DeterministicRandom
+from repro.oram.base import ORAMProtocol, Request
+from repro.sim.metrics import Metrics
+from repro.storage.backend import StoreCounters
+
+
+class _SummedStores:
+    """Read-only facade summing :class:`StoreCounters` across shard stores."""
+
+    def __init__(self, stores):
+        self._stores = list(stores)
+
+    def snapshot(self) -> StoreCounters:
+        total = StoreCounters()
+        for store in self._stores:
+            counters = store.snapshot()
+            total.reads += counters.reads
+            total.writes += counters.writes
+            total.bytes_read += counters.bytes_read
+            total.bytes_written += counters.bytes_written
+            total.busy_us += counters.busy_us
+        return total
+
+
+class _MaxClock:
+    """Aggregate clock of a parallel deployment: the slowest shard's time."""
+
+    def __init__(self, clocks):
+        self._clocks = list(clocks)
+
+    @property
+    def now_us(self) -> float:
+        return max(clock.now_us for clock in self._clocks)
+
+    @property
+    def now_ms(self) -> float:
+        return self.now_us / 1000.0
+
+    @property
+    def now_s(self) -> float:
+        return self.now_us / 1_000_000.0
+
+
+class _ShardedHierarchy:
+    """The hierarchy facade the engine's accounting reads."""
+
+    def __init__(self, shards):
+        self.clock = _MaxClock([s.hierarchy.clock for s in shards])
+        self.storage = _SummedStores([s.hierarchy.storage for s in shards])
+        self.memory = _SummedStores([s.hierarchy.memory for s in shards])
+
+    def describe(self) -> dict:
+        return {"shards": len(self.storage._stores)}
+
+
+class ShardedHORAM(ORAMProtocol):
+    """Address-space-partitioned serving layer over independent H-ORAMs."""
+
+    def __init__(
+        self,
+        shards: list[HybridORAM],
+        n_blocks: int,
+        config: HORAMConfig,
+        lockstep: bool = True,
+    ):
+        if not shards:
+            raise ValueError("need at least one shard")
+        self.shards = shards
+        self._n_blocks = n_blocks
+        #: the per-shard configuration template (window sizing, stages).
+        self.config = config
+        self.lockstep = lockstep
+        self.hierarchy = _ShardedHierarchy(shards)
+        #: entry -> (global submit order, caller's tagged request)
+        self._inflight: dict[int, tuple[int, Request]] = {}
+        self._submit_seq = 0
+        # Cross-shard in-order release: shards retire in their own program
+        # order, but a lightly loaded shard finishes later-submitted
+        # requests in earlier cycles; entries are held here until every
+        # earlier submission has retired, extending the ROB's in-order
+        # retire guarantee across the fleet.
+        self._release_seq = 0
+        self._held: dict[int, RobEntry] = {}
+
+    # ----------------------------------------------------------- properties
+    @property
+    def n_blocks(self) -> int:
+        return self._n_blocks
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def codec(self):
+        """Shard 0's codec (padding geometry is identical across shards)."""
+        return self.shards[0].codec
+
+    @property
+    def metrics(self) -> Metrics:
+        """Cross-shard aggregate (sums; peaks take the max)."""
+        merged = Metrics()
+        for shard in self.shards:
+            merged = merged.merge(shard.metrics)
+        return merged
+
+    @property
+    def current_c(self) -> int:
+        return max(shard.current_c for shard in self.shards)
+
+    # -------------------------------------------------------------- routing
+    def shard_of(self, addr: int) -> int:
+        return addr % self.n_shards
+
+    def local_addr(self, addr: int) -> int:
+        return addr // self.n_shards
+
+    def global_addr(self, shard_index: int, local: int) -> int:
+        return local * self.n_shards + shard_index
+
+    # -------------------------------------------------------------- batch API
+    def submit(self, request: Request) -> RobEntry:
+        """Route a request to its shard's ROB; returns the shard's entry.
+
+        The retired entry carries the caller's request (global address)
+        back; internally the shard sees a local-address copy.
+        """
+        self.check_addr(request.addr)
+        shard = self.shards[self.shard_of(request.addr)]
+        local = replace(request, addr=self.local_addr(request.addr))
+        entry = shard.submit(local)
+        self._inflight[id(entry)] = (self._submit_seq, request)
+        self._submit_seq += 1
+        return entry
+
+    def step(self) -> list[RobEntry]:
+        """Run one scheduler cycle across the shard fleet.
+
+        In lockstep mode every shard executes a cycle (padded when idle);
+        otherwise only shards with pending work run.
+        """
+        retired: list[RobEntry] = []
+        for shard in self.shards:
+            if self.lockstep or shard.rob.has_work():
+                retired.extend(shard.step())
+        return self._restore(retired)
+
+    def drain(self) -> list[RobEntry]:
+        """Run cycles until every shard's ROB has drained."""
+        retired: list[RobEntry] = []
+        while self.has_work():
+            retired.extend(self.step())
+        retired.extend(self.retire())
+        return retired
+
+    def has_work(self) -> bool:
+        return any(shard.rob.has_work() for shard in self.shards)
+
+    def retire(self) -> list[RobEntry]:
+        """Collect served entries waiting at every shard's ROB head."""
+        retired: list[RobEntry] = []
+        for shard in self.shards:
+            retired.extend(shard.rob.retire())
+        return self._restore(retired)
+
+    # -------------------------------------------------------- synchronous API
+    def read(self, addr: int) -> bytes:
+        entry = self.submit(Request.read(addr))
+        self.drain()
+        assert entry.result is not None
+        return entry.result
+
+    def write(self, addr: int, data: bytes) -> None:
+        self.submit(Request.write(addr, data))
+        self.drain()
+
+    def force_shuffle(self) -> None:
+        """End every shard's current period immediately (maintenance hook)."""
+        for shard in self.shards:
+            shard.force_shuffle()
+
+    # ------------------------------------------------------------ reporting
+    def shard_metrics(self) -> list[Metrics]:
+        """Per-shard metric snapshots, in shard order."""
+        return [shard.metrics.copy() for shard in self.shards]
+
+    def latency_percentiles(self, quantiles=(50, 90, 99)) -> dict[int, float]:
+        from repro.sim.metrics import percentile
+
+        merged: list[int] = []
+        for shard in self.shards:
+            merged.extend(shard.latency_log)
+        if not merged:
+            return {int(q): 0.0 for q in quantiles}
+        return {int(q): percentile(merged, q) for q in quantiles}
+
+    def load_balance(self) -> dict:
+        """How evenly real work spread across the fleet.
+
+        ``imbalance`` is max/mean of per-shard served requests (1.0 =
+        perfectly even); ``cycle_spread`` the same for scheduler cycles.
+        """
+        served = [shard.metrics.requests_served for shard in self.shards]
+        cycles = [shard.metrics.cycles for shard in self.shards]
+        mean_served = sum(served) / len(served)
+        mean_cycles = sum(cycles) / len(cycles)
+        return {
+            "per_shard_served": served,
+            "per_shard_cycles": cycles,
+            "per_shard_clock_us": [s.hierarchy.clock.now_us for s in self.shards],
+            "imbalance": (max(served) / mean_served) if mean_served else 1.0,
+            "cycle_spread": (max(cycles) / mean_cycles) if mean_cycles else 1.0,
+        }
+
+    def describe(self) -> dict:
+        return {
+            "n_blocks": self.n_blocks,
+            "n_shards": self.n_shards,
+            "lockstep": self.lockstep,
+            "shard_n_blocks": [shard.n_blocks for shard in self.shards],
+            "shard_period_capacity": [shard.period_capacity for shard in self.shards],
+        }
+
+    # ------------------------------------------------------------- internals
+    def _restore(self, retired: list[RobEntry]) -> list[RobEntry]:
+        """Swap local-address requests back for the caller's originals and
+        release entries in global submission order.
+
+        An entry whose predecessors are still in flight is parked (its
+        result is already set) and released once the gap closes, so
+        callers see one coherent retirement stream, not per-shard bursts.
+        """
+        for entry in retired:
+            seq, original = self._inflight.pop(id(entry))
+            entry.request = original
+            self._held[seq] = entry
+        released: list[RobEntry] = []
+        while self._release_seq in self._held:
+            released.append(self._held.pop(self._release_seq))
+            self._release_seq += 1
+        return released
+
+
+def shard_block_counts(n_blocks: int, n_shards: int) -> list[int]:
+    """Blocks per shard under striped partitioning."""
+    return [len(range(i, n_blocks, n_shards)) for i in range(n_shards)]
+
+
+def build_sharded_horam(
+    n_blocks: int,
+    mem_tree_blocks: int,
+    n_shards: int = 2,
+    payload_bytes: int = 16,
+    modeled_block_bytes: int = 1024,
+    seed: int = 0,
+    lockstep: bool = True,
+    storage_device=None,
+    memory_device=None,
+    **config_kwargs,
+) -> ShardedHORAM:
+    """Factory mirroring :func:`~repro.core.horam.build_horam`.
+
+    ``n_blocks`` and ``mem_tree_blocks`` are *global* budgets, split
+    evenly across ``n_shards``; each shard's protocol randomness derives
+    from ``seed`` via ``DeterministicRandom.spawn`` so the whole fleet
+    replays deterministically.
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    counts = shard_block_counts(n_blocks, n_shards)
+    if min(counts) <= 0:
+        raise ValueError(
+            f"n_blocks ({n_blocks}) must cover all {n_shards} shards"
+        )
+    mem_per_shard = mem_tree_blocks // n_shards
+    bucket_size = config_kwargs.get("bucket_size", 4)
+    if mem_per_shard < 2 * bucket_size:
+        raise ValueError(
+            f"mem_tree_blocks ({mem_tree_blocks}) split {n_shards} ways leaves "
+            f"{mem_per_shard} blocks per shard; need at least {2 * bucket_size}"
+        )
+    if mem_per_shard >= min(counts):
+        raise ValueError(
+            f"per-shard memory ({mem_per_shard} blocks) must be smaller than "
+            f"the smallest shard's address space ({min(counts)} blocks); "
+            "use fewer shards or a larger n_blocks"
+        )
+
+    root = DeterministicRandom(seed)
+    shards: list[HybridORAM] = []
+    for index in range(n_shards):
+        shard_seed = root.spawn(f"shard-{index}").next_word()
+        shards.append(
+            build_horam(
+                n_blocks=counts[index],
+                mem_tree_blocks=mem_per_shard,
+                payload_bytes=payload_bytes,
+                modeled_block_bytes=modeled_block_bytes,
+                seed=shard_seed,
+                storage_device=storage_device,
+                memory_device=memory_device,
+                initial_addr_map=lambda local, index=index: local * n_shards + index,
+                **config_kwargs,
+            )
+        )
+    template = HORAMConfig(
+        n_blocks=counts[0],
+        mem_tree_blocks=mem_per_shard,
+        payload_bytes=payload_bytes,
+        modeled_block_bytes=modeled_block_bytes,
+        seed=seed,
+        **config_kwargs,
+    )
+    return ShardedHORAM(shards, n_blocks=n_blocks, config=template, lockstep=lockstep)

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.crypto.random import DeterministicRandom
 from repro.oram.base import DUMMY_ADDR, BlockCodec, CapacityError
@@ -85,6 +86,7 @@ class PermutedStorage:
         shuffle: ShuffleAlgorithm,
         shuffle_period_ratio: int = 1,
         period_capacity: int | None = None,
+        initial_addr_map: Callable[[int], int] | None = None,
     ):
         if n_blocks <= 0:
             raise ValueError("n_blocks must be positive")
@@ -95,6 +97,12 @@ class PermutedStorage:
         self.rng = rng
         self.shuffle_algorithm = shuffle
         self.ratio = shuffle_period_ratio
+        # Sharded deployments stripe a global address space across
+        # instances; the map renames local block i to its global identity
+        # so the *initial content* of block i is initial_payload(global i).
+        # Everything else (permutation list, sealed headers, shuffles)
+        # stays in local coordinates.
+        self._initial_addr_map = initial_addr_map
 
         self.partition_count = max(1, math.isqrt(n_blocks))
         self.partition_size = math.ceil(n_blocks / self.partition_count)
@@ -156,11 +164,12 @@ class PermutedStorage:
         buffer = bytearray(self.total_slots * slot_bytes)
         seal = self.codec.seal
         pad = self.codec.pad
+        rename = self._initial_addr_map or (lambda addr: addr)
         for addr, slot in enumerate(order[: self.n_blocks]):
             self.location[addr] = slot
             self.slot_addr[slot] = addr
             buffer[slot * slot_bytes : (slot + 1) * slot_bytes] = seal(
-                addr, pad(initial_payload(addr))
+                addr, pad(initial_payload(rename(addr)))
             )
         for slot in order[self.n_blocks :]:
             self.slot_addr[slot] = DUMMY_ADDR

@@ -65,7 +65,8 @@ class Request:
     op: OpKind
     addr: int
     data: bytes | None = None
-    user: int = 0
+    #: tenant tag; ``None`` means "untagged" (multi-user front ends set it).
+    user: int | None = None
     request_id: int = field(default_factory=lambda: next(_request_ids))
 
     def __post_init__(self) -> None:
@@ -75,11 +76,11 @@ class Request:
             raise ValueError("addresses are non-negative")
 
     @classmethod
-    def read(cls, addr: int, user: int = 0) -> "Request":
+    def read(cls, addr: int, user: int | None = None) -> "Request":
         return cls(op=OpKind.READ, addr=addr, user=user)
 
     @classmethod
-    def write(cls, addr: int, data: bytes, user: int = 0) -> "Request":
+    def write(cls, addr: int, data: bytes, user: int | None = None) -> "Request":
         return cls(op=OpKind.WRITE, addr=addr, data=data, user=user)
 
 

@@ -83,12 +83,15 @@ class SimulationEngine:
     def _run_batched(self, requests: Sequence[Request]) -> None:
         entries = [self.protocol.submit(request) for request in requests]
         if self.verify:
+            # Compute expectations before folding this run's writes into the
+            # reference, so reads that precede a write in *this* stream still
+            # see the value left by earlier runs.
+            expected = self._expected_sequence(requests)
             for request in requests:
                 self._shadow_write(request)
         self.protocol.drain()
         if self.verify:
             # Replay the stream order against the shadow history.
-            expected = self._expected_sequence(requests)
             for entry, want in zip(entries, expected):
                 if want is None:
                     continue
@@ -128,8 +131,14 @@ class SimulationEngine:
             self._reference[request.addr] = self._pad(request.data)
 
     def _expected_sequence(self, requests: Sequence[Request]) -> list[bytes | None]:
-        """Expected result per request, replaying writes in program order."""
-        state: dict[int, bytes] = {}
+        """Expected result per request, replaying writes in program order.
+
+        The replay starts from ``self._reference`` -- the shadow state left
+        by earlier :meth:`run` calls on this engine -- so a second batched
+        run that reads an address written in an earlier run verifies against
+        that earlier write, exactly like the synchronous path does.
+        """
+        state: dict[int, bytes] = dict(self._reference)
         expected: list[bytes | None] = []
         for request in requests:
             if request.op is OpKind.WRITE:

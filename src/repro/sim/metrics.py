@@ -140,7 +140,12 @@ class Metrics:
             self.stash_peak = occupancy
 
     def merge(self, other: "Metrics") -> "Metrics":
-        """Field-wise sum (peaks take max); ``extra`` dicts are unioned."""
+        """Field-wise sum (peaks take max); numeric ``extra`` values sum.
+
+        Non-numeric ``extra`` values keep last-wins union semantics; the
+        numeric ones (all the protocol-emitted counters) add up so merging
+        per-shard metrics does not silently drop counts.
+        """
         merged = Metrics()
         for f in fields(Metrics):
             if f.name == "extra":
@@ -151,7 +156,13 @@ class Metrics:
                 setattr(merged, f.name, max(a, b))
             else:
                 setattr(merged, f.name, a + b)
-        merged.extra = {**self.extra, **other.extra}
+        merged.extra = dict(self.extra)
+        for key, value in other.extra.items():
+            base = merged.extra.get(key)
+            if isinstance(base, (int, float)) and isinstance(value, (int, float)):
+                merged.extra[key] = base + value
+            else:
+                merged.extra[key] = value
         return merged
 
     def diff(self, earlier: "Metrics") -> "Metrics":

@@ -81,6 +81,62 @@ class TestServiceAndFairness:
         user1_read = [e for e in retired if e.request.user == 1][0]
         assert user1_read.result == front.oram.codec.pad(initial_payload(261))
 
+    def test_submit_does_not_mutate_caller_request(self, front):
+        template = Request.read(10)
+        front.submit(0, template)
+        assert template.user is None  # untouched default, not re-tagged
+        # The same template can be reused for another user without
+        # silently re-tagging the first queued entry.
+        other = Request.read(300)
+        front.submit(1, other)
+        retired = front.pump()
+        users = sorted(e.request.user for e in retired)
+        assert users == [0, 1]
+
+    def test_shared_template_across_users_keeps_both_tags(self, front):
+        # One request object templated to both users: each queued entry
+        # must keep its own tag (the old in-place tagging re-tagged the
+        # earlier entry).
+        front.register_user(2)  # unrestricted
+        template = Request.read(42)
+        front.submit(0, template)
+        front.submit(2, template)
+        retired = front.pump()
+        assert sorted(e.request.user for e in retired) == [0, 2]
+        assert front.stats(0).served == 1
+        assert front.stats(2).served == 1
+
+    def test_unregistered_and_untagged_retirees_bucketed(self, front):
+        # Requests submitted directly to the back end (before/around the
+        # front end) retire with an unknown or absent user tag; pump must
+        # bucket them instead of crashing stats accounting.
+        front.oram.submit(Request.read(40, user=99))  # never registered
+        front.oram.submit(Request.read(41))  # untagged (user is None)
+        front.submit(0, Request.read(10))
+        retired = front.pump()
+        assert len(retired) == 3
+        assert front.unattributed_retired == 2
+        # The untagged direct submission must NOT be attributed to a
+        # registered user (0 is registered here).
+        assert front.stats(0).served == 1
+
+    def test_unserved_latency_not_counted_in_mean(self, front):
+        front.submit(0, Request.read(1))
+        front.submit(0, Request.read(2))
+        retired = front.pump()
+        # Sabotage one entry's latency stamp and re-account it: the mean
+        # must ignore the invalid sample rather than dilute it with zeros.
+        broken = retired[0]
+        broken.served_cycle = -1
+        stats_before = front.stats(0)
+        samples_before = stats_before.latency_samples
+        total_before = stats_before.total_latency_cycles
+        front._account([broken])
+        stats = front.stats(0)
+        assert stats.served == 3  # still counted as served
+        assert stats.latency_samples == samples_before  # but not in the mean
+        assert stats.total_latency_cycles == total_before
+
     def test_latency_balance(self, front):
         for i in range(25):
             front.submit(0, Request.read(i % 100))

@@ -79,6 +79,51 @@ class TestSelection:
         assert plan.dummy_hits == 1
 
 
+class TestSaturation:
+    """The lookahead window under a backlog of stalled misses."""
+
+    def test_inflight_entries_do_not_starve_later_misses(self):
+        # Fill the front of the window with MISS_INFLIGHT entries (their
+        # loads were scheduled in earlier cycles and have not landed); the
+        # scheduler must still pick the first still-pending miss behind
+        # them instead of issuing a dummy load.
+        rob = RobTable()
+        entries = push(rob, [1, 2, 3, 4, 5])
+        for entry in entries[:3]:
+            entry.state = EntryState.MISS_INFLIGHT
+        plan = make_scheduler(window=9).plan(rob, 2, lambda a: False, set())
+        assert plan.miss is entries[3]
+        assert not plan.dummy_miss
+        assert plan.shape() == (2, 1)
+        # Stalled entries stay untouched, waiting for their loads.
+        for entry in entries[:3]:
+            assert entry.state is EntryState.MISS_INFLIGHT
+
+    def test_window_full_of_inflight_pads_with_dummy(self):
+        rob = RobTable()
+        entries = push(rob, [1, 2, 3])
+        for entry in entries:
+            entry.state = EntryState.MISS_INFLIGHT
+        plan = make_scheduler(window=3).plan(rob, 3, lambda a: False, set())
+        assert plan.miss is None and plan.dummy_miss
+        assert plan.shape() == (3, 1)
+
+    def test_saturated_window_mixed_states_keeps_shape(self):
+        rob = RobTable()
+        entries = push(rob, list(range(12)))
+        entries[0].state = EntryState.MISS_INFLIGHT
+        entries[1].state = EntryState.READY
+        entries[4].state = EntryState.MISS_INFLIGHT
+        cached = {2, 3}.__contains__
+        plan = make_scheduler(window=9).plan(rob, 3, cached, set())
+        assert plan.shape() == (3, 1)
+        # READY and cached entries fill the hit slots...
+        assert [e.addr for e in plan.hits] == [1, 2, 3]
+        # ...and the first schedulable pending miss behind the stalled
+        # ones gets the load slot.
+        assert plan.miss is entries[5]
+
+
 class TestWindowLimit:
     def test_lookahead_respected(self):
         rob = RobTable()
