@@ -72,13 +72,16 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     _print_header()
+    exit_code = 0
     for name, experiment in experiments:
         started = time.perf_counter()
         result = experiment(scale=args.scale)
         elapsed = time.perf_counter() - started
         print(result.render())
         print(f"\n[{name} completed in {elapsed:.1f} s wall-clock]\n")
-    return 0
+        if not result.ok:
+            exit_code = 1
+    return exit_code
 
 
 if __name__ == "__main__":

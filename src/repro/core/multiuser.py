@@ -97,6 +97,21 @@ class MultiUserFrontEnd:
     def stats(self, user: int) -> UserStats:
         return self._user(user).stats
 
+    def total_stats(self) -> UserStats:
+        """Aggregate accounting across every registered user.
+
+        The conformance harness asserts ``total_stats().served`` equals the
+        stream length -- no request is lost or double-attributed by the
+        round-robin feed, whatever back end is underneath.
+        """
+        total = UserStats()
+        for entry in self._users.values():
+            total.submitted += entry.stats.submitted
+            total.served += entry.stats.served
+            total.latency_samples += entry.stats.latency_samples
+            total.total_latency_cycles += entry.stats.total_latency_cycles
+        return total
+
     # ------------------------------------------------------------- traffic
     def submit(self, user: int, request: Request) -> None:
         """Queue a request on the user's FIFO (ACL-checked here).

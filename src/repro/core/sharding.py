@@ -154,6 +154,20 @@ class ShardedHORAM(ORAMProtocol):
     def current_c(self) -> int:
         return max(shard.current_c for shard in self.shards)
 
+    @property
+    def served_log(self) -> list[tuple[int, int, int]]:
+        """Fleet-wide served log: ``(shard, global_addr, shard_cycle)``.
+
+        Cycle indexes are per-shard counters (aligned across shards in
+        lockstep mode); analyzers and the golden-fingerprint tests read
+        this instead of poking shard internals.
+        """
+        log: list[tuple[int, int, int]] = []
+        for index, shard in enumerate(self.shards):
+            for local, cycle in shard.served_log:
+                log.append((index, self.global_addr(index, local), cycle))
+        return log
+
     # -------------------------------------------------------------- routing
     def shard_of(self, addr: int) -> int:
         return addr % self.n_shards
@@ -300,6 +314,7 @@ def build_sharded_horam(
     modeled_block_bytes: int = 1024,
     seed: int = 0,
     lockstep: bool = True,
+    trace: bool = False,
     storage_device=None,
     memory_device=None,
     **config_kwargs,
@@ -343,6 +358,7 @@ def build_sharded_horam(
                 payload_bytes=payload_bytes,
                 modeled_block_bytes=modeled_block_bytes,
                 seed=shard_seed,
+                trace=trace,
                 storage_device=storage_device,
                 memory_device=memory_device,
                 initial_addr_map=lambda local, index=index: local * n_shards + index,

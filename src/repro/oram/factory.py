@@ -185,3 +185,37 @@ def build_partition(
     )
     oram.hierarchy = hierarchy
     return oram
+
+
+#: Baseline protocols by short name (the conformance matrix iterates this).
+BASELINES = {
+    "path": build_path_oram,
+    "sqrt": build_square_root,
+    "partition": build_partition,
+    "plain": build_plain,
+}
+
+
+def build_baseline(
+    name: str,
+    n_blocks: int,
+    memory_blocks: int | None = None,
+    **kwargs,
+):
+    """Build any baseline by name with one normalized signature.
+
+    Only Path ORAM takes a memory budget; for the others
+    ``memory_blocks`` is accepted and ignored so callers can sweep one
+    geometry across every scheme.
+    """
+    try:
+        builder = BASELINES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown baseline {name!r} (valid: {', '.join(sorted(BASELINES))})"
+        ) from None
+    if name == "path":
+        if memory_blocks is None:
+            raise ValueError("path baseline needs memory_blocks")
+        return builder(n_blocks, memory_blocks, **kwargs)
+    return builder(n_blocks, **kwargs)

@@ -39,12 +39,18 @@ class SimulationEngine:
         protocol: ORAMProtocol,
         hierarchy: StorageHierarchy | None = None,
         verify: bool = False,
+        record_results: bool = False,
     ):
         self.protocol = protocol
         self.hierarchy = hierarchy if hierarchy is not None else getattr(protocol, "hierarchy", None)
         if self.hierarchy is None:
             raise ValueError("engine needs the protocol's hierarchy for timing/IO accounting")
         self.verify = verify
+        self.record_results = record_results
+        #: per-request served payloads in stream order (``record_results``
+        #: only); synchronous writes record ``None`` -- their protocols
+        #: return nothing -- while batched entries carry the written value.
+        self.results: list[bytes | None] = []
         self._reference: dict[int, bytes] = {}
 
     # ----------------------------------------------------------------- run
@@ -90,6 +96,8 @@ class SimulationEngine:
             for request in requests:
                 self._shadow_write(request)
         self.protocol.drain()
+        if self.record_results:
+            self.results.extend(entry.result for entry in entries)
         if self.verify:
             # Replay the stream order against the shadow history.
             for entry, want in zip(entries, expected):
@@ -104,6 +112,8 @@ class SimulationEngine:
         for request in requests:
             if request.op is OpKind.READ:
                 result = self.protocol.read(request.addr)
+                if self.record_results:
+                    self.results.append(result)
                 if self.verify:
                     want = self._reference.get(request.addr, self._initial(request.addr))
                     if result != want:
@@ -113,6 +123,8 @@ class SimulationEngine:
             else:
                 assert request.data is not None
                 self.protocol.write(request.addr, request.data)
+                if self.record_results:
+                    self.results.append(None)
                 if self.verify:
                     self._shadow_write(request)
 

@@ -10,6 +10,9 @@ This package is the "real machine" of Table 5-2, rebuilt as a simulator:
   duration and (optionally) appends to an adversary-visible trace.
 * :mod:`repro.storage.trace` -- the access trace an adversary on the
   memory/I-O bus would observe; consumed by :mod:`repro.security`.
+* :mod:`repro.storage.faults` -- deterministic fault injection (transient
+  read errors, latency spikes, torn bulk writes, silent corruption) at
+  the :class:`BlockStore` boundary; consumed by :mod:`repro.testing`.
 * :mod:`repro.storage.hierarchy` -- bundles a memory-tier store and a
   storage-tier store over one clock, mirroring Figure 3-1's hardware
   setting.
@@ -26,10 +29,22 @@ from repro.storage.device import (
     ssd_sata,
 )
 from repro.storage.backend import BlockStore
+from repro.storage.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultStats,
+    UnrecoverableFaultError,
+    degraded,
+)
 from repro.storage.trace import TraceEvent, TraceRecorder
 from repro.storage.hierarchy import StorageHierarchy
 
 __all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
+    "UnrecoverableFaultError",
+    "degraded",
     "DeviceModel",
     "HDDModel",
     "SSDModel",

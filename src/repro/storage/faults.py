@@ -1,0 +1,294 @@
+"""Deterministic fault injection for the storage tier.
+
+The conformance harness (:mod:`repro.testing`) stresses every protocol
+under adverse I/O conditions.  Faults are injected at the
+:class:`~repro.storage.backend.BlockStore` boundary -- the same five
+methods every protocol in this repository funnels its physical accesses
+through -- so one injector covers H-ORAM, the baselines and the sharded
+fleet without protocol-specific hooks.
+
+Semantics (the contract the conformance scenarios assert):
+
+* **transient read errors** -- a read attempt fails and the device layer
+  retries it.  Each retry re-pays the full access duration; after
+  ``max_retries`` consecutive failures the fault is *unrecoverable* and
+  :class:`UnrecoverableFaultError` propagates to the protocol.  Data is
+  never silently wrong on this path.
+* **latency spikes** -- an access occasionally takes ``spike_factor``
+  times its modeled duration (queueing, background GC, relocated
+  sectors).  Purely a timing perturbation.
+* **torn bulk writes** -- a ``write_run`` is interrupted partway: only a
+  prefix of the run lands, the tear is detected (write-verify), and the
+  whole run is re-issued.  The final stored bytes are correct; the store
+  pays for the partial attempt plus the full retry.
+* **silent read corruption** -- a read returns bit-flipped bytes with no
+  error signalled.  This one is deliberately *not* recovered: it models
+  the failure class ORAM integrity checking exists for, and the harness
+  uses it to seed reproducible failures for the scenario shrinker.
+
+All randomness comes from one :class:`DeterministicRandom` seeded by the
+:class:`FaultPlan`, so a scenario replays bit-identically from its
+(seed, plan) pair.  Injection wraps the methods of an existing store
+*instance* (the protocols hold direct references to their stores, handed
+out at construction time), leaving the class and all other instances
+untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from repro.crypto.random import DeterministicRandom
+from repro.storage.backend import BlockStore
+from repro.storage.device import DeviceModel
+
+
+class FaultError(Exception):
+    """Base class for injected-fault failures."""
+
+
+class UnrecoverableFaultError(FaultError):
+    """A transient fault persisted past the retry budget."""
+
+
+@dataclass
+class FaultPlan:
+    """Declarative fault mix; JSON-able so scenario specs can carry it."""
+
+    seed: int = 0
+    read_error_rate: float = 0.0
+    latency_spike_rate: float = 0.0
+    spike_factor: float = 10.0
+    torn_write_rate: float = 0.0
+    corrupt_read_rate: float = 0.0
+    max_retries: int = 3
+
+    def __post_init__(self) -> None:
+        for name in ("read_error_rate", "latency_spike_rate", "torn_write_rate", "corrupt_read_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.spike_factor < 1.0:
+            raise ValueError("spike_factor must be >= 1")
+        if self.max_retries < 1:
+            raise ValueError("max_retries must be >= 1")
+
+    def active(self) -> bool:
+        return any(
+            rate > 0.0
+            for rate in (
+                self.read_error_rate,
+                self.latency_spike_rate,
+                self.torn_write_rate,
+                self.corrupt_read_rate,
+            )
+        )
+
+    def describe(self) -> str:
+        parts = []
+        if self.read_error_rate:
+            parts.append(f"read-err {self.read_error_rate:g}")
+        if self.latency_spike_rate:
+            parts.append(f"spike {self.latency_spike_rate:g}x{self.spike_factor:g}")
+        if self.torn_write_rate:
+            parts.append(f"torn {self.torn_write_rate:g}")
+        if self.corrupt_read_rate:
+            parts.append(f"corrupt {self.corrupt_read_rate:g}")
+        return ", ".join(parts) or "none"
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        return cls(**data)
+
+
+@dataclass
+class FaultStats:
+    """What the injector actually did (per injector, across its stores)."""
+
+    read_faults: int = 0
+    retries: int = 0
+    latency_spikes: int = 0
+    torn_writes: int = 0
+    corrupted_reads: int = 0
+    injected_delay_us: float = 0.0
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+class FaultInjector:
+    """Wraps the physical-access methods of live :class:`BlockStore`\\ s.
+
+    One injector may attach to several stores (a sharded fleet); all
+    share the plan's random stream, so the injection sequence is a pure
+    function of the plan and the order of physical accesses -- which is
+    itself deterministic for a fixed scenario.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.rng = DeterministicRandom(f"fault-{plan.seed}")
+        self.stats = FaultStats()
+        self._stores: list[BlockStore] = []
+
+    # ------------------------------------------------------------- rolling
+    def _roll(self, rate: float) -> bool:
+        # Disabled fault kinds consume no randomness, so enabling one kind
+        # does not shift another kind's injection points.
+        return rate > 0.0 and self.rng.random() < rate
+
+    def _perturb_read(self, store: BlockStore, op: str, duration: float) -> float:
+        """Common read-path injection: transient errors then latency spikes."""
+        extra = 0.0
+        if self._roll(self.plan.read_error_rate):
+            # Consecutive failed attempts for this transient fault (>= 1);
+            # one more failure past the retry budget escalates.  Either
+            # way the failed attempts are recorded and charged first, so
+            # fault stats stay truthful for aborted runs too.
+            attempts = 1
+            while attempts < self.plan.max_retries and self._roll(self.plan.read_error_rate):
+                attempts += 1
+            escalate = attempts >= self.plan.max_retries and self._roll(self.plan.read_error_rate)
+            self.stats.read_faults += 1
+            self.stats.retries += attempts
+            retry_us = duration * attempts
+            store.counters.busy_us += retry_us
+            self.stats.injected_delay_us += retry_us
+            if escalate:
+                raise UnrecoverableFaultError(
+                    f"{op} on store '{store.name}' failed {self.plan.max_retries} retries"
+                )
+            extra += retry_us
+        if self._roll(self.plan.latency_spike_rate):
+            self.stats.latency_spikes += 1
+            spike_us = duration * (self.plan.spike_factor - 1.0)
+            store.counters.busy_us += spike_us
+            self.stats.injected_delay_us += spike_us
+            extra += spike_us
+        return duration + extra
+
+    def _perturb_write(self, store: BlockStore, duration: float) -> float:
+        extra = 0.0
+        if self._roll(self.plan.latency_spike_rate):
+            self.stats.latency_spikes += 1
+            extra += duration * (self.plan.spike_factor - 1.0)
+        if extra:
+            store.counters.busy_us += extra
+            self.stats.injected_delay_us += extra
+        return duration + extra
+
+    def _corrupt(self, record: bytes) -> bytes:
+        """Flip one deterministic bit of a returned record."""
+        flipped = bytearray(record)
+        position = self.rng.randrange(len(flipped) * 8)
+        flipped[position // 8] ^= 1 << (position % 8)
+        return bytes(flipped)
+
+    # -------------------------------------------------------------- attach
+    def attach(self, store: BlockStore) -> BlockStore:
+        """Intercept ``store``'s physical accesses; returns the store.
+
+        Idempotent: attaching the same store twice would nest the
+        wrappers and double-count every fault, so repeats are no-ops.
+        """
+        if any(existing is store for existing in self._stores):
+            return store
+        injector = self
+
+        orig_read_slot = store.read_slot
+        orig_read_run = store.read_run
+        orig_read_run_view = store.read_run_view
+        orig_write_slot = store.write_slot
+        orig_write_run = store.write_run
+
+        def read_slot(slot):
+            record, duration = orig_read_slot(slot)
+            duration = injector._perturb_read(store, "read_slot", duration)
+            if injector._roll(injector.plan.corrupt_read_rate):
+                injector.stats.corrupted_reads += 1
+                record = injector._corrupt(record)
+            return record, duration
+
+        def read_run(start, count):
+            records, duration = orig_read_run(start, count)
+            duration = injector._perturb_read(store, "read_run", duration)
+            if injector._roll(injector.plan.corrupt_read_rate):
+                injector.stats.corrupted_reads += 1
+                index = injector.rng.randrange(len(records))
+                records[index] = injector._corrupt(records[index])
+            return records, duration
+
+        def read_run_view(start, count):
+            view, duration = orig_read_run_view(start, count)
+            duration = injector._perturb_read(store, "read_run_view", duration)
+            if injector._roll(injector.plan.corrupt_read_rate):
+                # A view aliases live storage; corrupt a copy, not the disk.
+                injector.stats.corrupted_reads += 1
+                copied = bytearray(view)
+                slot_bytes = store.slot_bytes
+                index = injector.rng.randrange(len(copied) // slot_bytes)
+                base = index * slot_bytes
+                copied[base : base + slot_bytes] = injector._corrupt(
+                    bytes(copied[base : base + slot_bytes])
+                )
+                view = memoryview(copied)
+            return view, duration
+
+        def write_slot(slot, record):
+            duration = orig_write_slot(slot, record)
+            return injector._perturb_write(store, duration)
+
+        def write_run(start, records):
+            if isinstance(records, (bytes, bytearray, memoryview)):
+                count = memoryview(records).nbytes // store.slot_bytes
+            else:
+                count = len(records)
+            # A run of one slot cannot tear (the slot write is atomic), so
+            # the roll is only consumed -- and the tear only counted --
+            # for genuinely tearable runs.
+            if count > 1 and injector._roll(injector.plan.torn_write_rate):
+                # Tear: a prefix lands, the verify catches it, the full
+                # run is re-issued.  Charge both attempts for real.
+                cut = 1 + injector.rng.randrange(count - 1)
+                if isinstance(records, (bytes, bytearray, memoryview)):
+                    prefix = memoryview(records)[: cut * store.slot_bytes]
+                else:
+                    prefix = records[:cut]
+                retry_us = orig_write_run(start, prefix)
+                duration = retry_us + orig_write_run(start, records)
+                injector.stats.torn_writes += 1
+                # the partial attempt is injected delay like any other fault
+                injector.stats.injected_delay_us += retry_us
+            else:
+                duration = orig_write_run(start, records)
+            return injector._perturb_write(store, duration)
+
+        store.read_slot = read_slot
+        store.read_run = read_run
+        store.read_run_view = read_run_view
+        store.write_slot = write_slot
+        store.write_run = write_run
+        store.fault_injector = self
+        self._stores.append(store)
+        return store
+
+
+def degraded(base: DeviceModel, slowdown: float = 4.0) -> DeviceModel:
+    """A uniformly slower copy of ``base`` (aging disk, throttled cloud volume).
+
+    Positioning overheads scale up and streaming rates scale down by
+    ``slowdown``; the result is a plain frozen :class:`DeviceModel`, so
+    the store's stock fast path still applies.
+    """
+    if slowdown < 1.0:
+        raise ValueError("slowdown must be >= 1")
+    return DeviceModel(
+        name=f"{base.name}-degraded{slowdown:g}x",
+        read_overhead_us=base.read_overhead_us * slowdown,
+        write_overhead_us=base.write_overhead_us * slowdown,
+        read_mb_per_s=base.read_mb_per_s / slowdown,
+        write_mb_per_s=base.write_mb_per_s / slowdown,
+    )

@@ -1,0 +1,46 @@
+"""The insecure reference oracle every conformance scenario diffs against.
+
+A plain dict replay of the logical block store: no encryption, no
+shuffling, no timing -- just "what bytes must a correct ORAM serve".
+Kept separate from :class:`~repro.sim.engine.SimulationEngine`'s inline
+verifier so the differential harness owns the comparison (and can hand a
+mismatching run to the shrinker instead of raising mid-drain).
+"""
+
+from __future__ import annotations
+
+from repro.oram.base import OpKind, Request, initial_payload
+
+
+class ReferenceOracle:
+    """Stateful logical-store model; feed it the stream in program order."""
+
+    def __init__(self, payload_bytes: int):
+        if payload_bytes <= 0:
+            raise ValueError("payload_bytes must be positive")
+        self.payload_bytes = payload_bytes
+        self.state: dict[int, bytes] = {}
+
+    def pad(self, data: bytes) -> bytes:
+        return data.ljust(self.payload_bytes, b"\x00")
+
+    def value(self, addr: int) -> bytes:
+        """Current logical content of ``addr`` (initial if never written)."""
+        return self.state.get(addr, self.pad(initial_payload(addr)))
+
+    def expect(self, request: Request) -> bytes:
+        """Advance the model by one request; return the expected result.
+
+        Reads expect the current value; writes store and expect the padded
+        new value (what batched protocols hand back on the ROB entry --
+        synchronous protocols return nothing for writes, so callers skip
+        the comparison there).
+        """
+        if request.op is OpKind.WRITE:
+            assert request.data is not None
+            self.state[request.addr] = self.pad(request.data)
+            return self.state[request.addr]
+        return self.value(request.addr)
+
+    def expect_all(self, requests) -> list[bytes]:
+        return [self.expect(request) for request in requests]

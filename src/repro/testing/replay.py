@@ -1,0 +1,35 @@
+"""Replay a saved scenario spec: ``python -m repro.testing.replay spec.json``.
+
+The exit code reports whether the run matched the spec's expectation:
+``0`` when a normal scenario passed or an ``expect_failure`` scenario
+(e.g. a shrunk corruption repro) failed again, ``1`` otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.testing.scenario import ScenarioRunner, ScenarioSpec
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.testing.replay",
+        description="Replay a conformance scenario from its JSON spec.",
+    )
+    parser.add_argument("spec", type=Path, help="path to a ScenarioSpec JSON file")
+    args = parser.parse_args(argv)
+
+    spec = ScenarioSpec.from_json(args.spec.read_text(encoding="utf-8"))
+    result = ScenarioRunner().run(spec)
+    print(result.summary())
+    if spec.expect_failure:
+        print("(scenario expects failure: reproduced)" if not result.ok else "(expected a failure but the run passed)")
+        return 0 if not result.ok else 1
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,260 @@
+"""Differential scenario execution.
+
+One :class:`ScenarioSpec` names a workload, a stack and (optionally) a
+fault plan -- all JSON-able, so any run, including a shrunk failing one,
+replays from its spec alone.  :class:`ScenarioRunner` executes the spec
+and differentially compares everything observable against the insecure
+:class:`~repro.testing.oracle.ReferenceOracle`:
+
+* every served result (reads always; writes where the API returns the
+  written value),
+* the final logical state over a deterministic address sample,
+* metrics invariants (nothing lost, nothing double-served, accounting
+  sane).
+
+Failures are collected, not raised, so the caller can hand a failing
+spec to :mod:`repro.testing.shrinker` for minimization.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+from repro.crypto.random import DeterministicRandom
+from repro.oram.base import OpKind, Request
+from repro.sim.engine import SimulationEngine
+from repro.sim.metrics import Metrics
+from repro.storage.faults import FaultInjector, FaultPlan, FaultStats
+from repro.testing.oracle import ReferenceOracle
+from repro.testing.stacks import BuiltStack, StackSpec, build_stack
+from repro.workload.generators import WorkloadSpec, make_workload
+
+#: Cap on reported per-request mismatches (the count is still exact).
+_MAX_REPORTED = 5
+
+
+@dataclass
+class ScenarioSpec:
+    """One replayable conformance scenario (seed + spec = the whole run)."""
+
+    name: str
+    stack: StackSpec = field(default_factory=StackSpec)
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    faults: FaultPlan | None = None
+    #: scenarios that *should* fail (seeded corruption demos) are inverted
+    #: by the matrix runner, not by the scenario itself.
+    expect_failure: bool = False
+    final_state_sample: int = 32
+
+    def __post_init__(self) -> None:
+        if self.workload.n_blocks > self.stack.n_blocks:
+            raise ValueError(
+                f"workload spans {self.workload.n_blocks} blocks but the stack "
+                f"serves only {self.stack.n_blocks}"
+            )
+
+    # -------------------------------------------------------- serialization
+    def to_json(self) -> str:
+        data = asdict(self)
+        data["faults"] = self.faults.to_dict() if self.faults else None
+        return json.dumps(data, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        data = json.loads(text)
+        faults = data.pop("faults", None)
+        stack = StackSpec.from_dict(data.pop("stack"))
+        workload = WorkloadSpec(**data.pop("workload"))
+        return cls(
+            stack=stack,
+            workload=workload,
+            faults=FaultPlan.from_dict(faults) if faults else None,
+            **data,
+        )
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one scenario run."""
+
+    spec: ScenarioSpec
+    ok: bool
+    requests: int
+    failures: list[str] = field(default_factory=list)
+    mismatches: int = 0
+    final_state_checked: int = 0
+    error: str | None = None
+    metrics: Metrics | None = None
+    fault_stats: FaultStats | None = None
+
+    def summary(self) -> str:
+        status = "PASS" if self.ok else "FAIL"
+        head = f"{status} {self.spec.name} ({self.requests} requests)"
+        if self.failures:
+            head += "\n  " + "\n  ".join(self.failures[:_MAX_REPORTED + 2])
+        return head
+
+
+class ScenarioRunner:
+    """Runs scenario specs; every run builds a fresh, isolated stack."""
+
+    def run(self, spec: ScenarioSpec) -> ScenarioResult:
+        requests = make_workload(spec.workload)
+        failures: list[str] = []
+        stack = build_stack(spec.stack)
+        injector = None
+        if spec.faults is not None and spec.faults.active():
+            injector = FaultInjector(spec.faults)
+            for store in stack.storage_stores:
+                injector.attach(store)
+
+        oracle = ReferenceOracle(stack.payload_bytes)
+        expected = oracle.expect_all(requests)
+
+        metrics = None
+        try:
+            results, metrics = self._execute(stack, requests)
+        except Exception as error:  # noqa: BLE001 -- faults legitimately raise
+            return ScenarioResult(
+                spec=spec,
+                ok=False,
+                requests=len(requests),
+                failures=[f"run raised {type(error).__name__}: {error}"],
+                error=f"{type(error).__name__}: {error}",
+                fault_stats=injector.stats if injector else None,
+            )
+
+        mismatches = self._compare_results(requests, results, expected, failures)
+        checked = self._check_final_state(stack, oracle, spec, failures)
+        self._check_invariants(stack, metrics, len(requests), failures)
+
+        return ScenarioResult(
+            spec=spec,
+            ok=not failures,
+            requests=len(requests),
+            failures=failures,
+            mismatches=mismatches,
+            final_state_checked=checked,
+            metrics=metrics,
+            fault_stats=injector.stats if injector else None,
+        )
+
+    # ------------------------------------------------------------ execution
+    def _execute(self, stack: BuiltStack, requests) -> tuple[list, Metrics]:
+        if stack.front is not None:
+            return self._execute_multiuser(stack, requests)
+        engine = SimulationEngine(stack.protocol, record_results=True)
+        metrics = engine.run(requests)
+        return engine.results, metrics
+
+    def _execute_multiuser(self, stack: BuiltStack, requests) -> tuple[list, Metrics]:
+        """Round-robin the stream over the registered users, then pump.
+
+        Retirement order interleaves across users, so results are matched
+        back to stream order by request id.
+        """
+        front = stack.front
+        users = front.users()
+        before = stack.protocol.metrics.copy()
+        for index, request in enumerate(requests):
+            front.submit(users[index % len(users)], request)
+        retired = front.pump()
+        by_id = {entry.request.request_id: entry.result for entry in retired}
+        results = [by_id.get(request.request_id) for request in requests]
+        metrics = stack.protocol.metrics.diff(before)
+        return results, metrics
+
+    # ----------------------------------------------------------- comparison
+    def _compare_results(self, requests, results, expected, failures) -> int:
+        if len(results) != len(requests):
+            failures.append(
+                f"served {len(results)} results for {len(requests)} requests"
+            )
+            return abs(len(requests) - len(results))
+        mismatches = 0
+        for index, (request, got, want) in enumerate(zip(requests, results, expected)):
+            if request.op is OpKind.WRITE and got is None:
+                continue  # synchronous APIs return nothing for writes
+            if got != want:
+                mismatches += 1
+                if mismatches <= _MAX_REPORTED:
+                    failures.append(
+                        f"request {index} ({request.op.value} addr {request.addr}): "
+                        f"got {got!r}, want {want!r}"
+                    )
+        if mismatches > _MAX_REPORTED:
+            failures.append(f"... {mismatches} result mismatches total")
+        return mismatches
+
+    def _check_final_state(self, stack, oracle, spec, failures) -> int:
+        """Read back a deterministic address sample after the run."""
+        if spec.final_state_sample <= 0:
+            return 0
+        n_blocks = stack.spec.n_blocks
+        rng = DeterministicRandom(f"final-state-{spec.stack.seed}")
+        sample = {rng.randrange(n_blocks) for _ in range(spec.final_state_sample)}
+        # Always include written addresses (bounded) -- where bugs live.
+        for addr in sorted(oracle.state):
+            if len(sample) >= 2 * spec.final_state_sample:
+                break
+            sample.add(addr)
+        reader = stack.protocol  # the front end delegates reads to the back end
+        bad = 0
+        for addr in sorted(sample):
+            try:
+                got = reader.read(addr)
+            except Exception as error:  # noqa: BLE001
+                failures.append(
+                    f"final-state read of addr {addr} raised "
+                    f"{type(error).__name__}: {error}"
+                )
+                return len(sample)
+            want = oracle.value(addr)
+            if got != want:
+                bad += 1
+                if bad <= _MAX_REPORTED:
+                    failures.append(
+                        f"final state addr {addr}: got {got!r}, want {want!r}"
+                    )
+        if bad > _MAX_REPORTED:
+            failures.append(f"... {bad} final-state mismatches total")
+        return len(sample)
+
+    def _check_invariants(self, stack, metrics, n_requests, failures) -> None:
+        """Metrics sanity every conforming stack must uphold."""
+        if metrics is None:
+            return
+        if stack.front is not None:
+            total = stack.front.total_stats()
+            if total.served != n_requests:
+                failures.append(
+                    f"front end attributed {total.served} served of {n_requests}"
+                )
+            if stack.front.unattributed_retired:
+                failures.append(
+                    f"{stack.front.unattributed_retired} retirees lost their user tag"
+                )
+        if metrics.requests_served != n_requests:
+            failures.append(
+                f"metrics.requests_served={metrics.requests_served}, "
+                f"expected {n_requests}"
+            )
+        if n_requests and metrics.total_time_us <= 0 and stack.front is None:
+            failures.append("clock did not advance over a non-empty run")
+        for name in ("io_reads", "io_writes", "io_time_us", "mem_time_us"):
+            value = getattr(metrics, name, 0)
+            if value < 0:
+                failures.append(f"negative accounting: metrics.{name}={value}")
+        protocol = stack.protocol
+        if getattr(protocol, "lockstep", False):
+            cycles = {shard.metrics.cycles for shard in protocol.shards}
+            if len(cycles) > 1:
+                failures.append(
+                    f"lockstep shards diverged in cycle count: {sorted(cycles)}"
+                )
+
+
+def run_spec(spec: ScenarioSpec) -> ScenarioResult:
+    """One-shot convenience wrapper."""
+    return ScenarioRunner().run(spec)

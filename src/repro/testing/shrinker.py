@@ -1,0 +1,133 @@
+"""Delta-debugging shrinker for failing conformance scenarios.
+
+Given a failing :class:`~repro.testing.scenario.ScenarioSpec`, the
+shrinker first freezes the workload into an *explicit* request list (so
+minimization operates on the stream itself, not on generator knobs),
+then runs classic ddmin: repeatedly delete chunks of the stream, keeping
+any deletion that still fails, at ever finer granularity.  Every
+candidate run builds a fresh stack from the spec, so the outcome of a
+candidate is a pure function of the candidate spec -- which is what makes
+the final minimized spec a *replayable* artifact: save its JSON, replay
+it with ``python -m repro.testing.replay``.
+
+Fault injection composes: the injector's random stream is seeded by the
+plan, so a shrunk spec re-injects its faults at the same physical
+accesses every replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.oram.base import OpKind, Request
+from repro.testing.scenario import ScenarioRunner, ScenarioSpec
+from repro.workload.generators import WorkloadSpec, make_workload
+
+
+@dataclass
+class ShrinkResult:
+    """A minimized failing scenario plus how it got there."""
+
+    spec: ScenarioSpec  # explicit-workload spec reproducing the failure
+    original_requests: int
+    shrunk_requests: int
+    attempts: int  # candidate runs executed
+    last_failures: list[str]  # what the minimized spec fails with
+
+    def summary(self) -> str:
+        return (
+            f"shrunk {self.original_requests} -> {self.shrunk_requests} requests "
+            f"in {self.attempts} candidate runs"
+        )
+
+
+def _to_items(requests: list[Request]) -> list[list]:
+    """Freeze Request objects into the JSON-able explicit-workload form."""
+    items: list[list] = []
+    for request in requests:
+        if request.op is OpKind.WRITE:
+            items.append(["w", request.addr, (request.data or b"").hex()])
+        else:
+            items.append(["r", request.addr])
+    return items
+
+
+def _explicit_spec(spec: ScenarioSpec, items: list[list]) -> ScenarioSpec:
+    workload = WorkloadSpec(
+        kind="explicit",
+        n_blocks=spec.workload.n_blocks,
+        count=len(items),
+        seed=spec.workload.seed,
+        params={"requests": items},
+    )
+    return replace(spec, name=f"{spec.name}-shrunk", workload=workload)
+
+
+def shrink(
+    spec: ScenarioSpec,
+    runner: ScenarioRunner | None = None,
+    max_attempts: int = 400,
+    assume_failing: bool = False,
+) -> ShrinkResult:
+    """Minimize a failing scenario's request stream (ddmin).
+
+    Raises :class:`ValueError` if the spec does not fail as given --
+    there is nothing to shrink (and silently "shrinking" a passing
+    scenario would manufacture evidence of a bug that is not there).
+    Callers that just ran the spec and watched it fail can pass
+    ``assume_failing=True`` to skip the redundant initial probe (the
+    final-spec replay at the end still guards against a bad assumption).
+    """
+    runner = runner or ScenarioRunner()
+    items = _to_items(make_workload(spec.workload))
+    original = len(items)
+    attempts = 0
+    last_failures: list[str] = []
+
+    def fails(candidate: list[list]) -> bool:
+        nonlocal attempts, last_failures
+        attempts += 1
+        result = runner.run(_explicit_spec(spec, candidate))
+        if not result.ok:
+            last_failures = list(result.failures)
+        return not result.ok
+
+    if not assume_failing and not fails(items):
+        raise ValueError(f"scenario {spec.name!r} does not fail; nothing to shrink")
+
+    granularity = 2
+    while len(items) >= 2 and attempts < max_attempts:
+        chunk = max(1, len(items) // granularity)
+        reduced = False
+        for start in range(0, len(items), chunk):
+            candidate = items[:start] + items[start + chunk :]
+            if not candidate:
+                continue
+            if attempts >= max_attempts:
+                break
+            if fails(candidate):
+                items = candidate
+                granularity = max(2, granularity - 1)
+                reduced = True
+                break
+        if not reduced:
+            if chunk == 1:
+                break  # 1-minimal: no single request can be removed
+            granularity = min(len(items), granularity * 2)
+
+    # Re-establish the failure on the final spec so last_failures matches it.
+    final = _explicit_spec(spec, items)
+    final_result = runner.run(final)
+    if final_result.ok:  # pragma: no cover -- determinism / assumption guard
+        raise ValueError(
+            f"minimized spec for {spec.name!r} does not fail on replay -- "
+            "either the scenario passes (bad assume_failing) or the failure "
+            "is nondeterministic"
+        )
+    return ShrinkResult(
+        spec=final,
+        original_requests=original,
+        shrunk_requests=len(items),
+        attempts=attempts + 1,
+        last_failures=list(final_result.failures),
+    )

@@ -1,0 +1,132 @@
+"""Stack construction for conformance scenarios.
+
+A *stack* is everything between the workload and the simulated device:
+one of the protocols (H-ORAM, the three baselines, the unprotected
+store), optionally sharded, optionally fronted by the multi-user
+multiplexer -- built on a named device model from one declarative
+:class:`StackSpec`.  Every combination the repo can serve is reachable
+here, which is what lets one scenario replay across the whole zoo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+from repro.core.horam import build_horam
+from repro.core.multiuser import MultiUserFrontEnd
+from repro.core.sharding import build_sharded_horam
+from repro.oram.factory import BASELINES, build_baseline
+from repro.storage.backend import BlockStore
+from repro.storage.device import ddr4_2133, hdd_paper, hdd_realistic, ssd_sata
+from repro.storage.faults import degraded
+
+#: Device models by name (JSON-able scenario specs carry the name).
+DEVICES = {
+    "hdd-paper": hdd_paper,
+    "hdd-7200rpm": hdd_realistic,
+    "ssd-sata": ssd_sata,
+    "ddr4-2133": ddr4_2133,
+    "hdd-degraded": lambda: degraded(hdd_paper(), 4.0),
+    "ssd-degraded": lambda: degraded(ssd_sata(), 4.0),
+}
+
+#: Protocols a StackSpec may name.
+PROTOCOLS = ("horam", "sharded") + tuple(sorted(BASELINES))
+
+
+@dataclass
+class StackSpec:
+    """Declarative description of one protocol stack (JSON-able)."""
+
+    protocol: str = "horam"
+    n_blocks: int = 512
+    mem_blocks: int = 128
+    n_shards: int = 1
+    users: int = 0  # 0 = no multi-user front end
+    device: str = "hdd-paper"
+    seed: int = 0
+    lockstep: bool = True
+
+    def __post_init__(self) -> None:
+        if self.protocol not in PROTOCOLS:
+            raise ValueError(
+                f"unknown protocol {self.protocol!r} (valid: {', '.join(PROTOCOLS)})"
+            )
+        if self.device not in DEVICES:
+            raise ValueError(
+                f"unknown device {self.device!r} (valid: {', '.join(sorted(DEVICES))})"
+            )
+        if self.users and self.protocol not in ("horam", "sharded"):
+            raise ValueError("the multi-user front end needs a batched back end")
+
+    def label(self) -> str:
+        name = self.protocol
+        if self.protocol == "sharded":
+            name += f"x{self.n_shards}"
+        if self.users:
+            name += f"+mu{self.users}"
+        return f"{name}@{self.device}"
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StackSpec":
+        return cls(**data)
+
+
+@dataclass
+class BuiltStack:
+    """A live stack plus the handles the harness needs around it."""
+
+    spec: StackSpec
+    protocol: object  # the engine-facing protocol instance
+    front: MultiUserFrontEnd | None
+    storage_stores: list[BlockStore] = field(default_factory=list)
+
+    @property
+    def payload_bytes(self) -> int:
+        return self.protocol.codec.payload_bytes
+
+    @property
+    def batched(self) -> bool:
+        return hasattr(self.protocol, "submit") and hasattr(self.protocol, "drain")
+
+
+def build_stack(spec: StackSpec) -> BuiltStack:
+    """Instantiate the stack a spec describes (fresh stores, zero clock)."""
+    device = DEVICES[spec.device]()
+    if spec.protocol == "horam":
+        protocol = build_horam(
+            n_blocks=spec.n_blocks,
+            mem_tree_blocks=spec.mem_blocks,
+            seed=spec.seed,
+            storage_device=device,
+        )
+        stores = [protocol.hierarchy.storage]
+    elif spec.protocol == "sharded":
+        protocol = build_sharded_horam(
+            n_blocks=spec.n_blocks,
+            mem_tree_blocks=spec.mem_blocks,
+            n_shards=spec.n_shards,
+            seed=spec.seed,
+            lockstep=spec.lockstep,
+            storage_device=device,
+        )
+        stores = [shard.hierarchy.storage for shard in protocol.shards]
+    else:
+        protocol = build_baseline(
+            spec.protocol,
+            spec.n_blocks,
+            memory_blocks=spec.mem_blocks,
+            seed=spec.seed,
+            storage_device=device,
+        )
+        stores = [protocol.hierarchy.storage]
+
+    front = None
+    if spec.users:
+        front = MultiUserFrontEnd(protocol)
+        for user in range(spec.users):
+            front.register_user(user)
+    return BuiltStack(spec=spec, protocol=protocol, front=front, storage_stores=stores)

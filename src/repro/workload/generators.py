@@ -136,6 +136,91 @@ def sequential_scan(
         yield _emit(rng, (start + index) % n_blocks, write_ratio, "scan")
 
 
+def single_block(
+    n_blocks: int,
+    count: int,
+    rng: DeterministicRandom,
+    target: int = 0,
+    write_ratio: float = 0.0,
+) -> Iterator[Request]:
+    """Pathological hotspot: every request hits one block.
+
+    The worst case for any cache-admission policy (one block monopolizes
+    the tree) and for a sharded fleet (one shard takes all real work while
+    the rest run fully padded cycles).
+    """
+    if not 0 <= target < n_blocks:
+        raise ValueError(f"target {target} outside [0, {n_blocks})")
+    for _ in range(count):
+        yield _emit(rng, target, write_ratio, "one")
+
+
+def stride(
+    n_blocks: int,
+    count: int,
+    rng: DeterministicRandom,
+    step: int = 4,
+    offset: int = 0,
+    write_ratio: float = 0.0,
+) -> Iterator[Request]:
+    """Fixed-stride sweep: ``offset, offset+step, offset+2*step, ...``.
+
+    With ``step`` equal to a fleet's shard count the stream aliases onto a
+    single shard of the striped partitioning -- the sharded layer's
+    adversarial load-imbalance case.
+    """
+    if step < 1:
+        raise ValueError("step must be >= 1")
+    for index in range(count):
+        yield _emit(rng, (offset + index * step) % n_blocks, write_ratio, "str")
+
+
+def write_storm(
+    n_blocks: int,
+    count: int,
+    rng: DeterministicRandom,
+    hot_blocks: int | None = None,
+) -> Iterator[Request]:
+    """All-write burst over a small region (checkpoint/ingest storms).
+
+    Maximizes dirty-block pressure on eviction and shuffle paths; every
+    request is a write, addresses land uniformly in the first
+    ``hot_blocks`` addresses (default: an eighth of the space).
+    """
+    if hot_blocks is None:
+        hot_blocks = max(1, n_blocks // 8)
+    hot_blocks = min(hot_blocks, n_blocks)
+    for _ in range(count):
+        addr = rng.randrange(hot_blocks)
+        yield Request.write(addr, f"storm-{addr}".encode())
+
+
+def explicit(
+    n_blocks: int,
+    count: int,
+    rng: DeterministicRandom,
+    requests: "list | tuple" = (),
+) -> Iterator[Request]:
+    """Replay an explicit request list (shrunk failing scenarios).
+
+    ``requests`` items are ``["r", addr]`` or ``["w", addr, payload_hex]``
+    -- the JSON-able form :mod:`repro.testing.shrinker` emits, so a
+    minimized stream replays from its spec alone.  ``count`` and the rng
+    are ignored; the list *is* the stream.
+    """
+    for item in requests:
+        op, addr = item[0], int(item[1])
+        if not 0 <= addr < n_blocks:
+            raise ValueError(f"explicit request address {addr} outside [0, {n_blocks})")
+        if op == "w":
+            payload = bytes.fromhex(item[2]) if len(item) > 2 else f"w-{addr}".encode()
+            yield Request.write(addr, payload)
+        elif op == "r":
+            yield Request.read(addr)
+        else:
+            raise ValueError(f"explicit request op must be 'r' or 'w', got {op!r}")
+
+
 def read_write_mix(
     n_blocks: int,
     count: int,
@@ -163,7 +248,16 @@ _GENERATORS = {
     "zipfian": zipfian,
     "scan": sequential_scan,
     "mix": read_write_mix,
+    "single_block": single_block,
+    "stride": stride,
+    "write_storm": write_storm,
+    "explicit": explicit,
 }
+
+
+def workload_kinds() -> list[str]:
+    """The valid :attr:`WorkloadSpec.kind` values, sorted."""
+    return sorted(_GENERATORS)
 
 
 def make_workload(spec: WorkloadSpec) -> list[Request]:
@@ -172,10 +266,13 @@ def make_workload(spec: WorkloadSpec) -> list[Request]:
         generator = _GENERATORS[spec.kind]
     except KeyError:
         raise ValueError(
-            f"unknown workload kind '{spec.kind}' (known: {sorted(_GENERATORS)})"
+            f"unknown workload kind {spec.kind!r} (valid kinds: "
+            f"{', '.join(workload_kinds())})"
         ) from None
     rng = DeterministicRandom(spec.seed)
     kwargs = dict(spec.params)
-    if spec.write_ratio and spec.kind != "mix":
+    # "mix" fixes its own ratio; "write_storm" and "explicit" have no
+    # read/write knob to forward.
+    if spec.write_ratio and spec.kind not in ("mix", "write_storm", "explicit"):
         kwargs.setdefault("write_ratio", spec.write_ratio)
     return list(generator(spec.n_blocks, spec.count, rng, **kwargs))

@@ -30,6 +30,34 @@ class TestRegistry:
         ablations = [name for name in EXPERIMENTS if name.startswith("ablation_")]
         assert len(ablations) >= 5
 
+    def test_conformance_present(self):
+        assert "conformance" in EXPERIMENTS
+
+
+class TestConformanceExperiment:
+    def test_result_plumbing_on_matrix_slice(self, monkeypatch):
+        """Experiment-level wiring (rows, ok flag, shrink-demo payload) on a
+        3-scenario slice; the full matrix runs scenario-by-scenario in
+        tests/testing/test_conformance.py, no need to pay for it twice."""
+        import repro.testing.conformance as conf
+
+        full = conf.default_matrix
+        monkeypatch.setattr(conf, "default_matrix", lambda scale="quick": full(scale)[:3])
+        result = get_experiment("conformance")(scale="quick")
+        assert result.ok
+        assert len(result.rows) == 3
+        summary = result.data["summary"]
+        assert summary["scenarios"] == 3
+        assert summary["failed"] == 0
+        demo = result.data["shrink_demo"]
+        assert demo["reproduced"] and demo["replay_failed_again"]
+        assert demo["shrunk_requests"] <= demo["original_requests"]
+        # the shrunk spec ships as replayable JSON inside the result
+        from repro.testing import ScenarioSpec
+
+        spec = ScenarioSpec.from_json(demo["spec_json"])
+        assert spec.workload.kind == "explicit"
+
 
 class TestTable51:
     def test_matches_paper_numbers(self):

@@ -19,6 +19,7 @@ from __future__ import annotations
 import hashlib
 
 from repro.core.horam import HybridORAM, build_horam
+from repro.core.sharding import ShardedHORAM, build_sharded_horam
 from repro.crypto.random import DeterministicRandom
 from repro.sim.engine import SimulationEngine
 from repro.sim.metrics import Metrics
@@ -28,6 +29,15 @@ from repro.workload.generators import hotspot
 GOLDEN = {
     "full_shuffle": "c72c6471846deb7140404e1eb25bb451",
     "partial_shuffle": "11183473162ce57e9a4f9e3d07beb3d9",
+}
+
+#: Captured on the tree that introduced the conformance harness (the
+#: first point the shard layer exposed per-shard traces); pins the
+#: sharded serving layer -- routing, lockstep padding, cross-shard
+#: retirement -- the way GOLDEN pins the single-instance engine.
+GOLDEN_SHARDED = {
+    2: "34d7459da1ecde2bed7ed7d84e6fea1c",
+    4: "fba55dfdaa07c4e4dd74147dc533b2b3",
 }
 
 
@@ -69,6 +79,47 @@ def run_case(n_blocks, mem_tree_blocks, requests, ratio=1, write_ratio=0.25):
     return fingerprint(oram, metrics)
 
 
+def sharded_fingerprint(sharded: ShardedHORAM, metrics: Metrics) -> str:
+    """Digest of the fleet's observables: per-shard logs, metrics, traces."""
+    h = hashlib.blake2b(digest_size=16)
+    for shard_index, addr, cycle in sharded.served_log:
+        h.update(f"s{shard_index}:{addr}:{cycle};".encode())
+    md = metrics.to_dict()
+    for key in sorted(md):
+        if key == "extra":
+            continue
+        h.update(f"m:{key}={md[key]!r};".encode())
+    for key in sorted(md["extra"]):
+        h.update(f"x:{key}={md['extra'][key]!r};".encode())
+    for shard_index, shard in enumerate(sharded.shards):
+        for e in shard.hierarchy.trace.events:
+            h.update(
+                f"t{shard_index}:{e.op}:{e.tier}:{e.slot}:{e.size}:{e.time_us!r}:{e.label};".encode()
+            )
+    return h.hexdigest()
+
+
+def run_sharded_case(n_shards, n_blocks=1024, mem=128, requests=400):
+    sharded = build_sharded_horam(
+        n_blocks=n_blocks,
+        mem_tree_blocks=mem,
+        n_shards=n_shards,
+        seed=42,
+        trace=True,
+    )
+    stream = list(
+        hotspot(
+            n_blocks,
+            requests,
+            DeterministicRandom(7),
+            hot_blocks=48,
+            write_ratio=0.25,
+        )
+    )
+    metrics = SimulationEngine(sharded, verify=True).run(stream)
+    return sharded_fingerprint(sharded, metrics)
+
+
 class TestGoldenFingerprints:
     def test_full_shuffle_matches_prebatch_engine(self):
         """Seeded full-shuffle run is bit-identical to the single-record path."""
@@ -81,3 +132,16 @@ class TestGoldenFingerprints:
     def test_repeat_runs_are_identical(self):
         """Two fresh instances on the same seed produce the same fingerprint."""
         assert run_case(512, 128, 300) == run_case(512, 128, 300)
+
+
+class TestGoldenShardedFingerprints:
+    def test_two_shards_match_golden(self):
+        """Seeded 2-shard run is pinned: refactors of the shard layer must
+        preserve routing, lockstep padding and retirement bit-for-bit."""
+        assert run_sharded_case(2) == GOLDEN_SHARDED[2]
+
+    def test_four_shards_match_golden(self):
+        assert run_sharded_case(4) == GOLDEN_SHARDED[4]
+
+    def test_repeat_sharded_runs_are_identical(self):
+        assert run_sharded_case(2, requests=150) == run_sharded_case(2, requests=150)

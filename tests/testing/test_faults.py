@@ -1,0 +1,214 @@
+"""Fault-injection layer unit tests (storage/faults.py)."""
+
+import pytest
+
+from repro.storage.backend import BlockStore
+from repro.storage.device import DeviceModel, hdd_paper
+from repro.storage.faults import (
+    FaultInjector,
+    FaultPlan,
+    UnrecoverableFaultError,
+    degraded,
+)
+
+
+def make_store(slots=32, slot_bytes=8):
+    return BlockStore(
+        name="victim", tier="storage", slots=slots, slot_bytes=slot_bytes,
+        device=hdd_paper(),
+    )
+
+
+def fill(store, marker=7):
+    for slot in range(store.slots):
+        store.poke_slot(slot, bytes([marker]) * store.slot_bytes)
+
+
+class TestFaultPlan:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(read_error_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(spike_factor=0.5)
+        with pytest.raises(ValueError):
+            FaultPlan(max_retries=0)
+
+    def test_active_and_describe(self):
+        assert not FaultPlan().active()
+        plan = FaultPlan(read_error_rate=0.1, torn_write_rate=0.2)
+        assert plan.active()
+        assert "read-err" in plan.describe() and "torn" in plan.describe()
+        assert FaultPlan().describe() == "none"
+
+    def test_json_roundtrip(self):
+        plan = FaultPlan(seed=9, read_error_rate=0.25, spike_factor=3.0)
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+
+class TestTransientReads:
+    def test_data_always_correct_and_time_inflated(self):
+        store, clean = make_store(), make_store()
+        fill(store), fill(clean)
+        # modest rate + deep retry budget so no fault escalates to
+        # UnrecoverableFaultError in this test (escalation has its own test)
+        injector = FaultInjector(FaultPlan(seed=1, read_error_rate=0.3, max_retries=8))
+        injector.attach(store)
+        total_faulty = total_clean = 0.0
+        for slot in range(store.slots):
+            record, duration = store.read_slot(slot)
+            want, base = clean.read_slot(slot)
+            assert record == want  # transient errors are retried, never wrong
+            total_faulty += duration
+            total_clean += base
+        assert injector.stats.read_faults > 0
+        assert total_faulty > total_clean
+        assert store.counters.busy_us > clean.counters.busy_us
+
+    def test_unrecoverable_after_retry_budget(self):
+        store = make_store()
+        fill(store)
+        injector = FaultInjector(FaultPlan(seed=1, read_error_rate=1.0, max_retries=2))
+        injector.attach(store)
+        with pytest.raises(UnrecoverableFaultError):
+            for slot in range(store.slots):
+                store.read_slot(slot)
+
+    def test_escalation_still_records_and_charges_the_failed_attempts(self):
+        store = make_store()
+        fill(store)
+        injector = FaultInjector(FaultPlan(seed=1, read_error_rate=1.0, max_retries=2))
+        injector.attach(store)
+        with pytest.raises(UnrecoverableFaultError):
+            store.read_slot(0)
+        assert injector.stats.read_faults == 1
+        assert injector.stats.retries == 2
+        assert injector.stats.injected_delay_us > 0
+        _, base = make_store().read_slot(0)
+        # one real attempt + two charged retries before escalating
+        assert store.counters.busy_us == pytest.approx(base * 3)
+
+    def test_deterministic_for_seed(self):
+        def run(seed):
+            store = make_store()
+            fill(store)
+            injector = FaultInjector(FaultPlan(seed=seed, read_error_rate=0.3))
+            injector.attach(store)
+            for slot in range(store.slots):
+                store.read_slot(slot)
+            return injector.stats.read_faults, store.counters.busy_us
+
+        assert run(5) == run(5)
+        assert run(5) != run(6)
+
+
+class TestLatencySpikes:
+    def test_spike_inflates_only_time(self):
+        store, clean = make_store(), make_store()
+        fill(store), fill(clean)
+        injector = FaultInjector(FaultPlan(seed=2, latency_spike_rate=1.0, spike_factor=10.0))
+        injector.attach(store)
+        record, duration = store.read_slot(3)
+        want, base = clean.read_slot(3)
+        assert record == want
+        assert duration == pytest.approx(base * 10.0)
+        assert injector.stats.latency_spikes == 1
+
+
+class TestTornWrites:
+    def test_torn_run_lands_fully_and_charges_retry(self):
+        store, clean = make_store(), make_store()
+        injector = FaultInjector(FaultPlan(seed=3, torn_write_rate=1.0))
+        injector.attach(store)
+        records = [bytes([i]) * store.slot_bytes for i in range(8)]
+        duration = store.write_run(2, records)
+        base = clean.write_run(2, records)
+        for index, record in enumerate(records):
+            assert store.peek_slot(2 + index) == record  # final bytes correct
+        assert duration > base  # partial attempt + full retry both charged
+        assert injector.stats.torn_writes == 1
+        assert store.counters.writes > clean.counters.writes
+        # the partial attempt counts as injected delay like any other fault
+        assert injector.stats.injected_delay_us == pytest.approx(duration - base)
+
+    def test_single_slot_run_cannot_tear(self):
+        """An atomic one-slot run neither tears nor inflates the stats."""
+        store, clean = make_store(), make_store()
+        injector = FaultInjector(FaultPlan(seed=3, torn_write_rate=1.0))
+        injector.attach(store)
+        record = b"\x09" * store.slot_bytes
+        duration = store.write_run(5, [record])
+        base = clean.write_run(5, [record])
+        assert duration == base
+        assert injector.stats.torn_writes == 0
+        assert store.counters.writes == clean.counters.writes
+
+    def test_flat_buffer_input_supported(self):
+        store = make_store()
+        injector = FaultInjector(FaultPlan(seed=3, torn_write_rate=1.0))
+        injector.attach(store)
+        flat = bytes(range(store.slot_bytes)) * 4
+        store.write_run(0, flat)
+        assert store.peek_run(0, 4).tobytes() == flat
+
+
+class TestCorruption:
+    def test_corrupt_read_flips_exactly_one_bit(self):
+        store, clean = make_store(), make_store()
+        fill(store), fill(clean)
+        injector = FaultInjector(FaultPlan(seed=4, corrupt_read_rate=1.0))
+        injector.attach(store)
+        record, _ = store.read_slot(0)
+        want, _ = clean.read_slot(0)
+        assert record != want
+        diff = int.from_bytes(record, "little") ^ int.from_bytes(want, "little")
+        assert bin(diff).count("1") == 1
+        # the stored bytes themselves are untouched (read-side corruption)
+        assert store.peek_slot(0) == clean.peek_slot(0)
+
+    def test_view_corruption_does_not_touch_disk(self):
+        store, clean = make_store(), make_store()
+        fill(store), fill(clean)
+        injector = FaultInjector(FaultPlan(seed=4, corrupt_read_rate=1.0))
+        injector.attach(store)
+        view, _ = store.read_run_view(0, 4)
+        assert bytes(view) != clean.peek_run(0, 4).tobytes()
+        assert store.peek_run(0, 4).tobytes() == clean.peek_run(0, 4).tobytes()
+
+
+class TestAttach:
+    def test_attach_is_idempotent(self):
+        store, clean = make_store(), make_store()
+        fill(store), fill(clean)
+        injector = FaultInjector(FaultPlan(seed=2, latency_spike_rate=1.0, spike_factor=2.0))
+        injector.attach(store)
+        injector.attach(store)  # must not nest wrappers / double-count
+        _, duration = store.read_slot(0)
+        _, base = clean.read_slot(0)
+        assert duration == pytest.approx(base * 2.0)
+        assert injector.stats.latency_spikes == 1
+
+
+class TestDisabledFaultsAreFree:
+    def test_inactive_plan_changes_nothing(self):
+        store, clean = make_store(), make_store()
+        fill(store), fill(clean)
+        FaultInjector(FaultPlan()).attach(store)
+        for slot in range(store.slots):
+            record, duration = store.read_slot(slot)
+            want, base = clean.read_slot(slot)
+            assert (record, duration) == (want, base)
+        assert store.counters.busy_us == clean.counters.busy_us
+
+
+class TestDegradedDevice:
+    def test_uniform_slowdown(self):
+        base = hdd_paper()
+        slow = degraded(base, 4.0)
+        assert isinstance(slow, DeviceModel)
+        assert slow.access_us(1024) == pytest.approx(
+            base.read_overhead_us * 4 + base.transfer_us(1024, write=False) * 4
+        )
+
+    def test_slowdown_validated(self):
+        with pytest.raises(ValueError):
+            degraded(hdd_paper(), 0.5)

@@ -6,11 +6,16 @@ from repro.crypto.random import DeterministicRandom
 from repro.oram.base import OpKind
 from repro.workload.generators import (
     WorkloadSpec,
+    explicit,
     hotspot,
     make_workload,
     read_write_mix,
     sequential_scan,
+    single_block,
+    stride,
     uniform,
+    workload_kinds,
+    write_storm,
     zipfian,
 )
 
@@ -108,12 +113,70 @@ class TestSpec:
         requests = make_workload(spec)
         assert any(r.op is OpKind.WRITE for r in requests)
 
-    def test_unknown_kind(self):
-        with pytest.raises(ValueError):
+    def test_unknown_kind_names_valid_kinds(self):
+        """The error must name the offending kind and every valid kind."""
+        with pytest.raises(ValueError, match="unknown workload kind 'bogus'") as excinfo:
             make_workload(WorkloadSpec(kind="bogus"))
+        message = str(excinfo.value)
+        for kind in workload_kinds():
+            assert kind in message
+
+    def test_workload_kinds_cover_registry(self):
+        assert {"hotspot", "uniform", "zipfian", "scan", "mix",
+                "single_block", "stride", "write_storm", "explicit"} <= set(workload_kinds())
 
     def test_same_spec_same_stream(self):
         spec = WorkloadSpec(kind="zipfian", n_blocks=64, count=64, seed=11)
         assert [r.addr for r in make_workload(spec)] == [
             r.addr for r in make_workload(spec)
         ]
+
+    def test_write_ratio_not_forwarded_where_unsupported(self):
+        """write_storm/explicit have no read/write knob; a spec carrying a
+        write_ratio must still materialize instead of raising TypeError."""
+        storm = make_workload(
+            WorkloadSpec(kind="write_storm", n_blocks=64, count=20, write_ratio=0.5)
+        )
+        assert all(r.op is OpKind.WRITE for r in storm)
+
+
+class TestAdversarialGenerators:
+    def test_single_block_hits_one_target(self):
+        requests = list(single_block(100, 50, DeterministicRandom(1), target=42))
+        assert {r.addr for r in requests} == {42}
+        with pytest.raises(ValueError):
+            list(single_block(10, 5, DeterministicRandom(1), target=10))
+
+    def test_stride_aliases_onto_one_shard(self):
+        requests = list(stride(1024, 40, DeterministicRandom(1), step=4))
+        assert all(r.addr % 4 == 0 for r in requests)
+        assert len({r.addr for r in requests}) == 40
+        with pytest.raises(ValueError):
+            list(stride(10, 5, DeterministicRandom(1), step=0))
+
+    def test_write_storm_is_all_writes_in_hot_region(self):
+        requests = list(write_storm(1024, 60, DeterministicRandom(2)))
+        assert all(r.op is OpKind.WRITE and r.data for r in requests)
+        assert all(r.addr < 128 for r in requests)  # n_blocks // 8
+
+
+class TestExplicit:
+    def test_replays_literal_stream(self):
+        items = [["r", 3], ["w", 5, b"hi".hex()], ["r", 5]]
+        requests = list(explicit(10, 0, DeterministicRandom(1), requests=items))
+        assert [(r.op, r.addr) for r in requests] == [
+            (OpKind.READ, 3), (OpKind.WRITE, 5), (OpKind.READ, 5),
+        ]
+        assert requests[1].data == b"hi"
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="outside"):
+            list(explicit(4, 0, DeterministicRandom(1), requests=[["r", 9]]))
+        with pytest.raises(ValueError, match="'r' or 'w'"):
+            list(explicit(4, 0, DeterministicRandom(1), requests=[["x", 1]]))
+
+    def test_via_make_workload(self):
+        spec = WorkloadSpec(
+            kind="explicit", n_blocks=8, count=2, params={"requests": [["r", 1], ["r", 2]]}
+        )
+        assert [r.addr for r in make_workload(spec)] == [1, 2]
