@@ -9,7 +9,7 @@ _readme = _here / "README.md"
 
 setup(
     name="horam-repro",
-    version="0.2.0",
+    version="0.3.0",
     description=(
         "Reproduction of H-ORAM: A Cacheable ORAM Interface for Efficient "
         "I/O Accesses (DAC 2019)"

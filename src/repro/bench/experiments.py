@@ -627,6 +627,168 @@ def sharding(scale: str = "quick") -> ExperimentResult:
     )
 
 
+def parallel(scale: str = "quick") -> ExperimentResult:
+    """Parallel shard runtime: wall-clock serial vs process-parallel.
+
+    Builds the same sharded fleet twice -- once on the in-process
+    :class:`~repro.core.executor.SerialExecutor`, once on the
+    process-per-shard :class:`~repro.core.executor.ParallelExecutor` --
+    runs the identical workload through both, asserts the retired
+    results, served logs and merged metrics are bit-identical, and
+    reports real (wall-clock) throughput.  See
+    ``benchmarks/bench_parallel.py`` for the persisted full sweep.
+    """
+    import os
+    import time as _time
+
+    from repro.core.sharding import build_sharded_horam
+
+    n_blocks, mem_blocks, request_count = _scale(_SMALL_SCALES, scale)
+    request_count = max(200, request_count // 2)
+    cpus = os.cpu_count() or 1
+    rows = []
+    data: dict = {"cpus": cpus}
+    any_divergence = False
+    for shards in (1, 2, 4):
+        outcomes = {}
+        for executor in ("serial", "parallel"):
+            fleet = build_sharded_horam(
+                n_blocks=n_blocks,
+                mem_tree_blocks=mem_blocks,
+                n_shards=shards,
+                seed=0,
+                executor=executor,
+            )
+            try:
+                stream = _workload(n_blocks, request_count, max(16, n_blocks // 16))
+                engine = SimulationEngine(fleet, record_results=True)
+                start = _time.perf_counter()
+                metrics = engine.run(stream)
+                wall = _time.perf_counter() - start
+                outcomes[executor] = {
+                    "wall_seconds": wall,
+                    "throughput_rps": metrics.requests_served / wall if wall else 0.0,
+                    "results": engine.results,
+                    "served_log": fleet.served_log,
+                    "metrics": metrics.to_dict(),
+                }
+            finally:
+                fleet.close()
+        serial_out, parallel_out = outcomes["serial"], outcomes["parallel"]
+        identical = all(
+            serial_out[key] == parallel_out[key]
+            for key in ("results", "served_log", "metrics")
+        )
+        any_divergence |= not identical
+        speedup = (
+            parallel_out["throughput_rps"] / serial_out["throughput_rps"]
+            if serial_out["throughput_rps"]
+            else 0.0
+        )
+        rows.append(
+            [
+                shards,
+                f"{serial_out['throughput_rps']:.0f} req/s",
+                f"{parallel_out['throughput_rps']:.0f} req/s",
+                f"{speedup:.2f}x",
+                "identical" if identical else "DIVERGED",
+            ]
+        )
+        data[shards] = {
+            "serial_rps": serial_out["throughput_rps"],
+            "parallel_rps": parallel_out["throughput_rps"],
+            "speedup": speedup,
+            "identical": identical,
+        }
+    return ExperimentResult(
+        experiment_id="parallel",
+        title="Parallel shard runtime: wall-clock serial vs process-per-shard",
+        headers=["shards", "serial", "parallel", "speedup", "equivalence"],
+        rows=rows,
+        notes=[
+            f"{cpus} CPU(s) visible; process parallelism needs >1 to pay off"
+            + (" -- speedups on this host are bounded by the core count" if cpus < 4 else ""),
+            "equivalence = retired results, served_log and merged metrics "
+            "bit-identical between executors",
+        ],
+        data=data,
+        ok=not any_divergence,
+    )
+
+
+def profile(scale: str = "quick") -> ExperimentResult:
+    """Wall-clock hot-spot profile: measure before optimizing.
+
+    Runs one workload under :func:`repro.core.profiler.profile_hotspots`
+    and prints the per-phase wall-time split, the simulated per-tier
+    times, and the functions that dominate the run.
+    """
+    from repro.core.profiler import profile_hotspots
+
+    n_blocks, mem_blocks, request_count = _scale(_SMALL_SCALES, scale)
+    report = profile_hotspots(n_blocks, mem_blocks, request_count)
+    rows: list[list] = []
+    run_s = report.phases["run"] or 1.0
+    for phase in ("build", "access", "shuffle"):
+        seconds = report.phases[phase]
+        share = seconds / run_s if phase != "build" else float("nan")
+        rows.append(
+            [
+                f"phase:{phase}",
+                "-",
+                f"{seconds:.4f} s",
+                f"{share * 100:.1f}%" if phase != "build" else "-",
+            ]
+        )
+    for name in ("io_time_us", "mem_time_us", "shuffle_io_time_us", "shuffle_mem_time_us"):
+        simulated = report.tiers[name]
+        rows.append(
+            [
+                f"tier:{name} (simulated)",
+                "-",
+                format_us(simulated),
+                f"{simulated / report.tiers['total_time_us'] * 100:.1f}%"
+                if report.tiers["total_time_us"]
+                else "-",
+            ]
+        )
+    for entry in report.functions:
+        rows.append(
+            [
+                entry.where,
+                entry.calls,
+                f"{entry.own_seconds:.4f} s",
+                f"{entry.own_seconds / run_s * 100:.1f}%",
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="profile",
+        title="Hot-spot profile: wall-clock phases, simulated tiers, top functions",
+        headers=["where", "calls", "time", "share of run"],
+        rows=rows,
+        notes=[
+            f"{report.requests} requests at {report.throughput_rps:.0f} req/s wall "
+            f"({report.wall_seconds:.3f} s run)",
+            "function rows rank by own (non-cumulative) wall time; use them "
+            "to target the next perf PR instead of guessing",
+        ],
+        data={
+            "phases": report.phases,
+            "tiers": report.tiers,
+            "functions": [
+                {
+                    "where": e.where,
+                    "calls": e.calls,
+                    "own_seconds": e.own_seconds,
+                    "cumulative_seconds": e.cumulative_seconds,
+                }
+                for e in report.functions
+            ],
+            "throughput_rps": report.throughput_rps,
+        },
+    )
+
+
 def baselines(scale: str = "quick") -> ExperimentResult:
     """Figure 3-1's motivation: all four schemes on one workload."""
     n_blocks, mem_blocks, request_count = _scale(_SMALL_SCALES, scale)
@@ -807,6 +969,8 @@ EXPERIMENTS = {
     "ablation_shuffle_alg": ablation_shuffle_alg,
     "ablation_multiuser": ablation_multiuser,
     "sharding": sharding,
+    "parallel": parallel,
+    "profile": profile,
     "baselines": baselines,
     "device_sensitivity": device_sensitivity,
     "conformance": conformance,

@@ -17,7 +17,9 @@ The hybrid ORAM splits state across three layers (Figure 4-1):
 5.1 (equations 5-1 through 5-6, Table 5-1, Figure 5-1);
 :mod:`repro.core.multiuser` adds the Section 5.3.2 multi-user front end;
 :mod:`repro.core.sharding` scales past one instance by striping the
-address space across independent shards behind the same interface.
+address space across independent shards behind the same interface;
+:mod:`repro.core.executor` runs that fleet either in-process (serial)
+or across one worker process per shard (parallel), bit-identically.
 """
 
 from repro.core.config import HORAMConfig
@@ -28,8 +30,15 @@ from repro.core.cache_tree import CacheTree
 from repro.core.storage_layer import PermutedStorage
 from repro.core.horam import HybridORAM, build_horam
 from repro.core.multiuser import MultiUserFrontEnd, UserStats
+from repro.core.executor import ParallelExecutor, SerialExecutor, ShardExecutor
 from repro.core.sharding import ShardedHORAM, build_sharded_horam
-from repro.core.profiler import ProfileResult, RatioProfile, profile_shuffle_ratio
+from repro.core.profiler import (
+    HotspotReport,
+    ProfileResult,
+    RatioProfile,
+    profile_hotspots,
+    profile_shuffle_ratio,
+)
 from repro.core import analysis
 
 __all__ = [
@@ -49,8 +58,13 @@ __all__ = [
     "UserStats",
     "ShardedHORAM",
     "build_sharded_horam",
+    "ShardExecutor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "HotspotReport",
     "ProfileResult",
     "RatioProfile",
+    "profile_hotspots",
     "profile_shuffle_ratio",
     "analysis",
 ]

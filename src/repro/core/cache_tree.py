@@ -133,6 +133,26 @@ class CacheTree:
         self.tree.write_path(leaf, self.stash, times)
         return result, times
 
+    def access_many(
+        self, items: "list[tuple[OpKind, int, bytes | None]]"
+    ) -> tuple[list[bytes], TierTimes]:
+        """Serve a run of hits with one shared time accumulator.
+
+        Each item still performs its own full path access (the bus shape
+        is untouched); what the batch saves is the per-entry bookkeeping
+        around it.  Per-access times are sub-accumulated before being
+        folded into the batch total so the float results match a loop of
+        :meth:`access` calls bit-for-bit.
+        """
+        times = TierTimes()
+        access = self.access
+        results: list[bytes] = []
+        for op, addr, data in items:
+            payload, access_times = access(op, addr, data)
+            times.add(access_times)
+            results.append(payload)
+        return results, times
+
     def dummy_access(self) -> TierTimes:
         """A padding path access: uniform leaf, read + write back."""
         times = TierTimes()

@@ -1,0 +1,591 @@
+"""Shard execution runtimes for :class:`~repro.core.sharding.ShardedHORAM`.
+
+The sharded serving layer treats its shards as parallel devices in
+*simulated* time (the fleet clock is the slowest shard's clock), but the
+original implementation executed them sequentially on one thread.  This
+module factors the "run the fleet" concern out of the coordinator into a
+:class:`ShardExecutor` with two implementations:
+
+* :class:`SerialExecutor` -- the original in-process lockstep loop; the
+  default, and the reference the golden fingerprints pin.
+* :class:`ParallelExecutor` -- one dedicated worker **process** per shard
+  (a single-worker :class:`~concurrent.futures.ProcessPoolExecutor`
+  each, so shard state stays pinned to its process).  The coordinator
+  buffers submitted requests into per-shard envelope batches; a drain
+  flushes each batch over IPC, lets every worker retire its own backlog
+  at full speed, then equalizes cycle counts across the fleet so the
+  lockstep contract holds, and merges the retired envelopes back in
+  global submission order.
+
+Determinism contract (what the equivalence tests assert): for the
+batched ``submit*``/``drain`` pattern -- the engine, the benchmarks and
+the conformance harness -- a parallel fleet produces **bit-identical**
+retired results, ``served_log``, per-shard metrics and bus traces to a
+serial fleet built from the same ``(seed, n_shards)``:
+
+* each worker builds its shard from the same spawn-derived seed the
+  serial path uses, so per-shard randomness is identical;
+* shards share no state, so a shard's cycle stream depends only on its
+  own request sequence -- draining a backlog locally and *then* padding
+  to the fleet's maximum cycle count replays exactly the busy-then-padded
+  cycle sequence the serial lockstep loop interleaves;
+* the coordinator releases retirements through the same global-order
+  hold-back queue either way.
+
+The one intentional divergence: ``step()`` on a parallel fleet executes
+a whole batch (IPC per simulated cycle would defeat the point), so
+callers that interleave ``submit`` with single ``step`` calls -- e.g.
+:class:`~repro.core.multiuser.MultiUserFrontEnd.pump` -- still get
+correct results but a different (coarser) schedule than serial mode.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, fields, replace
+
+from repro.core.horam import build_horam
+from repro.core.rob import EntryState, RobEntry
+from repro.oram.base import OpKind, Request
+from repro.sim.metrics import Metrics
+from repro.storage.backend import StoreCounters
+from repro.storage.faults import FaultInjector, FaultPlan, FaultStats
+from repro.storage.trace import TraceEvent
+
+#: (seq, op, local addr, data) -- one buffered request on its way to a worker.
+SubmitEnvelope = "tuple[int, OpKind, int, bytes | None]"
+#: (seq, result, submit_cycle, served_cycle) -- one retirement coming back.
+RetiredEnvelope = "tuple[int, bytes | None, int, int]"
+
+
+@dataclass(frozen=True)
+class ShardBuildSpec:
+    """Everything a worker process needs to rebuild one shard (picklable).
+
+    ``seed`` is the shard's already-spawn-derived seed (the coordinator
+    derives it exactly as the serial factory does), and the worker
+    reconstructs the striped ``initial_addr_map`` from
+    ``(index, n_shards)``, so worker-built shards are bit-identical to
+    serially built ones.
+    """
+
+    index: int
+    n_shards: int
+    n_blocks: int
+    mem_tree_blocks: int
+    payload_bytes: int
+    modeled_block_bytes: int
+    seed: int
+    trace: bool = False
+    storage_device: object = None
+    memory_device: object = None
+    config_kwargs: dict = field(default_factory=dict)
+
+
+@dataclass
+class ShardSnapshot:
+    """One worker's observable state, shipped back after every batch."""
+
+    metrics: Metrics
+    clock_now_us: float
+    storage: StoreCounters
+    memory: StoreCounters
+    current_c: int
+    served_log_delta: "list[tuple[int, int]]" = field(default_factory=list)
+    latency_log_delta: "list[int]" = field(default_factory=list)
+    trace_delta: "list[TraceEvent]" = field(default_factory=list)
+    fault_stats: FaultStats | None = None
+
+
+@dataclass
+class ShardInfo:
+    """Static shard facts from the worker handshake."""
+
+    n_blocks: int
+    period_capacity: int
+    payload_bytes: int
+    slot_bytes: int
+    snapshot: ShardSnapshot = None
+
+
+# --------------------------------------------------------------------------
+# Coordinator-side mirrors: the minimal HybridORAM surface the sharding
+# layer's aggregates read (metrics, logs, hierarchy counters), kept in sync
+# from worker snapshots at batch boundaries.
+# --------------------------------------------------------------------------
+class _MirrorClock:
+    def __init__(self) -> None:
+        self.now_us = 0.0
+
+    @property
+    def now_ms(self) -> float:
+        return self.now_us / 1000.0
+
+    @property
+    def now_s(self) -> float:
+        return self.now_us / 1_000_000.0
+
+
+class _MirrorStore:
+    def __init__(self) -> None:
+        self.counters = StoreCounters()
+
+    def snapshot(self) -> StoreCounters:
+        return self.counters.copy()
+
+
+class _MirrorTrace:
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+
+class _MirrorHierarchy:
+    def __init__(self) -> None:
+        self.clock = _MirrorClock()
+        self.storage = _MirrorStore()
+        self.memory = _MirrorStore()
+        self.trace = _MirrorTrace()
+
+
+class ShardMirror:
+    """Read-only stand-in for a worker-owned :class:`HybridORAM` shard."""
+
+    def __init__(self, info: ShardInfo):
+        self.n_blocks = info.n_blocks
+        self.period_capacity = info.period_capacity
+        self.metrics = Metrics()
+        self.current_c = 0
+        self.served_log: list[tuple[int, int]] = []
+        self.latency_log: list[int] = []
+        self.hierarchy = _MirrorHierarchy()
+        self.fault_stats: FaultStats | None = None
+        self.apply(info.snapshot)
+
+    def apply(self, snapshot: ShardSnapshot) -> None:
+        self.metrics = snapshot.metrics
+        self.current_c = snapshot.current_c
+        self.served_log.extend(snapshot.served_log_delta)
+        self.latency_log.extend(snapshot.latency_log_delta)
+        self.hierarchy.clock.now_us = snapshot.clock_now_us
+        self.hierarchy.storage.counters = snapshot.storage
+        self.hierarchy.memory.counters = snapshot.memory
+        self.hierarchy.trace.events.extend(snapshot.trace_delta)
+        self.fault_stats = snapshot.fault_stats
+
+
+class _InterfaceCodec:
+    """Padding-only codec facade for parallel fleets.
+
+    Record keys live inside the worker processes; the coordinator only
+    needs the geometry side of the codec (``pad`` is key-independent),
+    which is all the engine's verifier and the conformance stacks use.
+    """
+
+    def __init__(self, payload_bytes: int, slot_bytes: int):
+        self.payload_bytes = payload_bytes
+        self.slot_bytes = slot_bytes
+
+    def pad(self, data: bytes) -> bytes:
+        if len(data) > self.payload_bytes:
+            raise ValueError(
+                f"payload of {len(data)} bytes exceeds block payload size "
+                f"{self.payload_bytes}"
+            )
+        return data.ljust(self.payload_bytes, b"\x00")
+
+
+# --------------------------------------------------------------------------
+# The executor abstraction
+# --------------------------------------------------------------------------
+class ShardExecutor(ABC):
+    """Runs a shard fleet on behalf of :class:`ShardedHORAM`.
+
+    ``shards`` exposes shard-like objects (live instances or mirrors) for
+    the coordinator's aggregate views; the five verbs below carry the
+    actual execution.
+    """
+
+    kind: str = "abstract"
+    shards: list
+
+    @abstractmethod
+    def submit(self, shard_index: int, request: Request) -> RobEntry:
+        """Queue one local-address request; returns the entry to track."""
+
+    @abstractmethod
+    def step(self, lockstep: bool) -> list[RobEntry]:
+        """Advance the fleet; returns entries retired (any order)."""
+
+    @abstractmethod
+    def has_work(self) -> bool:
+        """Whether any submitted request has not yet retired."""
+
+    @abstractmethod
+    def retire(self) -> list[RobEntry]:
+        """Collect entries already served and waiting at ROB heads."""
+
+    @abstractmethod
+    def force_shuffle(self) -> None:
+        """End every shard's current period immediately."""
+
+    @property
+    @abstractmethod
+    def codec(self):
+        """The record codec facade (shard 0's geometry)."""
+
+    def install_fault_plan(self, plan: FaultPlan) -> None:
+        raise NotImplementedError
+
+    def fault_stats(self) -> FaultStats | None:
+        return None
+
+    def close(self) -> None:
+        """Release runtime resources (worker processes); idempotent."""
+
+
+class SerialExecutor(ShardExecutor):
+    """The original single-thread lockstep loop over in-process shards."""
+
+    kind = "serial"
+
+    def __init__(self, shards: list):
+        if not shards:
+            raise ValueError("need at least one shard")
+        self.shards = list(shards)
+        self._injector: FaultInjector | None = None
+
+    def submit(self, shard_index: int, request: Request) -> RobEntry:
+        return self.shards[shard_index].submit(request)
+
+    def step(self, lockstep: bool) -> list[RobEntry]:
+        retired: list[RobEntry] = []
+        for shard in self.shards:
+            if lockstep or shard.rob.has_work():
+                retired.extend(shard.step())
+        return retired
+
+    def has_work(self) -> bool:
+        return any(shard.rob.has_work() for shard in self.shards)
+
+    def retire(self) -> list[RobEntry]:
+        retired: list[RobEntry] = []
+        for shard in self.shards:
+            retired.extend(shard.rob.retire())
+        return retired
+
+    def force_shuffle(self) -> None:
+        for shard in self.shards:
+            shard.force_shuffle()
+
+    @property
+    def codec(self):
+        return self.shards[0].codec
+
+    def install_fault_plan(self, plan: FaultPlan) -> None:
+        """One injector across the fleet's storage stores, like the
+        conformance runner wires serial stacks by hand."""
+        self._injector = FaultInjector(plan)
+        for shard in self.shards:
+            self._injector.attach(shard.hierarchy.storage)
+
+    def fault_stats(self) -> FaultStats | None:
+        return self._injector.stats if self._injector else None
+
+
+# --------------------------------------------------------------------------
+# Worker-process side.  Each process owns exactly one shard (every pool is
+# max_workers=1), kept in this module-global between calls.
+# --------------------------------------------------------------------------
+_WORKER: dict = {}
+
+
+def _worker_init(spec: ShardBuildSpec) -> None:
+    n_shards, index = spec.n_shards, spec.index
+    shard = build_horam(
+        n_blocks=spec.n_blocks,
+        mem_tree_blocks=spec.mem_tree_blocks,
+        payload_bytes=spec.payload_bytes,
+        modeled_block_bytes=spec.modeled_block_bytes,
+        seed=spec.seed,
+        trace=spec.trace,
+        storage_device=spec.storage_device,
+        memory_device=spec.memory_device,
+        initial_addr_map=lambda local: local * n_shards + index,
+        **spec.config_kwargs,
+    )
+    _WORKER.clear()
+    _WORKER.update(
+        shard=shard,
+        inflight={},
+        served_mark=0,
+        latency_mark=0,
+        trace_mark=0,
+        injector=None,
+    )
+
+
+def _worker_snapshot() -> ShardSnapshot:
+    shard = _WORKER["shard"]
+    served = shard.served_log
+    latency = shard.latency_log
+    events = shard.hierarchy.trace.events
+    injector = _WORKER["injector"]
+    snapshot = ShardSnapshot(
+        metrics=shard.metrics.copy(),
+        clock_now_us=shard.hierarchy.clock.now_us,
+        storage=shard.hierarchy.storage.snapshot(),
+        memory=shard.hierarchy.memory.snapshot(),
+        current_c=shard.current_c,
+        served_log_delta=served[_WORKER["served_mark"] :],
+        latency_log_delta=latency[_WORKER["latency_mark"] :],
+        trace_delta=events[_WORKER["trace_mark"] :],
+        fault_stats=injector.stats if injector else None,
+    )
+    _WORKER["served_mark"] = len(served)
+    _WORKER["latency_mark"] = len(latency)
+    _WORKER["trace_mark"] = len(events)
+    return snapshot
+
+
+def _worker_describe() -> ShardInfo:
+    shard = _WORKER["shard"]
+    return ShardInfo(
+        n_blocks=shard.n_blocks,
+        period_capacity=shard.period_capacity,
+        payload_bytes=shard.codec.payload_bytes,
+        slot_bytes=shard.codec.slot_bytes,
+        snapshot=_worker_snapshot(),
+    )
+
+
+def _worker_run(envelopes: list) -> "tuple[int, list]":
+    """Submit a batch and drain the shard's own backlog.
+
+    Returns ``(absolute cycle count, retired envelopes)``; padding to the
+    fleet-wide cycle target happens in :func:`_worker_finish` once the
+    coordinator has seen every shard's count.
+    """
+    shard = _WORKER["shard"]
+    inflight = _WORKER["inflight"]
+    for seq, op, addr, data in envelopes:
+        entry = shard.submit(Request(op=op, addr=addr, data=data))
+        inflight[id(entry)] = (seq, entry)
+    retired: list[RobEntry] = []
+    while shard.rob.has_work():
+        retired.extend(shard.step())
+    retired.extend(shard.rob.retire())
+    out = []
+    for entry in retired:
+        seq, _ = inflight.pop(id(entry))
+        out.append((seq, entry.result, entry.submit_cycle, entry.served_cycle))
+    return shard.metrics.cycles, out
+
+
+def _worker_finish(target_cycles: int | None) -> ShardSnapshot:
+    """Run padded cycles up to the fleet target (lockstep), then snapshot."""
+    shard = _WORKER["shard"]
+    if target_cycles is not None:
+        while shard.metrics.cycles < target_cycles:
+            shard.step()
+    return _worker_snapshot()
+
+
+def _worker_force_shuffle() -> ShardSnapshot:
+    _WORKER["shard"].force_shuffle()
+    return _worker_snapshot()
+
+
+def _worker_install_faults(plan: FaultPlan) -> None:
+    shard = _WORKER["shard"]
+    injector = FaultInjector(plan)
+    injector.attach(shard.hierarchy.storage)
+    _WORKER["injector"] = injector
+
+
+# --------------------------------------------------------------------------
+# Coordinator side of the parallel runtime
+# --------------------------------------------------------------------------
+class ParallelExecutor(ShardExecutor):
+    """One worker process per shard, batched envelopes over IPC.
+
+    Requests buffer locally until the next ``step``; a step is two
+    synchronized rounds across the fleet:
+
+    1. *run* -- each worker submits its envelope batch and drains its own
+       backlog at full speed, reporting its absolute cycle count;
+    2. *finish* -- each worker pads to the fleet's maximum cycle count
+       (lockstep only; the padded cycles do the same dummy work the
+       serial loop interleaves) and ships back a state snapshot.
+
+    Retired envelopes rebind to the coordinator-side proxy entries the
+    caller holds, so ``submit(...)`` keeps returning an object whose
+    ``result`` materializes at drain time, exactly like the serial path.
+    """
+
+    kind = "parallel"
+
+    def __init__(self, specs: list[ShardBuildSpec], mp_context=None):
+        if not specs:
+            raise ValueError("need at least one shard spec")
+        context = mp_context or _default_context()
+        self._pools: list[ProcessPoolExecutor] = [
+            ProcessPoolExecutor(
+                max_workers=1,
+                mp_context=context,
+                initializer=_worker_init,
+                initargs=(spec,),
+            )
+            for spec in specs
+        ]
+        self._closed = False
+        try:
+            infos: list[ShardInfo] = self._broadcast(_worker_describe)
+        except Exception:
+            self.close()
+            raise
+        self.shards = [ShardMirror(info) for info in infos]
+        self._codec = _InterfaceCodec(infos[0].payload_bytes, infos[0].slot_bytes)
+        self._pending: list[list] = [[] for _ in specs]
+        self._proxies: list[dict[int, RobEntry]] = [{} for _ in specs]
+        self._outstanding = 0
+        self._seq = 0
+        # A worker exception mid-batch leaves coordinator and worker state
+        # out of sync (batches flushed, retirements half-collected); the
+        # fleet is then unusable and every further call must fail loudly
+        # instead of spinning in drain().
+        self._broken = False
+
+    # ------------------------------------------------------------- plumbing
+    def _broadcast(self, fn, *args) -> list:
+        futures = [pool.submit(fn, *args) for pool in self._pools]
+        return [future.result() for future in futures]
+
+    def _broadcast_zip(self, fn, per_shard_args: list) -> list:
+        futures = [
+            pool.submit(fn, arg) for pool, arg in zip(self._pools, per_shard_args)
+        ]
+        return [future.result() for future in futures]
+
+    def _check_usable(self) -> None:
+        if self._broken:
+            raise RuntimeError(
+                "parallel shard fleet is broken after a worker failure; "
+                "build a fresh one"
+            )
+        if self._closed:
+            raise RuntimeError("parallel shard fleet is closed")
+
+    # ------------------------------------------------------------ execution
+    def submit(self, shard_index: int, request: Request) -> RobEntry:
+        self._check_usable()
+        seq = self._seq
+        self._seq += 1
+        entry = RobEntry(request=request)
+        self._pending[shard_index].append(
+            (seq, request.op, request.addr, request.data)
+        )
+        self._proxies[shard_index][seq] = entry
+        self._outstanding += 1
+        return entry
+
+    def step(self, lockstep: bool) -> list[RobEntry]:
+        self._check_usable()
+        if not self.has_work():
+            return []
+        batches, self._pending = self._pending, [[] for _ in self._pools]
+        try:
+            runs = self._broadcast_zip(_worker_run, batches)
+            target = max(cycles for cycles, _ in runs) if lockstep else None
+            snapshots = self._broadcast(_worker_finish, target)
+        except Exception:
+            # The batch is already flushed and partially executed; the
+            # coordinator's proxies can no longer reconcile with worker
+            # state, so poison the fleet (a later drain() would otherwise
+            # spin on has_work() forever) and surface the worker's error.
+            self._broken = True
+            raise
+        retired: list[RobEntry] = []
+        for proxies, (_, envelopes) in zip(self._proxies, runs):
+            for seq, result, submit_cycle, served_cycle in envelopes:
+                entry = proxies.pop(seq)
+                entry.result = result
+                entry.submit_cycle = submit_cycle
+                entry.served_cycle = served_cycle
+                entry.state = EntryState.SERVED
+                retired.append(entry)
+                self._outstanding -= 1
+        for mirror, snapshot in zip(self.shards, snapshots):
+            mirror.apply(snapshot)
+        return retired
+
+    def has_work(self) -> bool:
+        return self._outstanding > 0
+
+    def retire(self) -> list[RobEntry]:
+        # Workers retire everything inside step(); nothing waits outside it.
+        return []
+
+    def force_shuffle(self) -> None:
+        self._check_usable()
+        try:
+            snapshots = self._broadcast(_worker_force_shuffle)
+        except Exception:
+            self._broken = True
+            raise
+        for mirror, snapshot in zip(self.shards, snapshots):
+            mirror.apply(snapshot)
+
+    @property
+    def codec(self):
+        return self._codec
+
+    # ---------------------------------------------------------------- faults
+    def install_fault_plan(self, plan: FaultPlan) -> None:
+        """Attach a per-worker injector to each shard's storage store.
+
+        Worker ``i`` gets ``seed + i`` so the shards' fault streams are
+        decorrelated; recoverable faults perturb only timing, so results
+        remain bit-identical to a fault-free (or serial) run.
+        """
+        self._broadcast_zip(
+            _worker_install_faults,
+            [replace(plan, seed=plan.seed + index) for index in range(len(self._pools))],
+        )
+
+    def fault_stats(self) -> FaultStats | None:
+        stats = [m.fault_stats for m in self.shards if m.fault_stats is not None]
+        if not stats:
+            return None
+        total = FaultStats()
+        for s in stats:
+            for f in fields(FaultStats):
+                setattr(total, f.name, getattr(total, f.name) + getattr(s, f.name))
+        return total
+
+    # --------------------------------------------------------------- teardown
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for pool in self._pools:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def _default_context():
+    """Prefer fork (fast, works in sandboxes); fall back to the platform
+    default where fork is unavailable."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+EXECUTORS = ("serial", "parallel")

@@ -37,7 +37,7 @@ from repro.crypto.random import DeterministicRandom
 from repro.oram.base import RECORD_OVERHEAD, BlockCodec, OpKind, ORAMProtocol, Request
 from repro.oram.tree import TreeGeometry
 from repro.shuffle import get_shuffle
-from repro.sim.metrics import Metrics, TierTimes
+from repro.sim.metrics import Metrics, TierTimes, percentile
 from repro.storage.hierarchy import StorageHierarchy
 from repro.storage.trace import TraceRecorder
 
@@ -136,11 +136,11 @@ class HybridORAM(ORAMProtocol):
         io_times = TierTimes()
 
         # Memory side: c path accesses (real hits first, then padding).
-        for entry in plan.hits:
-            self._serve_hit(entry, mem_times)
+        if plan.hits:
+            self._serve_hits(plan.hits, mem_times)
         for _ in range(plan.dummy_hits):
             mem_times.add(self.cache.dummy_access())
-            self.metrics.dummy_hits += 1
+        self.metrics.dummy_hits += plan.dummy_hits
         self.metrics.scheduled_hits += c
 
         # I/O side: exactly one storage load.
@@ -225,8 +225,6 @@ class HybridORAM(ORAMProtocol):
         requests wait: misses take at least one extra cycle (load, then
         serve), and ROB backlog adds more under bursts.
         """
-        from repro.sim.metrics import percentile
-
         if not self.latency_log:
             return {int(q): 0.0 for q in quantiles}
         return {int(q): percentile(self.latency_log, q) for q in quantiles}
@@ -235,20 +233,38 @@ class HybridORAM(ORAMProtocol):
     def _is_cached(self, addr: int) -> bool:
         return self.cache.contains(addr)
 
-    def _serve_hit(self, entry: RobEntry, times: TierTimes) -> None:
-        data = entry.request.data if entry.request.op is OpKind.WRITE else None
-        payload, access_times = self.cache.access(entry.request.op, entry.addr, data)
-        times.add(access_times)
-        entry.result = payload
-        entry.state = EntryState.SERVED
-        entry.served_cycle = self._cycle_index
-        self.latency_log.append(entry.latency_cycles)
-        self.metrics.requests_served += 1
-        if entry.request.op is OpKind.READ:
-            self.metrics.read_requests += 1
-        else:
-            self.metrics.write_requests += 1
-        self.served_log.append((entry.addr, self._cycle_index))
+    def _serve_hits(self, entries: list[RobEntry], times: TierTimes) -> None:
+        """Serve a cycle's hit group with batched bookkeeping.
+
+        The in-memory path accesses themselves are untouched (one per
+        entry, same order); the per-entry metric increments and log
+        appends are folded into one pass over the group.
+        """
+        write = OpKind.WRITE
+        served = EntryState.SERVED
+        cycle = self._cycle_index
+        items = []
+        writes = 0
+        for entry in entries:
+            request = entry.request
+            if request.op is write:
+                items.append((request.op, entry.addr, request.data))
+                writes += 1
+            else:
+                items.append((request.op, entry.addr, None))
+        payloads, batch_times = self.cache.access_many(items)
+        times.add(batch_times)
+        latency_log = self.latency_log
+        served_log = self.served_log
+        for entry, payload in zip(entries, payloads):
+            entry.result = payload
+            entry.state = served
+            entry.served_cycle = cycle
+            latency_log.append(entry.latency_cycles)
+            served_log.append((entry.addr, cycle))
+        self.metrics.requests_served += len(entries)
+        self.metrics.read_requests += len(entries) - writes
+        self.metrics.write_requests += writes
 
     def _run_shuffle_period(self) -> None:
         """Evict + group/partition shuffle + fresh period (Section 4.3)."""
@@ -346,12 +362,10 @@ def build_horam(
     if integrity:
         # MACed records are 8 bytes longer; build the codec up front so
         # the hierarchy's slot size matches.
-        from repro.crypto.ctr import StreamCipher as _StreamCipher
-
         rng = DeterministicRandom(seed)
         codec = BlockCodec(
             payload_bytes,
-            _StreamCipher(rng.spawn("record-key").token(32)),
+            StreamCipher(rng.spawn("record-key").token(32)),
             mac_key=rng.spawn("mac-key").token(32),
         )
         slot_bytes = codec.slot_bytes

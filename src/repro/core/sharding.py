@@ -42,11 +42,18 @@ from __future__ import annotations
 from dataclasses import replace
 
 from repro.core.config import HORAMConfig
+from repro.core.executor import (
+    EXECUTORS,
+    ParallelExecutor,
+    SerialExecutor,
+    ShardBuildSpec,
+    ShardExecutor,
+)
 from repro.core.horam import HybridORAM, build_horam
 from repro.core.rob import RobEntry
 from repro.crypto.random import DeterministicRandom
 from repro.oram.base import ORAMProtocol, Request
-from repro.sim.metrics import Metrics
+from repro.sim.metrics import Metrics, percentile
 from repro.storage.backend import StoreCounters
 
 
@@ -104,19 +111,29 @@ class ShardedHORAM(ORAMProtocol):
 
     def __init__(
         self,
-        shards: list[HybridORAM],
-        n_blocks: int,
-        config: HORAMConfig,
+        shards: list[HybridORAM] | None = None,
+        n_blocks: int = 0,
+        config: HORAMConfig | None = None,
         lockstep: bool = True,
+        executor: ShardExecutor | None = None,
     ):
-        if not shards:
-            raise ValueError("need at least one shard")
-        self.shards = shards
+        if n_blocks <= 0:
+            raise ValueError("n_blocks must be positive")
+        if config is None:
+            raise ValueError("config is required (the per-shard template)")
+        if executor is None:
+            executor = SerialExecutor(shards or [])
+        elif shards:
+            raise ValueError("pass either shards or an executor, not both")
+        #: the runtime actually stepping the fleet (serial or parallel).
+        self.executor = executor
+        #: shard views: live instances (serial) or mirrors (parallel).
+        self.shards = executor.shards
         self._n_blocks = n_blocks
         #: the per-shard configuration template (window sizing, stages).
         self.config = config
         self.lockstep = lockstep
-        self.hierarchy = _ShardedHierarchy(shards)
+        self.hierarchy = _ShardedHierarchy(self.shards)
         #: entry -> (global submit order, caller's tagged request)
         self._inflight: dict[int, tuple[int, Request]] = {}
         self._submit_seq = 0
@@ -139,8 +156,12 @@ class ShardedHORAM(ORAMProtocol):
 
     @property
     def codec(self):
-        """Shard 0's codec (padding geometry is identical across shards)."""
-        return self.shards[0].codec
+        """Shard 0's codec (padding geometry is identical across shards).
+
+        Parallel fleets expose a padding-only facade: record keys never
+        leave the worker processes.
+        """
+        return self.executor.codec
 
     @property
     def metrics(self) -> Metrics:
@@ -186,24 +207,21 @@ class ShardedHORAM(ORAMProtocol):
         back; internally the shard sees a local-address copy.
         """
         self.check_addr(request.addr)
-        shard = self.shards[self.shard_of(request.addr)]
         local = replace(request, addr=self.local_addr(request.addr))
-        entry = shard.submit(local)
+        entry = self.executor.submit(self.shard_of(request.addr), local)
         self._inflight[id(entry)] = (self._submit_seq, request)
         self._submit_seq += 1
         return entry
 
     def step(self) -> list[RobEntry]:
-        """Run one scheduler cycle across the shard fleet.
+        """Advance the shard fleet and release retirements in order.
 
-        In lockstep mode every shard executes a cycle (padded when idle);
-        otherwise only shards with pending work run.
+        On the serial executor this is one scheduler cycle across every
+        shard (padded when idle under lockstep); the parallel executor's
+        scheduling quantum is the whole buffered batch instead, since a
+        per-cycle IPC barrier would erase the parallelism.
         """
-        retired: list[RobEntry] = []
-        for shard in self.shards:
-            if self.lockstep or shard.rob.has_work():
-                retired.extend(shard.step())
-        return self._restore(retired)
+        return self._restore(self.executor.step(self.lockstep))
 
     def drain(self) -> list[RobEntry]:
         """Run cycles until every shard's ROB has drained."""
@@ -214,14 +232,11 @@ class ShardedHORAM(ORAMProtocol):
         return retired
 
     def has_work(self) -> bool:
-        return any(shard.rob.has_work() for shard in self.shards)
+        return self.executor.has_work()
 
     def retire(self) -> list[RobEntry]:
         """Collect served entries waiting at every shard's ROB head."""
-        retired: list[RobEntry] = []
-        for shard in self.shards:
-            retired.extend(shard.rob.retire())
-        return self._restore(retired)
+        return self._restore(self.executor.retire())
 
     # -------------------------------------------------------- synchronous API
     def read(self, addr: int) -> bytes:
@@ -236,8 +251,17 @@ class ShardedHORAM(ORAMProtocol):
 
     def force_shuffle(self) -> None:
         """End every shard's current period immediately (maintenance hook)."""
-        for shard in self.shards:
-            shard.force_shuffle()
+        self.executor.force_shuffle()
+
+    def close(self) -> None:
+        """Release the runtime (worker processes in parallel mode)."""
+        self.executor.close()
+
+    def __enter__(self) -> "ShardedHORAM":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------ reporting
     def shard_metrics(self) -> list[Metrics]:
@@ -245,8 +269,6 @@ class ShardedHORAM(ORAMProtocol):
         return [shard.metrics.copy() for shard in self.shards]
 
     def latency_percentiles(self, quantiles=(50, 90, 99)) -> dict[int, float]:
-        from repro.sim.metrics import percentile
-
         merged: list[int] = []
         for shard in self.shards:
             merged.extend(shard.latency_log)
@@ -277,6 +299,7 @@ class ShardedHORAM(ORAMProtocol):
             "n_blocks": self.n_blocks,
             "n_shards": self.n_shards,
             "lockstep": self.lockstep,
+            "executor": self.executor.kind,
             "shard_n_blocks": [shard.n_blocks for shard in self.shards],
             "shard_period_capacity": [shard.period_capacity for shard in self.shards],
         }
@@ -317,6 +340,8 @@ def build_sharded_horam(
     trace: bool = False,
     storage_device=None,
     memory_device=None,
+    executor: str = "serial",
+    mp_context=None,
     **config_kwargs,
 ) -> ShardedHORAM:
     """Factory mirroring :func:`~repro.core.horam.build_horam`.
@@ -324,10 +349,17 @@ def build_sharded_horam(
     ``n_blocks`` and ``mem_tree_blocks`` are *global* budgets, split
     evenly across ``n_shards``; each shard's protocol randomness derives
     from ``seed`` via ``DeterministicRandom.spawn`` so the whole fleet
-    replays deterministically.
+    replays deterministically.  ``executor="parallel"`` builds the same
+    fleet inside dedicated worker processes (one per shard); the derived
+    seeds and the striped ``initial_addr_map`` travel in the build specs,
+    so the parallel fleet replays bit-identically to the serial one.
     """
     if n_shards < 1:
         raise ValueError("n_shards must be >= 1")
+    if executor not in EXECUTORS:
+        raise ValueError(
+            f"unknown executor {executor!r} (valid: {', '.join(EXECUTORS)})"
+        )
     counts = shard_block_counts(n_blocks, n_shards)
     if min(counts) <= 0:
         raise ValueError(
@@ -348,23 +380,7 @@ def build_sharded_horam(
         )
 
     root = DeterministicRandom(seed)
-    shards: list[HybridORAM] = []
-    for index in range(n_shards):
-        shard_seed = root.spawn(f"shard-{index}").next_word()
-        shards.append(
-            build_horam(
-                n_blocks=counts[index],
-                mem_tree_blocks=mem_per_shard,
-                payload_bytes=payload_bytes,
-                modeled_block_bytes=modeled_block_bytes,
-                seed=shard_seed,
-                trace=trace,
-                storage_device=storage_device,
-                memory_device=memory_device,
-                initial_addr_map=lambda local, index=index: local * n_shards + index,
-                **config_kwargs,
-            )
-        )
+    shard_seeds = [root.spawn(f"shard-{index}").next_word() for index in range(n_shards)]
     template = HORAMConfig(
         n_blocks=counts[0],
         mem_tree_blocks=mem_per_shard,
@@ -373,4 +389,43 @@ def build_sharded_horam(
         seed=seed,
         **config_kwargs,
     )
+
+    if executor == "parallel":
+        specs = [
+            ShardBuildSpec(
+                index=index,
+                n_shards=n_shards,
+                n_blocks=counts[index],
+                mem_tree_blocks=mem_per_shard,
+                payload_bytes=payload_bytes,
+                modeled_block_bytes=modeled_block_bytes,
+                seed=shard_seeds[index],
+                trace=trace,
+                storage_device=storage_device,
+                memory_device=memory_device,
+                config_kwargs=dict(config_kwargs),
+            )
+            for index in range(n_shards)
+        ]
+        runtime = ParallelExecutor(specs, mp_context=mp_context)
+        return ShardedHORAM(
+            n_blocks=n_blocks, config=template, lockstep=lockstep, executor=runtime
+        )
+
+    shards: list[HybridORAM] = []
+    for index in range(n_shards):
+        shards.append(
+            build_horam(
+                n_blocks=counts[index],
+                mem_tree_blocks=mem_per_shard,
+                payload_bytes=payload_bytes,
+                modeled_block_bytes=modeled_block_bytes,
+                seed=shard_seeds[index],
+                trace=trace,
+                storage_device=storage_device,
+                memory_device=memory_device,
+                initial_addr_map=lambda local, index=index: local * n_shards + index,
+                **config_kwargs,
+            )
+        )
     return ShardedHORAM(shards, n_blocks=n_blocks, config=template, lockstep=lockstep)

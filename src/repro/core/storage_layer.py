@@ -33,6 +33,7 @@ their partition's turn comes.
 from __future__ import annotations
 
 import math
+from array import array
 from dataclasses import dataclass
 from typing import Callable
 
@@ -121,6 +122,12 @@ class PermutedStorage:
                 f"storage store has {storage_store.slots} slots, layout needs "
                 f"{self.total_slots}"
             )
+        # Memoized slot resolution: the layout is fixed for the life of the
+        # instance, so the slot -> partition map is a flat table instead of
+        # a division on every consume/append.
+        self._slot_partition = array("I")
+        for index in range(self.partition_count):
+            self._slot_partition.extend(array("I", [index]) * span)
         self._partitions = [
             _Partition(
                 base=i * span,
@@ -222,8 +229,7 @@ class PermutedStorage:
                 self._unread_pos.pop(slot, None)
 
     def _partition_of(self, slot: int) -> int:
-        span = self.partition_size + self.overflow_cap
-        return slot // span
+        return self._slot_partition[slot]
 
     # -------------------------------------------------------------- access
     def is_in_memory(self, addr: int) -> bool:
@@ -235,7 +241,9 @@ class PermutedStorage:
         if slot == IN_MEMORY:
             raise CapacityError(f"fetch for block {addr} which is already in memory")
         times = TierTimes()
-        record, duration = self.storage.read_slot(slot)
+        # Zero-copy: open the record straight off the store's backing
+        # buffer (same charging and trace event as read_slot).
+        record, duration = self.storage.read_slot_view(slot)
         times.io_us += duration
         stored_addr, payload = self.codec.open(record)
         if stored_addr != addr:
@@ -258,11 +266,11 @@ class PermutedStorage:
             # slot 0 so the cycle shape stays fixed, and count the event so
             # the protocol can surface it instead of hiding it.
             self.dummy_pool_exhausted += 1
-            _, duration = self.storage.read_slot(0)
+            _, duration = self.storage.read_slot_view(0)
             times.io_us += duration
             return None, None, times
         slot = self._unread[self.rng.randrange(len(self._unread))]
-        record, duration = self.storage.read_slot(slot)
+        record, duration = self.storage.read_slot_view(slot)
         times.io_us += duration
         self._consume(slot)
         stored_addr, payload = self.codec.open(record)

@@ -70,8 +70,19 @@ class PathOramTree:
         # the hot read path decrypt only real records instead of paying
         # full crypto for every dummy.
         self._real = bytearray(geometry.buckets * geometry.bucket_size)
+        # Root-to-leaf bucket lists are pure functions of the static
+        # geometry; every access walks one twice (read + write-back), so
+        # they are memoized per leaf.
+        self._path_cache: dict[int, list[int]] = {}
         #: leaves of every path access, for the security analyzers
         self.leaf_log: list[int] = []
+
+    def _path(self, leaf: int) -> list[int]:
+        path = self._path_cache.get(leaf)
+        if path is None:
+            path = self.geometry.path_buckets(leaf)
+            self._path_cache[leaf] = path
+        return path
 
     # ----------------------------------------------------------- geometry
     @property
@@ -140,7 +151,7 @@ class PathOramTree:
         # applies only when there is no integrity tag to check.
         verify_all = self.codec.mac_key is not None
         found: list[tuple[int, bytes]] = []
-        for bucket in self.geometry.path_buckets(leaf):
+        for bucket in self._path(leaf):
             store, base = self.bucket_location(bucket)
             view, duration = store.read_run_view(base, z)
             if store.tier == "memory":
@@ -166,7 +177,7 @@ class PathOramTree:
         z = self.geometry.bucket_size
         seal_many = self.codec.seal_many
         real = self._real
-        path = self.geometry.path_buckets(leaf)
+        path = self._path(leaf)
         for level in range(self.geometry.levels - 1, -1, -1):
             bucket = path[level]
             entries = stash.select_for_bucket(self.geometry, leaf, level, z)

@@ -52,6 +52,15 @@ class StoreCounters:
             busy_us=self.busy_us - earlier.busy_us,
         )
 
+    def copy(self) -> "StoreCounters":
+        return StoreCounters(
+            reads=self.reads,
+            writes=self.writes,
+            bytes_read=self.bytes_read,
+            bytes_written=self.bytes_written,
+            busy_us=self.busy_us,
+        )
+
 
 class BlockStore:
     """A tier of fixed-size slots with simulated access timing."""
@@ -127,33 +136,47 @@ class BlockStore:
         return op == self._last_op and slot == self._next_seq_slot
 
     # ----------------------------------------------------------- single ops
+    def _charge_slot(self, op: str, slot: int, write: bool) -> float:
+        """Account one slot access: timing, counters, trace event."""
+        self._check_slot(slot)
+        sequential = self._sequential(op, slot)
+        duration = self.device.access_us(self.modeled_slot_bytes, write=write, sequential=sequential)
+        self._last_op, self._next_seq_slot = op, slot + 1
+        if write:
+            self.counters.writes += 1
+            self.counters.bytes_written += self.modeled_slot_bytes
+        else:
+            self.counters.reads += 1
+            self.counters.bytes_read += self.modeled_slot_bytes
+        self.counters.busy_us += duration
+        self._emit(op, slot, self.modeled_slot_bytes)
+        return duration
+
     def read_slot(self, slot: int) -> tuple[bytes, float]:
         """Read one slot; returns (record bytes, simulated duration in us)."""
-        self._check_slot(slot)
-        sequential = self._sequential("read", slot)
-        duration = self.device.access_us(self.modeled_slot_bytes, write=False, sequential=sequential)
-        self._last_op, self._next_seq_slot = "read", slot + 1
-        self.counters.reads += 1
-        self.counters.bytes_read += self.modeled_slot_bytes
-        self.counters.busy_us += duration
-        self._emit("read", slot, self.modeled_slot_bytes)
+        duration = self._charge_slot("read", slot, write=False)
         offset = slot * self.slot_bytes
         return bytes(self._data[offset : offset + self.slot_bytes]), duration
 
+    def read_slot_view(self, slot: int) -> tuple[memoryview, float]:
+        """Like :meth:`read_slot` but returns a zero-copy memoryview.
+
+        Timing, counters, stream detection and the emitted trace event are
+        identical to :meth:`read_slot`; only the ``bytes`` materialization
+        is skipped.  The view aliases live storage -- consume it before any
+        subsequent write to the slot.
+        """
+        duration = self._charge_slot("read", slot, write=False)
+        offset = slot * self.slot_bytes
+        return memoryview(self._data)[offset : offset + self.slot_bytes], duration
+
     def write_slot(self, slot: int, record: bytes) -> float:
         """Write one slot; returns the simulated duration in us."""
-        self._check_slot(slot)
         if len(record) != self.slot_bytes:
             raise ValueError(
                 f"record is {len(record)} bytes, store '{self.name}' slots are {self.slot_bytes}"
             )
-        sequential = self._sequential("write", slot)
-        duration = self.device.access_us(self.modeled_slot_bytes, write=True, sequential=sequential)
-        self._last_op, self._next_seq_slot = "write", slot + 1
-        self.counters.writes += 1
-        self.counters.bytes_written += self.modeled_slot_bytes
-        self.counters.busy_us += duration
-        self._emit("write", slot, self.modeled_slot_bytes)
+        duration = self._charge_slot("write", slot, write=True)
         offset = slot * self.slot_bytes
         self._data[offset : offset + self.slot_bytes] = record
         return duration
@@ -289,10 +312,4 @@ class BlockStore:
         self._last_op = ""
 
     def snapshot(self) -> StoreCounters:
-        return StoreCounters(
-            reads=self.counters.reads,
-            writes=self.counters.writes,
-            bytes_read=self.counters.bytes_read,
-            bytes_written=self.counters.bytes_written,
-            busy_us=self.counters.busy_us,
-        )
+        return self.counters.copy()

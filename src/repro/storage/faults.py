@@ -199,6 +199,7 @@ class FaultInjector:
         injector = self
 
         orig_read_slot = store.read_slot
+        orig_read_slot_view = store.read_slot_view
         orig_read_run = store.read_run
         orig_read_run_view = store.read_run_view
         orig_write_slot = store.write_slot
@@ -211,6 +212,15 @@ class FaultInjector:
                 injector.stats.corrupted_reads += 1
                 record = injector._corrupt(record)
             return record, duration
+
+        def read_slot_view(slot):
+            view, duration = orig_read_slot_view(slot)
+            duration = injector._perturb_read(store, "read_slot", duration)
+            if injector._roll(injector.plan.corrupt_read_rate):
+                # A view aliases live storage; corrupt a copy, not the disk.
+                injector.stats.corrupted_reads += 1
+                view = memoryview(injector._corrupt(bytes(view)))
+            return view, duration
 
         def read_run(start, count):
             records, duration = orig_read_run(start, count)
@@ -267,6 +277,7 @@ class FaultInjector:
             return injector._perturb_write(store, duration)
 
         store.read_slot = read_slot
+        store.read_slot_view = read_slot_view
         store.read_run = read_run
         store.read_run_view = read_run_view
         store.write_slot = write_slot

@@ -45,6 +45,7 @@ def _spec(
     faults: FaultPlan | None = None,
     expect_failure: bool = False,
     seed: int = 11,
+    executor: str = "serial",
 ) -> ScenarioSpec:
     return ScenarioSpec(
         name=name,
@@ -56,6 +57,7 @@ def _spec(
             users=users,
             device=device,
             seed=seed,
+            executor=executor,
         ),
         workload=WorkloadSpec(
             kind=kind,
@@ -105,6 +107,20 @@ def default_matrix(scale: str = "quick") -> list[ScenarioSpec]:
         _spec("sharded8-single-block-hdd", "sharded", "single_block", 220 * m, n_blocks=1024, n_shards=8),
         # -- the multi-tenant front end over the fleet
         _spec("multiuser4-sharded2-hdd", "sharded", "hotspot", 240 * m, n_blocks=1024, n_shards=2, users=4),
+        # -- the process-per-shard parallel runtime
+        _spec(
+            "sharded2-parallel-hotspot-hdd", "sharded", "hotspot", 260 * m,
+            n_blocks=1024, n_shards=2, executor="parallel",
+        ),
+        _spec(
+            "sharded4-parallel-uniform-ssd", "sharded", "uniform", 280 * m,
+            n_blocks=1024, n_shards=4, device="ssd-sata", executor="parallel",
+        ),
+        _spec(
+            "sharded2-parallel-faults-hdd", "sharded", "hotspot", 240 * m,
+            n_blocks=1024, n_shards=2, executor="parallel",
+            faults=FaultPlan(seed=9, read_error_rate=0.04, latency_spike_rate=0.04),
+        ),
         # -- recoverable fault injection (results must still match the oracle)
         _spec(
             "horam-transient-faults-hdd", "horam", "hotspot", 300 * m,

@@ -103,11 +103,25 @@ class ScenarioRunner:
         requests = make_workload(spec.workload)
         failures: list[str] = []
         stack = build_stack(spec.stack)
+        try:
+            return self._run_built(spec, stack, requests, failures)
+        finally:
+            stack.close()
+
+    def _run_built(self, spec, stack, requests, failures) -> ScenarioResult:
         injector = None
         if spec.faults is not None and spec.faults.active():
-            injector = FaultInjector(spec.faults)
-            for store in stack.storage_stores:
-                injector.attach(store)
+            if stack.storage_stores:
+                injector = FaultInjector(spec.faults)
+                for store in stack.storage_stores:
+                    injector.attach(store)
+            else:
+                # Parallel fleets own their stores inside worker processes;
+                # the plan travels over IPC and stats come back the same way.
+                stack.install_faults(spec.faults)
+
+        def fault_stats():
+            return injector.stats if injector else stack.fault_stats()
 
         oracle = ReferenceOracle(stack.payload_bytes)
         expected = oracle.expect_all(requests)
@@ -122,7 +136,7 @@ class ScenarioRunner:
                 requests=len(requests),
                 failures=[f"run raised {type(error).__name__}: {error}"],
                 error=f"{type(error).__name__}: {error}",
-                fault_stats=injector.stats if injector else None,
+                fault_stats=fault_stats(),
             )
 
         mismatches = self._compare_results(requests, results, expected, failures)
@@ -137,7 +151,7 @@ class ScenarioRunner:
             mismatches=mismatches,
             final_state_checked=checked,
             metrics=metrics,
-            fault_stats=injector.stats if injector else None,
+            fault_stats=fault_stats(),
         )
 
     # ------------------------------------------------------------ execution

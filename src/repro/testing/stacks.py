@@ -46,6 +46,8 @@ class StackSpec:
     device: str = "hdd-paper"
     seed: int = 0
     lockstep: bool = True
+    #: shard runtime: "serial" (in-process) or "parallel" (process per shard).
+    executor: str = "serial"
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOLS:
@@ -58,11 +60,19 @@ class StackSpec:
             )
         if self.users and self.protocol not in ("horam", "sharded"):
             raise ValueError("the multi-user front end needs a batched back end")
+        if self.executor not in ("serial", "parallel"):
+            raise ValueError(
+                f"unknown executor {self.executor!r} (valid: serial, parallel)"
+            )
+        if self.executor == "parallel" and self.protocol != "sharded":
+            raise ValueError("the parallel executor runs sharded stacks only")
 
     def label(self) -> str:
         name = self.protocol
         if self.protocol == "sharded":
             name += f"x{self.n_shards}"
+        if self.executor == "parallel":
+            name += "-par"
         if self.users:
             name += f"+mu{self.users}"
         return f"{name}@{self.device}"
@@ -82,6 +92,9 @@ class BuiltStack:
     spec: StackSpec
     protocol: object  # the engine-facing protocol instance
     front: MultiUserFrontEnd | None
+    #: directly attachable storage stores; empty for parallel stacks,
+    #: whose stores live inside the worker processes (use
+    #: :meth:`install_faults` there instead).
     storage_stores: list[BlockStore] = field(default_factory=list)
 
     @property
@@ -91,6 +104,20 @@ class BuiltStack:
     @property
     def batched(self) -> bool:
         return hasattr(self.protocol, "submit") and hasattr(self.protocol, "drain")
+
+    def install_faults(self, plan) -> None:
+        """Route a fault plan to stores the harness cannot reach directly."""
+        self.protocol.executor.install_fault_plan(plan)
+
+    def fault_stats(self):
+        executor = getattr(self.protocol, "executor", None)
+        return executor.fault_stats() if executor is not None else None
+
+    def close(self) -> None:
+        """Release stack resources (worker processes for parallel fleets)."""
+        close = getattr(self.protocol, "close", None)
+        if close is not None:
+            close()
 
 
 def build_stack(spec: StackSpec) -> BuiltStack:
@@ -112,8 +139,12 @@ def build_stack(spec: StackSpec) -> BuiltStack:
             seed=spec.seed,
             lockstep=spec.lockstep,
             storage_device=device,
+            executor=spec.executor,
         )
-        stores = [shard.hierarchy.storage for shard in protocol.shards]
+        if spec.executor == "parallel":
+            stores = []  # worker-owned; reach them via install_faults
+        else:
+            stores = [shard.hierarchy.storage for shard in protocol.shards]
     else:
         protocol = build_baseline(
             spec.protocol,

@@ -33,6 +33,24 @@ class TestRegistry:
     def test_conformance_present(self):
         assert "conformance" in EXPERIMENTS
 
+    def test_perf_tooling_present(self):
+        assert "parallel" in EXPERIMENTS
+        assert "profile" in EXPERIMENTS
+
+
+class TestProfileExperiment:
+    def test_profile_reports_phases_and_functions(self):
+        result = get_experiment("profile")(scale="quick")
+        assert result.ok
+        labels = [row[0] for row in result.rows]
+        assert "phase:access" in labels and "phase:shuffle" in labels
+        assert any(label.startswith("tier:") for label in labels)
+        assert any("(" in label and "repro" in label for label in labels)
+        data = result.data
+        assert data["phases"]["run"] > 0
+        assert data["functions"] and data["functions"][0]["own_seconds"] >= 0
+        assert data["throughput_rps"] > 0
+
 
 class TestConformanceExperiment:
     def test_result_plumbing_on_matrix_slice(self, monkeypatch):
