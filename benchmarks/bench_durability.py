@@ -1,0 +1,93 @@
+"""Durability benchmark: checkpoint/restore cost and restart warmth.
+
+Runs H-ORAM (and a sharded fleet) on disk-backed slabs, checkpoints
+mid-workload, "crashes" (close + discard the live instance), recovers
+from the on-disk checkpoint and finishes the workload.  Reports:
+
+* snapshot and restore wall-clock plus the checkpoint's on-disk size,
+* **restart warmth** -- cold full replay time over warm (restore +
+  finish) time; > 1 means restarting from a checkpoint beats replaying,
+* a bit-identity cross-check: the recovered run's served results, served
+  log, metrics and simulated clock must equal an uninterrupted twin's.
+  Any divergence exits non-zero, which is what the CI recovery job
+  gates on.
+
+The result is persisted to ``BENCH_durability.json`` at the repo root,
+mirroring the other ``BENCH_*.json`` artifacts.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_durability.py           # full run + JSON
+    PYTHONPATH=src python benchmarks/bench_durability.py --smoke   # tiny CI sanity run
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - convenience for direct invocation
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench.experiments import durability
+
+FULL_SCALE = "medium"
+SMOKE_SCALE = "quick"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="quick-scale CI run (still gates on bit-identity)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="result JSON path (default: BENCH_durability.json at the repo root)",
+    )
+    args = parser.parse_args()
+
+    scale = SMOKE_SCALE if args.smoke else FULL_SCALE
+    started = time.perf_counter()
+    result = durability(scale=scale)
+    elapsed = time.perf_counter() - started
+    print(result.render())
+    print(f"\n[durability completed in {elapsed:.1f} s wall-clock]")
+
+    report = {
+        "benchmark": "durability",
+        "mode": "smoke" if args.smoke else "full",
+        "scale": scale,
+        "ok": result.ok,
+        "data": result.data,
+        "machine": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpus": os.cpu_count(),
+        },
+        "wall_seconds": elapsed,
+    }
+    out = args.out or (REPO_ROOT / "BENCH_durability.json")
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    if not result.ok:
+        print("DIVERGENCE: recovered run is not bit-identical to the twin", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

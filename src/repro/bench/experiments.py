@@ -896,6 +896,12 @@ def conformance(scale: str = "quick") -> ExperimentResult:
     for result in results:
         spec = result.spec
         faults = spec.faults.describe() if spec.faults else "none"
+        if spec.crash is not None:
+            faults = (
+                f"crash@{spec.crash.crash_op_kind}:{spec.crash.crash_at_op}"
+                + ("+torn" if spec.crash.crash_torn else "")
+                + f" ckpt@{spec.crash.snapshot_at}"
+            )
         status = "PASS" if result.ok != spec.expect_failure else "FAIL"
         rows.append(
             [
@@ -957,6 +963,152 @@ def conformance(scale: str = "quick") -> ExperimentResult:
     )
 
 
+def durability(scale: str = "quick") -> ExperimentResult:
+    """Snapshot/restore cost and restart warmth of the durable backend.
+
+    Runs H-ORAM and a sharded fleet on disk-backed slabs, checkpoints
+    mid-workload, crashes (checkpoint + kill), recovers from disk and
+    finishes the workload -- measuring snapshot/restore wall-clock, the
+    checkpoint's on-disk size, and *restart warmth*: how much cheaper
+    resuming from the checkpoint is than replaying the whole workload
+    from a cold start.  The recovered run must be bit-identical (served
+    results, served log, metrics, simulated clock) to an uninterrupted
+    twin; any divergence fails the experiment.
+    """
+    import os
+    import shutil
+    import tempfile
+    import time as _time
+
+    from repro.core.checkpoint import recover, save_checkpoint
+    from repro.core.horam import build_horam as _build_horam
+    from repro.core.sharding import build_sharded_horam as _build_sharded
+
+    n_blocks, mem_blocks, request_count = _scale(_SMALL_SCALES, scale)
+    request_count = min(request_count, 1200)
+    cut = request_count // 2
+
+    def drive(protocol, requests):
+        served = []
+        for request in requests:
+            entry = protocol.submit(request)
+            protocol.drain()
+            served.append(entry.result)
+        return served
+
+    def checkpoint_size(directory) -> int:
+        total = 0
+        for root, _dirs, files in os.walk(directory):
+            total += sum(os.path.getsize(os.path.join(root, f)) for f in files)
+        return total
+
+    configs = [
+        ("horam-durable", lambda d: _build_horam(
+            n_blocks=n_blocks, mem_tree_blocks=mem_blocks, seed=0,
+            storage_backend="file", storage_path=os.path.join(d, "main.slab"),
+        )),
+        ("sharded2-durable", lambda d: _build_sharded(
+            n_blocks=n_blocks, mem_tree_blocks=mem_blocks, n_shards=2, seed=0,
+            storage_backend="file", storage_dir=d,
+        )),
+    ]
+
+    rows = []
+    data: dict = {"n_blocks": n_blocks, "requests": request_count, "stacks": {}}
+    ok = True
+    requests = None
+    for name, build in configs:
+        work_dir = tempfile.mkdtemp(prefix="horam-durability-")
+        try:
+            ckpt_dir = os.path.join(work_dir, "ckpt")
+            # Uninterrupted twin (in its own slab directory).
+            twin = build(os.path.join(work_dir, "twin"))
+            if requests is None:
+                # Hot-area sizing from the first stack (the single-instance
+                # H-ORAM config); every config serves the same stream.
+                requests = _workload(n_blocks, request_count, _hot_blocks(twin), seed=29)
+            twin_results = drive(twin, requests)
+            twin_log = list(twin.served_log)
+            twin_metrics = twin.metrics.to_dict()
+            twin_clock = twin.hierarchy.clock.now_us
+            twin.close()
+
+            # Crashed + recovered run.
+            victim = build(os.path.join(work_dir, "victim"))
+            results = drive(victim, requests[:cut])
+            started = _time.perf_counter()
+            save_checkpoint(victim, ckpt_dir)
+            snapshot_s = _time.perf_counter() - started
+            victim.close()  # the crash
+            started = _time.perf_counter()
+            restored = recover(ckpt_dir)
+            restore_s = _time.perf_counter() - started
+            started = _time.perf_counter()
+            results.extend(drive(restored, requests[cut:]))
+            warm_tail_s = _time.perf_counter() - started
+
+            identical = (
+                results == twin_results
+                and list(restored.served_log) == twin_log
+                and restored.metrics.to_dict() == twin_metrics
+                and restored.hierarchy.clock.now_us == twin_clock
+            )
+            restored.close()
+
+            # Cold restart: rebuild from zero and replay everything.
+            started = _time.perf_counter()
+            cold = build(os.path.join(work_dir, "cold"))
+            drive(cold, requests)
+            cold_replay_s = _time.perf_counter() - started
+            cold.close()
+
+            size = checkpoint_size(ckpt_dir)
+            warm_restart_s = restore_s + warm_tail_s
+            warmth = cold_replay_s / warm_restart_s if warm_restart_s > 0 else float("inf")
+            ok = ok and identical
+            rows.append(
+                [
+                    name,
+                    f"{snapshot_s * 1000:.1f} ms",
+                    format_bytes(size),
+                    f"{restore_s * 1000:.1f} ms",
+                    f"{warm_restart_s * 1000:.1f} ms",
+                    f"{cold_replay_s * 1000:.1f} ms",
+                    f"{warmth:.2f}x",
+                    "yes" if identical else "NO",
+                ]
+            )
+            data["stacks"][name] = {
+                "snapshot_seconds": snapshot_s,
+                "checkpoint_bytes": size,
+                "restore_seconds": restore_s,
+                "warm_restart_seconds": warm_restart_s,
+                "cold_replay_seconds": cold_replay_s,
+                "restart_warmth": warmth,
+                "bit_identical": identical,
+            }
+        finally:
+            shutil.rmtree(work_dir, ignore_errors=True)
+
+    return ExperimentResult(
+        experiment_id="durability",
+        title="Durability: checkpoint cost and restart warmth on disk slabs",
+        headers=[
+            "stack", "snapshot", "ckpt size", "restore",
+            "warm restart", "cold replay", "warmth", "bit-identical",
+        ],
+        rows=rows,
+        notes=[
+            f"{request_count} hotspot requests, checkpoint at request {cut}; "
+            "warm restart = restore + finish, cold replay = rebuild + full run",
+            "bit-identical compares served results, served log, metrics and "
+            "simulated clock of the recovered run against an uninterrupted twin",
+        ],
+        data=data,
+        ok=ok,
+    )
+
+
 EXPERIMENTS = {
     "table5_1": table5_1,
     "figure5_1": figure5_1,
@@ -974,6 +1126,7 @@ EXPERIMENTS = {
     "baselines": baselines,
     "device_sensitivity": device_sensitivity,
     "conformance": conformance,
+    "durability": durability,
 }
 
 

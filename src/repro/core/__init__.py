@@ -32,6 +32,16 @@ from repro.core.horam import HybridORAM, build_horam
 from repro.core.multiuser import MultiUserFrontEnd, UserStats
 from repro.core.executor import ParallelExecutor, SerialExecutor, ShardExecutor
 from repro.core.sharding import ShardedHORAM, build_sharded_horam
+from repro.core.checkpoint import (
+    CHECKPOINT_VERSION,
+    Checkpoint,
+    CheckpointError,
+    load_checkpoint,
+    recover,
+    restore_stack,
+    save_checkpoint,
+    snapshot_stack,
+)
 from repro.core.profiler import (
     HotspotReport,
     ProfileResult,
@@ -61,6 +71,14 @@ __all__ = [
     "ShardExecutor",
     "SerialExecutor",
     "ParallelExecutor",
+    "CHECKPOINT_VERSION",
+    "Checkpoint",
+    "CheckpointError",
+    "snapshot_stack",
+    "restore_stack",
+    "save_checkpoint",
+    "load_checkpoint",
+    "recover",
     "HotspotReport",
     "ProfileResult",
     "RatioProfile",

@@ -168,6 +168,37 @@ class CacheTree:
         self.tree.write_path(leaf, self.stash, times)
         return times
 
+    # ---------------------------------------------------------- checkpoint
+    def state_dict(self) -> dict:
+        """JSON-able mutable state (tree slot *bytes* live in the store blob)."""
+        from base64 import b64encode
+
+        return {
+            "positions": [[addr, leaf] for addr, leaf in self.position_map._positions.items()],
+            "stash": [
+                [entry.addr, entry.leaf, b64encode(entry.payload).decode("ascii")]
+                for entry in self.stash
+            ],
+            "stash_peak": self.stash.peak,
+            "real": b64encode(self.tree._real).decode("ascii"),
+            "leaf_log": list(self.tree.leaf_log),
+            "rng": self.rng.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        from base64 import b64decode
+
+        self.position_map.clear()
+        for addr, leaf in state["positions"]:
+            self.position_map.set(addr, leaf)
+        self.stash.clear()
+        for addr, leaf, payload in state["stash"]:
+            self.stash.put(addr, leaf, b64decode(payload))
+        self.stash.peak = state["stash_peak"]
+        self.tree._real[:] = b64decode(state["real"])
+        self.tree.leaf_log[:] = state["leaf_log"]
+        self.rng.load_state(state["rng"])
+
     # -------------------------------------------------------------- evict
     def evict_all(self) -> tuple[list[tuple[int, bytes]], TierTimes, int]:
         """Oblivious eviction (Section 4.3.1): returns (blocks, times, moves).

@@ -82,6 +82,9 @@ class ShardBuildSpec:
     storage_device: object = None
     memory_device: object = None
     config_kwargs: dict = field(default_factory=dict)
+    #: "memory" or "file" (a durable slab owned by the worker process).
+    storage_backend: str = "memory"
+    storage_path: str | None = None
 
 
 @dataclass
@@ -241,6 +244,14 @@ class ShardExecutor(ABC):
     def fault_stats(self) -> FaultStats | None:
         return None
 
+    def snapshot_states(self) -> "list[tuple[dict, dict[str, bytes]]]":
+        """Per-shard ``HybridORAM.state_dict()`` payloads, in shard order."""
+        raise NotImplementedError
+
+    def load_states(self, payloads: "list[tuple[dict, dict[str, bytes]]]") -> None:
+        """Rehydrate every shard from :meth:`snapshot_states` payloads."""
+        raise NotImplementedError
+
     def close(self) -> None:
         """Release runtime resources (worker processes); idempotent."""
 
@@ -293,6 +304,21 @@ class SerialExecutor(ShardExecutor):
     def fault_stats(self) -> FaultStats | None:
         return self._injector.stats if self._injector else None
 
+    def snapshot_states(self) -> "list[tuple[dict, dict[str, bytes]]]":
+        return [shard.state_dict() for shard in self.shards]
+
+    def load_states(self, payloads: "list[tuple[dict, dict[str, bytes]]]") -> None:
+        if len(payloads) != len(self.shards):
+            raise ValueError(
+                f"{len(payloads)} shard states for {len(self.shards)} shards"
+            )
+        for shard, (state, blobs) in zip(self.shards, payloads):
+            shard.load_state(state, blobs)
+
+    def close(self) -> None:
+        for shard in self.shards:
+            shard.close()
+
 
 # --------------------------------------------------------------------------
 # Worker-process side.  Each process owns exactly one shard (every pool is
@@ -313,6 +339,8 @@ def _worker_init(spec: ShardBuildSpec) -> None:
         storage_device=spec.storage_device,
         memory_device=spec.memory_device,
         initial_addr_map=lambda local: local * n_shards + index,
+        storage_backend=spec.storage_backend,
+        storage_path=spec.storage_path,
         **spec.config_kwargs,
     )
     _WORKER.clear()
@@ -404,6 +432,34 @@ def _worker_install_faults(plan: FaultPlan) -> None:
     _WORKER["injector"] = injector
 
 
+def _worker_state() -> "tuple[dict, dict]":
+    """Checkpoint payload of this worker's shard (state dict + blobs)."""
+    return _WORKER["shard"].state_dict()
+
+
+def _worker_load_state(payload: "tuple[dict, dict]") -> ShardInfo:
+    """Rehydrate the shard from a checkpoint payload; reset delta marks.
+
+    The marks go back to zero so the next snapshot ships the *full*
+    served/latency/trace logs -- the coordinator rebuilds its mirrors
+    from scratch after a restore.
+    """
+    state, blobs = payload
+    shard = _WORKER["shard"]
+    shard.load_state(state, blobs)
+    _WORKER["served_mark"] = 0
+    _WORKER["latency_mark"] = 0
+    _WORKER["trace_mark"] = 0
+    return _worker_describe()
+
+
+def _worker_close() -> None:
+    """Flush and release the shard's durable backing before shutdown."""
+    shard = _WORKER.get("shard")
+    if shard is not None:
+        shard.close()
+
+
 # --------------------------------------------------------------------------
 # Coordinator side of the parallel runtime
 # --------------------------------------------------------------------------
@@ -429,6 +485,8 @@ class ParallelExecutor(ShardExecutor):
     def __init__(self, specs: list[ShardBuildSpec], mp_context=None):
         if not specs:
             raise ValueError("need at least one shard spec")
+        #: the build recipes, kept for checkpoint manifests.
+        self.specs = list(specs)
         context = mp_context or _default_context()
         self._pools: list[ProcessPoolExecutor] = [
             ProcessPoolExecutor(
@@ -564,13 +622,51 @@ class ParallelExecutor(ShardExecutor):
                 setattr(total, f.name, getattr(total, f.name) + getattr(s, f.name))
         return total
 
+    # -------------------------------------------------------------- checkpoint
+    def snapshot_states(self) -> "list[tuple[dict, dict[str, bytes]]]":
+        """Collect every worker's shard state over IPC (fleet must be idle)."""
+        self._check_usable()
+        if self._outstanding or any(self._pending):
+            raise RuntimeError(
+                "parallel fleets snapshot at quiescent points only; drain() first"
+            )
+        return self._broadcast(_worker_state)
+
+    def load_states(self, payloads: "list[tuple[dict, dict[str, bytes]]]") -> None:
+        """Rehydrate every worker's shard and rebuild the coordinator mirrors."""
+        self._check_usable()
+        if len(payloads) != len(self._pools):
+            raise ValueError(
+                f"{len(payloads)} shard states for {len(self._pools)} workers"
+            )
+        infos: list[ShardInfo] = self._broadcast_zip(_worker_load_state, payloads)
+        self.shards = [ShardMirror(info) for info in infos]
+
     # --------------------------------------------------------------- teardown
     def close(self) -> None:
+        """Shut the worker processes down and wait for them to exit.
+
+        Waiting matters: a fire-and-forget shutdown leaves worker
+        processes alive briefly after a failed scenario, which is exactly
+        the leak the harness' regression tests look for.  Workers flush
+        durable slabs first (best-effort -- a crashed fleet skips it).
+        """
         if self._closed:
             return
         self._closed = True
+        flushes = []
         for pool in self._pools:
-            pool.shutdown(wait=False, cancel_futures=True)
+            try:
+                flushes.append(pool.submit(_worker_close))
+            except Exception:  # broken/shut pool: nothing left to flush
+                pass
+        for future in flushes:
+            try:
+                future.result()
+            except Exception:
+                pass
+        for pool in self._pools:
+            pool.shutdown(wait=True, cancel_futures=True)
 
     def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
         try:

@@ -218,6 +218,62 @@ class HybridORAM(ORAMProtocol):
         """End the current period immediately (maintenance hook)."""
         self._run_shuffle_period()
 
+    def close(self) -> None:
+        """Release durable storage backings (flush + unmap); idempotent."""
+        self.hierarchy.close()
+
+    # ------------------------------------------------------------ checkpoint
+    def snapshot(self):
+        """Full-stack checkpoint (see :mod:`repro.core.checkpoint`)."""
+        from repro.core.checkpoint import snapshot_stack
+
+        return snapshot_stack(self)
+
+    def state_dict(self) -> "tuple[dict, dict[str, bytes]]":
+        """(JSON-able state, binary blobs) capturing every mutable bit.
+
+        Restoring this state into a freshly built instance with the same
+        config and hierarchy geometry makes it bit-identical -- results,
+        logs, metrics, timing, randomness -- to the snapshotted one, from
+        this point forward.
+        """
+        from repro.core.checkpoint import _hierarchy_state
+
+        state, blobs = _hierarchy_state(self.hierarchy)
+        state.update(
+            codec_nonce=self.codec._nonce_counter,
+            rng=self.rng.state_dict(),
+            cache=self.cache.state_dict(),
+            storage=self.storage.state_dict(),
+            rob=self.rob.state_dict(),
+            scheduler_cycles_planned=self.scheduler.cycles_planned,
+            metrics=self.metrics.to_dict(),
+            cycle_index=self._cycle_index,
+            loads_this_period=self._loads_this_period,
+            period_index=self._period_index,
+            served_log=[list(item) for item in self.served_log],
+            latency_log=list(self.latency_log),
+        )
+        return state, blobs
+
+    def load_state(self, state: dict, blobs: "dict[str, bytes]") -> None:
+        """Overwrite this instance's mutable state with a checkpoint's."""
+        from repro.core.checkpoint import _load_hierarchy_state
+
+        _load_hierarchy_state(self.hierarchy, state, blobs)
+        self.codec._nonce_counter = state["codec_nonce"]
+        self.rng.load_state(state["rng"])
+        self.cache.load_state(state["cache"])
+        self.storage.load_state(state["storage"])
+        self.rob.load_state(state["rob"])
+        self.scheduler.cycles_planned = state["scheduler_cycles_planned"]
+        self.metrics = Metrics.from_dict(state["metrics"])
+        self._cycle_index = state["cycle_index"]
+        self._loads_this_period = state["loads_this_period"]
+        self._period_index = state["period_index"]
+        self.served_log[:] = [tuple(item) for item in state["served_log"]]
+        self.latency_log[:] = state["latency_log"]
+
     def latency_percentiles(self, quantiles=(50, 90, 99)) -> dict[int, float]:
         """Service-latency percentiles in scheduler cycles.
 
@@ -328,6 +384,8 @@ def build_horam(
     memory_device=None,
     integrity: bool = False,
     initial_addr_map=None,
+    storage_backend: str = "memory",
+    storage_path=None,
     **config_kwargs,
 ) -> HybridORAM:
     """Convenience factory: config + hierarchy + protocol in one call.
@@ -378,5 +436,7 @@ def build_horam(
         memory_device=memory_device,
         storage_device=storage_device,
         trace=TraceRecorder() if trace else TraceRecorder(capacity=0),
+        storage_backend=storage_backend,
+        storage_path=storage_path,
     )
     return HybridORAM(config, hierarchy, codec=codec, initial_addr_map=initial_addr_map)

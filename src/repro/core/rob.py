@@ -110,6 +110,58 @@ class RobTable:
     def occupancy(self) -> int:
         return len(self._entries)
 
+    # ---------------------------------------------------------- checkpoint
+    def state_dict(self) -> dict:
+        """JSON-able entry list (request ids are regenerated on restore)."""
+        from base64 import b64encode
+
+        def encode(blob: bytes | None) -> str | None:
+            return b64encode(blob).decode("ascii") if blob is not None else None
+
+        return {
+            "entries": [
+                {
+                    "op": entry.request.op.value,
+                    "addr": entry.request.addr,
+                    "data": encode(entry.request.data),
+                    "user": entry.request.user,
+                    "state": entry.state.value,
+                    "result": encode(entry.result),
+                    "submit_cycle": entry.submit_cycle,
+                    "served_cycle": entry.served_cycle,
+                }
+                for entry in self._entries
+            ],
+            "total_submitted": self.total_submitted,
+            "total_retired": self.total_retired,
+        }
+
+    def load_state(self, state: dict) -> None:
+        from base64 import b64decode
+
+        from repro.oram.base import OpKind
+
+        def decode(blob: str | None) -> bytes | None:
+            return b64decode(blob) if blob is not None else None
+
+        self._entries.clear()
+        for item in state["entries"]:
+            entry = RobEntry(
+                request=Request(
+                    op=OpKind(item["op"]),
+                    addr=item["addr"],
+                    data=decode(item["data"]),
+                    user=item["user"],
+                ),
+                state=EntryState(item["state"]),
+                result=decode(item["result"]),
+                submit_cycle=item["submit_cycle"],
+                served_cycle=item["served_cycle"],
+            )
+            self._entries.append(entry)
+        self.total_submitted = state["total_submitted"]
+        self.total_retired = state["total_retired"]
+
     def demote_ready(self) -> int:
         """Send READY entries back to PENDING (their blocks left the cache).
 

@@ -257,6 +257,16 @@ class ShardedHORAM(ORAMProtocol):
         """Release the runtime (worker processes in parallel mode)."""
         self.executor.close()
 
+    def snapshot(self):
+        """Fleet-wide checkpoint (see :mod:`repro.core.checkpoint`).
+
+        Requires a quiescent coordinator: everything submitted has
+        drained.  Parallel fleets checkpoint their workers over IPC.
+        """
+        from repro.core.checkpoint import snapshot_stack
+
+        return snapshot_stack(self)
+
     def __enter__(self) -> "ShardedHORAM":
         return self
 
@@ -342,6 +352,8 @@ def build_sharded_horam(
     memory_device=None,
     executor: str = "serial",
     mp_context=None,
+    storage_backend: str = "memory",
+    storage_dir=None,
     **config_kwargs,
 ) -> ShardedHORAM:
     """Factory mirroring :func:`~repro.core.horam.build_horam`.
@@ -379,6 +391,16 @@ def build_sharded_horam(
             "use fewer shards or a larger n_blocks"
         )
 
+    if storage_backend == "file" and storage_dir is None:
+        raise ValueError("storage_backend='file' needs a storage_dir")
+
+    def shard_path(index: int):
+        if storage_backend != "file":
+            return None
+        import os
+
+        return os.path.join(str(storage_dir), f"shard-{index}.slab")
+
     root = DeterministicRandom(seed)
     shard_seeds = [root.spawn(f"shard-{index}").next_word() for index in range(n_shards)]
     template = HORAMConfig(
@@ -404,6 +426,8 @@ def build_sharded_horam(
                 storage_device=storage_device,
                 memory_device=memory_device,
                 config_kwargs=dict(config_kwargs),
+                storage_backend=storage_backend,
+                storage_path=shard_path(index),
             )
             for index in range(n_shards)
         ]
@@ -425,6 +449,8 @@ def build_sharded_horam(
                 storage_device=storage_device,
                 memory_device=memory_device,
                 initial_addr_map=lambda local, index=index: local * n_shards + index,
+                storage_backend=storage_backend,
+                storage_path=shard_path(index),
                 **config_kwargs,
             )
         )

@@ -71,6 +71,10 @@ class StageSchedule:
         """Request-weighted average c (equation 5-1; paper value 3.94)."""
         return sum(stage.c * stage.fraction for stage in self._stages)
 
+    def to_pairs(self) -> list[list]:
+        """JSON-able ``[[c, fraction], ...]`` form (checkpoint manifests)."""
+        return [[stage.c, stage.fraction] for stage in self._stages]
+
     @classmethod
     def paper_default(cls) -> "StageSchedule":
         """The Section 5.2 schedule: {c}={1,3,5}, fractions {0.2,0.13,0.67}."""

@@ -427,6 +427,40 @@ class PermutedStorage:
         """Open the next access period's dummy-load pool."""
         self._rebuild_unread()
 
+    # ---------------------------------------------------------- checkpoint
+    def state_dict(self) -> dict:
+        """JSON-able control-layer state (slot *bytes* live in the store blob)."""
+        from base64 import b64encode
+
+        return {
+            "location": list(self.location),
+            "slot_addr": list(self.slot_addr),
+            "consumed": b64encode(self.consumed).decode("ascii"),
+            "occupied": b64encode(self._occupied).decode("ascii"),
+            "overflow_used": [p.overflow_used for p in self._partitions],
+            "partition_unread": [list(slots) for slots in self._partition_unread],
+            "partition_dirty": b64encode(self._partition_dirty).decode("ascii"),
+            "unread": list(self._unread),
+            "dummy_pool_exhausted": self.dummy_pool_exhausted,
+            "rng": self.rng.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        from base64 import b64decode
+
+        self.location[:] = state["location"]
+        self.slot_addr[:] = state["slot_addr"]
+        self.consumed[:] = b64decode(state["consumed"])
+        self._occupied[:] = b64decode(state["occupied"])
+        for partition, used in zip(self._partitions, state["overflow_used"]):
+            partition.overflow_used = used
+        self._partition_unread = [list(slots) for slots in state["partition_unread"]]
+        self._partition_dirty[:] = b64decode(state["partition_dirty"])
+        self._unread = list(state["unread"])
+        self._unread_pos = {slot: index for index, slot in enumerate(self._unread)}
+        self.dummy_pool_exhausted = state["dummy_pool_exhausted"]
+        self.rng.load_state(state["rng"])
+
     # ------------------------------------------------------------- queries
     def resident_blocks(self) -> int:
         return sum(1 for loc in self.location if loc != IN_MEMORY)

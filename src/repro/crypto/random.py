@@ -137,6 +137,21 @@ class DeterministicRandom:
         child._hasher = hashlib.blake2b(key=child._key, digest_size=64)
         return child
 
+    # ------------------------------------------------------------ checkpoint
+    def state_dict(self) -> dict:
+        """Resumable stream position (the key is *not* included).
+
+        Restoring requires an instance constructed -- or spawned -- from
+        the same seed/label lineage, so checkpoints never carry key
+        material; they carry only how far the stream has advanced.
+        """
+        return {"counter": self._counter, "buffer": list(self._buffer)}
+
+    def load_state(self, state: dict) -> None:
+        """Rewind/advance this stream to a :meth:`state_dict` position."""
+        self._counter = int(state["counter"])
+        self._buffer = [int(word) for word in state["buffer"]]
+
     # -------------------------------------------------------------- utility
     def permutation(self, n: int) -> list[int]:
         """A fresh uniform permutation of ``range(n)``."""

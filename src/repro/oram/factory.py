@@ -86,6 +86,20 @@ def build_path_oram(
         rng=DeterministicRandom(seed).spawn("path-oram"),
     )
     oram.hierarchy = hierarchy
+    oram._build_info = {
+        "baseline": "path",
+        "args": dict(
+            n_blocks=n_blocks,
+            memory_blocks=memory_blocks,
+            payload_bytes=payload_bytes,
+            modeled_block_bytes=modeled_block_bytes,
+            bucket_size=bucket_size,
+            seed=seed,
+            memory_device=memory_device,
+            storage_device=storage_device,
+            trace=trace,
+        ),
+    }
     return oram
 
 
@@ -119,6 +133,18 @@ def build_square_root(
         rng=DeterministicRandom(seed).spawn("sqrt-oram"),
     )
     oram.hierarchy = hierarchy
+    oram._build_info = {
+        "baseline": "sqrt",
+        "args": dict(
+            n_blocks=n_blocks,
+            payload_bytes=payload_bytes,
+            modeled_block_bytes=modeled_block_bytes,
+            seed=seed,
+            memory_device=memory_device,
+            storage_device=storage_device,
+            trace=trace,
+        ),
+    }
     return oram
 
 
@@ -149,6 +175,18 @@ def build_plain(
         clock=hierarchy.clock,
     )
     store.hierarchy = hierarchy
+    store._build_info = {
+        "baseline": "plain",
+        "args": dict(
+            n_blocks=n_blocks,
+            payload_bytes=payload_bytes,
+            modeled_block_bytes=modeled_block_bytes,
+            seed=seed,
+            memory_device=memory_device,
+            storage_device=storage_device,
+            trace=trace,
+        ),
+    }
     return store
 
 
@@ -184,6 +222,19 @@ def build_partition(
         memory_store=hierarchy.memory,
     )
     oram.hierarchy = hierarchy
+    oram._build_info = {
+        "baseline": "partition",
+        "args": dict(
+            n_blocks=n_blocks,
+            payload_bytes=payload_bytes,
+            modeled_block_bytes=modeled_block_bytes,
+            seed=seed,
+            evict_rate=evict_rate,
+            memory_device=memory_device,
+            storage_device=storage_device,
+            trace=trace,
+        ),
+    }
     return oram
 
 

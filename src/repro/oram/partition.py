@@ -218,8 +218,11 @@ class PartitionORAM(ORAMProtocol):
         elif partition.holes:
             # Dummy pool exhausted before this partition's next shuffle;
             # fall back to re-reading a consumed slot and record the event
-            # (a sizing warning, not silent).
-            slot = next(iter(partition.holes))
+            # (a sizing warning, not silent).  The lowest hole is chosen so
+            # the pick is a pure function of the hole *contents* -- set
+            # iteration order depends on insertion history, which a
+            # checkpoint round-trip does not preserve.
+            slot = min(partition.holes)
             self.metrics.extra["dummy_exhaustion"] += 1
         else:
             slot = partition.base_slot

@@ -189,6 +189,18 @@ class Metrics:
         snapshot.extra = dict(self.extra)
         return snapshot
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "Metrics":
+        """Rebuild from :meth:`to_dict` output (derived keys are ignored)."""
+        metrics = cls()
+        for f in fields(cls):
+            if f.name == "extra":
+                continue
+            if f.name in data:
+                setattr(metrics, f.name, data[f.name])
+        metrics.extra = dict(data.get("extra", {}))
+        return metrics
+
     def to_dict(self) -> dict:
         result = {f.name: getattr(self, f.name) for f in fields(Metrics) if f.name != "extra"}
         result.update(

@@ -29,7 +29,9 @@ from repro.storage.device import (
     ssd_sata,
 )
 from repro.storage.backend import BlockStore
+from repro.storage.durable import DurableBlockStore, SlabError
 from repro.storage.faults import (
+    CrashFault,
     FaultInjector,
     FaultPlan,
     FaultStats,
@@ -40,6 +42,9 @@ from repro.storage.trace import TraceEvent, TraceRecorder
 from repro.storage.hierarchy import StorageHierarchy
 
 __all__ = [
+    "CrashFault",
+    "DurableBlockStore",
+    "SlabError",
     "FaultInjector",
     "FaultPlan",
     "FaultStats",

@@ -88,7 +88,7 @@ class BlockStore:
         self.device = device
         self.trace = trace
         self.clock = clock  # only used to timestamp trace events
-        self._data = bytearray(slots * slot_bytes)
+        self._data = self._allocate_data(slots * slot_bytes)
         self._next_seq_slot = -1
         self._last_op = ""
         self.counters = StoreCounters()
@@ -105,6 +105,15 @@ class BlockStore:
             type(device).run_us is DeviceModel.run_us
             and type(device).transfer_us is DeviceModel.transfer_us
         )
+
+    def _allocate_data(self, size: int) -> "bytearray":
+        """Allocate the zero-filled slot array.
+
+        Subclasses with their own backing (e.g. a memory-mapped slab)
+        override this so the base constructor never materializes a
+        throwaway buffer of the full store size.
+        """
+        return bytearray(size)
 
     # --------------------------------------------------------------- sizing
     @property
@@ -313,3 +322,33 @@ class BlockStore:
 
     def snapshot(self) -> StoreCounters:
         return self.counters.copy()
+
+    # ----------------------------------------------------------- checkpoint
+    def state_dict(self) -> dict:
+        """JSON-able accounting state (slot *data* ships separately as a blob)."""
+        from dataclasses import asdict
+
+        return {
+            "next_seq_slot": self._next_seq_slot,
+            "last_op": self._last_op,
+            "counters": asdict(self.counters),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._next_seq_slot = state["next_seq_slot"]
+        self._last_op = state["last_op"]
+        self.counters = StoreCounters(**state["counters"])
+
+    def export_data(self) -> bytes:
+        """A copy of the full slot array (checkpoint blob)."""
+        return bytes(self._data)
+
+    def import_data(self, data: bytes | bytearray | memoryview) -> None:
+        """Overwrite the full slot array (checkpoint restore / slab rollback)."""
+        view = memoryview(data)
+        expected = self.slots * self.slot_bytes
+        if view.nbytes != expected:
+            raise ValueError(
+                f"store '{self.name}' holds {expected} bytes, got {view.nbytes}"
+            )
+        self._data[:] = view

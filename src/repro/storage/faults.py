@@ -25,6 +25,10 @@ Semantics (the contract the conformance scenarios assert):
   error signalled.  This one is deliberately *not* recovered: it models
   the failure class ORAM integrity checking exists for, and the harness
   uses it to seed reproducible failures for the scenario shrinker.
+* **crashes** -- the process dies at a chosen physical access
+  (:class:`CrashFault`; optionally leaving a torn prefix of the crashing
+  bulk write in the slab).  Terminal by design: recovery goes through
+  :func:`repro.core.checkpoint.recover`, never through a retry.
 
 All randomness comes from one :class:`DeterministicRandom` seeded by the
 :class:`FaultPlan`, so a scenario replays bit-identically from its
@@ -51,6 +55,34 @@ class UnrecoverableFaultError(FaultError):
     """A transient fault persisted past the retry budget."""
 
 
+class CrashFault(FaultError):
+    """The process "died" at this physical access (durability testing).
+
+    Unlike every other fault this one is terminal by design: nothing
+    retries it, the stack that raised it is considered dead, and the only
+    way forward is :func:`repro.core.checkpoint.recover` from the last
+    checkpoint.  With ``torn=True`` the crashing ``write_run`` landed a
+    prefix of the run before dying -- the torn most-recent write a real
+    power cut leaves in a slab.
+    """
+
+    def __init__(self, op: str, op_index: int, torn: bool = False):
+        super().__init__(
+            f"injected crash at physical op {op_index} ({op}"
+            + (", torn write" if torn else "")
+            + ")"
+        )
+        self.op = op
+        self.op_index = op_index
+        self.torn = torn
+
+    def __reduce__(self):
+        # Exceptions pickle as (cls, self.args); ours takes structured
+        # arguments, so spell the constructor call out for the trip back
+        # from a worker process.
+        return (CrashFault, (self.op, self.op_index, self.torn))
+
+
 @dataclass
 class FaultPlan:
     """Declarative fault mix; JSON-able so scenario specs can carry it."""
@@ -62,6 +94,15 @@ class FaultPlan:
     torn_write_rate: float = 0.0
     corrupt_read_rate: float = 0.0
     max_retries: int = 3
+    #: kill the process at the Nth physical access of the matching kind
+    #: (1-based; 0 disables crash injection).
+    crash_at_op: int = 0
+    #: which accesses count toward ``crash_at_op``: "any", or "write_run"
+    #: (bulk writes only -- in H-ORAM those happen exclusively inside the
+    #: shuffle period, so this targets a mid-shuffle crash).
+    crash_op_kind: str = "any"
+    #: land a torn prefix of the crashing bulk write before dying.
+    crash_torn: bool = False
 
     def __post_init__(self) -> None:
         for name in ("read_error_rate", "latency_spike_rate", "torn_write_rate", "corrupt_read_rate"):
@@ -72,9 +113,15 @@ class FaultPlan:
             raise ValueError("spike_factor must be >= 1")
         if self.max_retries < 1:
             raise ValueError("max_retries must be >= 1")
+        if self.crash_at_op < 0:
+            raise ValueError("crash_at_op must be >= 0 (0 = disabled)")
+        if self.crash_op_kind not in ("any", "write_run"):
+            raise ValueError(
+                f"crash_op_kind must be 'any' or 'write_run', got {self.crash_op_kind!r}"
+            )
 
     def active(self) -> bool:
-        return any(
+        return self.crash_at_op > 0 or any(
             rate > 0.0
             for rate in (
                 self.read_error_rate,
@@ -94,6 +141,11 @@ class FaultPlan:
             parts.append(f"torn {self.torn_write_rate:g}")
         if self.corrupt_read_rate:
             parts.append(f"corrupt {self.corrupt_read_rate:g}")
+        if self.crash_at_op:
+            parts.append(
+                f"crash@{self.crash_op_kind}:{self.crash_at_op}"
+                + ("+torn" if self.crash_torn else "")
+            )
         return ", ".join(parts) or "none"
 
     def to_dict(self) -> dict:
@@ -114,6 +166,7 @@ class FaultStats:
     torn_writes: int = 0
     corrupted_reads: int = 0
     injected_delay_us: float = 0.0
+    crashes: int = 0
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -133,12 +186,32 @@ class FaultInjector:
         self.rng = DeterministicRandom(f"fault-{plan.seed}")
         self.stats = FaultStats()
         self._stores: list[BlockStore] = []
+        #: physical accesses counted toward the crash point (all stores).
+        self._crash_ops = 0
 
     # ------------------------------------------------------------- rolling
     def _roll(self, rate: float) -> bool:
         # Disabled fault kinds consume no randomness, so enabling one kind
         # does not shift another kind's injection points.
         return rate > 0.0 and self.rng.random() < rate
+
+    def _crash_due(self, op: str) -> bool:
+        """Count one physical access; True when it is the crash point.
+
+        Counting consumes no randomness, so enabling a crash does not
+        shift any other fault kind's injection points -- the pre-crash
+        behavior stays bit-identical to a crash-free run.
+        """
+        if self.plan.crash_at_op <= 0:
+            return False
+        if self.plan.crash_op_kind == "write_run" and op != "write_run":
+            return False
+        self._crash_ops += 1
+        return self._crash_ops == self.plan.crash_at_op
+
+    def _crash(self, op: str, torn: bool = False) -> None:
+        self.stats.crashes += 1
+        raise CrashFault(op, self._crash_ops, torn=torn)
 
     def _perturb_read(self, store: BlockStore, op: str, duration: float) -> float:
         """Common read-path injection: transient errors then latency spikes."""
@@ -206,6 +279,8 @@ class FaultInjector:
         orig_write_run = store.write_run
 
         def read_slot(slot):
+            if injector._crash_due("read_slot"):
+                injector._crash("read_slot")
             record, duration = orig_read_slot(slot)
             duration = injector._perturb_read(store, "read_slot", duration)
             if injector._roll(injector.plan.corrupt_read_rate):
@@ -214,6 +289,8 @@ class FaultInjector:
             return record, duration
 
         def read_slot_view(slot):
+            if injector._crash_due("read_slot"):
+                injector._crash("read_slot")
             view, duration = orig_read_slot_view(slot)
             duration = injector._perturb_read(store, "read_slot", duration)
             if injector._roll(injector.plan.corrupt_read_rate):
@@ -223,6 +300,8 @@ class FaultInjector:
             return view, duration
 
         def read_run(start, count):
+            if injector._crash_due("read_run"):
+                injector._crash("read_run")
             records, duration = orig_read_run(start, count)
             duration = injector._perturb_read(store, "read_run", duration)
             if injector._roll(injector.plan.corrupt_read_rate):
@@ -232,6 +311,8 @@ class FaultInjector:
             return records, duration
 
         def read_run_view(start, count):
+            if injector._crash_due("read_run"):
+                injector._crash("read_run")
             view, duration = orig_read_run_view(start, count)
             duration = injector._perturb_read(store, "read_run_view", duration)
             if injector._roll(injector.plan.corrupt_read_rate):
@@ -248,6 +329,8 @@ class FaultInjector:
             return view, duration
 
         def write_slot(slot, record):
+            if injector._crash_due("write_slot"):
+                injector._crash("write_slot")
             duration = orig_write_slot(slot, record)
             return injector._perturb_write(store, duration)
 
@@ -256,6 +339,20 @@ class FaultInjector:
                 count = memoryview(records).nbytes // store.slot_bytes
             else:
                 count = len(records)
+            if injector._crash_due("write_run"):
+                # The crash interrupts this very write: with crash_torn a
+                # prefix lands in the slab first (what a power cut leaves
+                # behind); either way the process dies before the run
+                # completes or is charged.
+                if injector.plan.crash_torn and count > 1:
+                    cut = 1 + injector.rng.randrange(count - 1)
+                    if isinstance(records, (bytes, bytearray, memoryview)):
+                        prefix = memoryview(records)[: cut * store.slot_bytes]
+                    else:
+                        prefix = records[:cut]
+                    orig_write_run(start, prefix)
+                    injector._crash("write_run", torn=True)
+                injector._crash("write_run")
             # A run of one slot cannot tear (the slot write is atomic), so
             # the roll is only consumed -- and the tear only counted --
             # for genuinely tearable runs.

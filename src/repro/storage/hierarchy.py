@@ -17,9 +17,18 @@ from repro.storage.backend import BlockStore
 from repro.storage.device import DeviceModel, ddr4_2133, hdd_paper
 from repro.storage.trace import TraceRecorder
 
+#: Storage-tier backings a hierarchy can mount.
+STORAGE_BACKENDS = ("memory", "file")
+
 
 class StorageHierarchy:
-    """Memory tier + storage tier sharing a clock, trace and bus channels."""
+    """Memory tier + storage tier sharing a clock, trace and bus channels.
+
+    ``storage_backend="file"`` mounts the storage tier on a durable
+    memory-mapped slab at ``storage_path`` (see
+    :class:`~repro.storage.durable.DurableBlockStore`); the memory tier
+    models DRAM and always stays process-private.
+    """
 
     def __init__(
         self,
@@ -30,7 +39,18 @@ class StorageHierarchy:
         memory_device: DeviceModel | None = None,
         storage_device: DeviceModel | None = None,
         trace: TraceRecorder | None = None,
+        storage_backend: str = "memory",
+        storage_path=None,
     ):
+        if storage_backend not in STORAGE_BACKENDS:
+            raise ValueError(
+                f"unknown storage backend {storage_backend!r} "
+                f"(valid: {', '.join(STORAGE_BACKENDS)})"
+            )
+        if storage_backend == "file" and storage_path is None:
+            raise ValueError("storage_backend='file' needs a storage_path")
+        self.storage_backend = storage_backend
+        self.storage_path = str(storage_path) if storage_path is not None else None
         self.clock = SimClock()
         self.trace = trace if trace is not None else TraceRecorder()
         self.memory = BlockStore(
@@ -43,7 +63,7 @@ class StorageHierarchy:
             trace=self.trace,
             clock=self.clock,
         )
-        self.storage = BlockStore(
+        storage_kwargs = dict(
             name="storage",
             tier="storage",
             slots=storage_slots,
@@ -53,8 +73,20 @@ class StorageHierarchy:
             trace=self.trace,
             clock=self.clock,
         )
+        if storage_backend == "file":
+            from repro.storage.durable import DurableBlockStore
+
+            self.storage = DurableBlockStore(self.storage_path, **storage_kwargs)
+        else:
+            self.storage = BlockStore(**storage_kwargs)
         self.memory_channel = Channel("memory-bus")
         self.io_channel = Channel("io-bus")
+
+    def close(self) -> None:
+        """Flush and release durable backings (no-op for in-memory tiers)."""
+        close = getattr(self.storage, "close", None)
+        if close is not None:
+            close()
 
     @property
     def slot_bytes(self) -> int:
@@ -71,6 +103,7 @@ class StorageHierarchy:
     def describe(self) -> dict:
         """Geometry/summary dict used in experiment headers (Table 5-2 style)."""
         return {
+            "storage_backend": self.storage_backend,
             "memory_device": self.memory.device.name,
             "storage_device": self.storage.device.name,
             "memory_capacity_bytes": self.memory.capacity_bytes,

@@ -20,6 +20,7 @@ same answers as an insecure reference store, even under adverse I/O?":
 """
 
 from repro.storage.faults import (
+    CrashFault,
     FaultInjector,
     FaultPlan,
     FaultStats,
@@ -33,6 +34,7 @@ from repro.testing.conformance import (
 )
 from repro.testing.oracle import ReferenceOracle
 from repro.testing.scenario import (
+    CrashSpec,
     ScenarioResult,
     ScenarioRunner,
     ScenarioSpec,
@@ -42,6 +44,8 @@ from repro.testing.shrinker import ShrinkResult, shrink
 from repro.testing.stacks import DEVICES, PROTOCOLS, StackSpec, build_stack
 
 __all__ = [
+    "CrashFault",
+    "CrashSpec",
     "FaultInjector",
     "FaultPlan",
     "FaultStats",

@@ -5,10 +5,13 @@ stack must keep green: every protocol (H-ORAM, Path ORAM, square-root,
 partition, the unprotected store), the sharded fleet at 1/2/4/8 shards,
 the multi-user front end, at least two device models, adversarial
 workload shapes (single-block hotspot, shard-aliased strides, write
-storms) and recoverable fault injection (transient read errors, latency
-spikes, torn bulk writes).  The same specs back the ``horam-bench
-conformance`` CLI experiment and the tier-2 pytest matrix in
-``tests/testing/test_conformance.py``.
+storms), recoverable fault injection (transient read errors, latency
+spikes, torn bulk writes), disk-backed slab stacks, and crash/restore
+choreographies (checkpoint, kill at a chosen physical op -- including a
+torn mid-shuffle bulk write and a parallel-executor fleet -- recover,
+finish, and diff against an uninterrupted twin).  The same specs back
+the ``horam-bench conformance`` CLI experiment and the tier-2 pytest
+matrix in ``tests/testing/test_conformance.py``.
 
 ``seeded_fault_demo`` is the harness eating its own dog food: a scenario
 with silent read corruption (the one fault class that is *not*
@@ -19,7 +22,7 @@ stream, and replay from the shrunk spec's JSON.
 from __future__ import annotations
 
 from repro.storage.faults import FaultPlan
-from repro.testing.scenario import ScenarioResult, ScenarioRunner, ScenarioSpec
+from repro.testing.scenario import CrashSpec, ScenarioResult, ScenarioRunner, ScenarioSpec
 from repro.testing.shrinker import ShrinkResult, shrink
 from repro.testing.stacks import StackSpec
 from repro.workload.generators import WorkloadSpec
@@ -43,9 +46,11 @@ def _spec(
     write_ratio: float = 0.25,
     params: dict | None = None,
     faults: FaultPlan | None = None,
+    crash: CrashSpec | None = None,
     expect_failure: bool = False,
     seed: int = 11,
     executor: str = "serial",
+    storage_backend: str = "memory",
 ) -> ScenarioSpec:
     return ScenarioSpec(
         name=name,
@@ -58,6 +63,7 @@ def _spec(
             device=device,
             seed=seed,
             executor=executor,
+            storage_backend=storage_backend,
         ),
         workload=WorkloadSpec(
             kind=kind,
@@ -68,6 +74,7 @@ def _spec(
             params=params or {},
         ),
         faults=faults,
+        crash=crash,
         expect_failure=expect_failure,
     )
 
@@ -120,6 +127,35 @@ def default_matrix(scale: str = "quick") -> list[ScenarioSpec]:
             "sharded2-parallel-faults-hdd", "sharded", "hotspot", 240 * m,
             n_blocks=1024, n_shards=2, executor="parallel",
             faults=FaultPlan(seed=9, read_error_rate=0.04, latency_spike_rate=0.04),
+        ),
+        # -- durability: the disk-backed slab under the standard differential run
+        _spec(
+            "horam-durable-hotspot-hdd", "horam", "hotspot", 260 * m,
+            storage_backend="file",
+        ),
+        # -- crash/recovery: checkpoint, kill, restore, finish bit-identically
+        _spec(
+            "horam-crash-restore-hdd", "horam", "hotspot", 260 * m,
+            crash=CrashSpec(snapshot_at=90, crash_at_op=40),
+        ),
+        _spec(
+            "horam-crash-midshuffle-durable-hdd", "horam", "mix", 260 * m,
+            write_ratio=0.0, storage_backend="file",
+            crash=CrashSpec(
+                snapshot_at=70, crash_at_op=1,
+                crash_op_kind="write_run", crash_torn=True,
+            ),
+        ),
+        _spec(
+            "sharded2-crash-durable-ssd", "sharded", "uniform", 240 * m,
+            n_blocks=1024, n_shards=2, device="ssd-sata",
+            storage_backend="file",
+            crash=CrashSpec(snapshot_at=80, crash_at_op=60),
+        ),
+        _spec(
+            "sharded4-parallel-crash-hdd", "sharded", "hotspot", 260 * m,
+            n_blocks=1024, n_shards=4, executor="parallel",
+            crash=CrashSpec(snapshot_at=100, crash_at_op=30),
         ),
         # -- recoverable fault injection (results must still match the oracle)
         _spec(

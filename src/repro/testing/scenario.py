@@ -19,19 +19,62 @@ spec to :mod:`repro.testing.shrinker` for minimization.
 from __future__ import annotations
 
 import json
+import tempfile
 from dataclasses import asdict, dataclass, field
 
 from repro.crypto.random import DeterministicRandom
 from repro.oram.base import OpKind, Request
 from repro.sim.engine import SimulationEngine
 from repro.sim.metrics import Metrics
-from repro.storage.faults import FaultInjector, FaultPlan, FaultStats
+from repro.storage.faults import CrashFault, FaultInjector, FaultPlan, FaultStats
 from repro.testing.oracle import ReferenceOracle
 from repro.testing.stacks import BuiltStack, StackSpec, build_stack
 from repro.workload.generators import WorkloadSpec, make_workload
 
 #: Cap on reported per-request mismatches (the count is still exact).
 _MAX_REPORTED = 5
+
+
+@dataclass
+class CrashSpec:
+    """Crash-and-recover choreography for one scenario (JSON-able).
+
+    The runner drives ``snapshot_at`` requests, checkpoints the stack to
+    disk, keeps going until the injected :class:`CrashFault` kills it,
+    then recovers from the checkpoint and serves the rest of the
+    workload on the restored stack.  With ``compare_uninterrupted`` the
+    run is also held bit-identical (served results, served log, metrics,
+    simulated clock) to a crash-free twin.
+    """
+
+    #: request index at which the checkpoint is taken (a quiesced point).
+    snapshot_at: int
+    #: physical storage op -- counted from the checkpoint -- that crashes.
+    crash_at_op: int
+    #: "any" op, or "write_run" (H-ORAM bulk writes happen only inside
+    #: the shuffle period, so this lands the crash mid-shuffle).
+    crash_op_kind: str = "any"
+    #: leave a torn prefix of the crashing bulk write in the slab.
+    crash_torn: bool = False
+    #: also diff the recovered run against an uninterrupted twin.
+    compare_uninterrupted: bool = True
+
+    def __post_init__(self) -> None:
+        if self.snapshot_at < 0:
+            raise ValueError("snapshot_at must be >= 0")
+        if self.crash_at_op < 1:
+            raise ValueError("crash_at_op must be >= 1")
+        if self.crash_op_kind not in ("any", "write_run"):
+            raise ValueError(
+                f"crash_op_kind must be 'any' or 'write_run', got {self.crash_op_kind!r}"
+            )
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CrashSpec":
+        return cls(**data)
 
 
 @dataclass
@@ -42,6 +85,8 @@ class ScenarioSpec:
     stack: StackSpec = field(default_factory=StackSpec)
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
     faults: FaultPlan | None = None
+    #: crash-and-recover choreography; None = run uninterrupted.
+    crash: CrashSpec | None = None
     #: scenarios that *should* fail (seeded corruption demos) are inverted
     #: by the matrix runner, not by the scenario itself.
     expect_failure: bool = False
@@ -53,23 +98,37 @@ class ScenarioSpec:
                 f"workload spans {self.workload.n_blocks} blocks but the stack "
                 f"serves only {self.stack.n_blocks}"
             )
+        if self.crash is not None:
+            if self.stack.protocol not in ("horam", "sharded"):
+                raise ValueError("crash scenarios need a checkpointable batched stack")
+            if self.stack.users:
+                raise ValueError("crash scenarios do not drive the multi-user front end")
+            if self.faults is not None:
+                raise ValueError(
+                    "crash scenarios run without recoverable fault injection: "
+                    "the uninterrupted twin could not replay the same fault "
+                    "stream; drop `faults` from this spec"
+                )
 
     # -------------------------------------------------------- serialization
     def to_json(self) -> str:
         data = asdict(self)
         data["faults"] = self.faults.to_dict() if self.faults else None
+        data["crash"] = self.crash.to_dict() if self.crash else None
         return json.dumps(data, indent=2, sort_keys=True)
 
     @classmethod
     def from_json(cls, text: str) -> "ScenarioSpec":
         data = json.loads(text)
         faults = data.pop("faults", None)
+        crash = data.pop("crash", None)
         stack = StackSpec.from_dict(data.pop("stack"))
         workload = WorkloadSpec(**data.pop("workload"))
         return cls(
             stack=stack,
             workload=workload,
             faults=FaultPlan.from_dict(faults) if faults else None,
+            crash=CrashSpec.from_dict(crash) if crash else None,
             **data,
         )
 
@@ -87,10 +146,18 @@ class ScenarioResult:
     error: str | None = None
     metrics: Metrics | None = None
     fault_stats: FaultStats | None = None
+    #: crash scenarios: what actually happened (crashed?, recovered?, op).
+    crash_info: dict | None = None
 
     def summary(self) -> str:
         status = "PASS" if self.ok else "FAIL"
         head = f"{status} {self.spec.name} ({self.requests} requests)"
+        if self.crash_info is not None:
+            head += (
+                f"\n  crash: fired={self.crash_info['crashed']} "
+                f"op={self.crash_info['crash_op']} "
+                f"recovered={self.crash_info['recovered']}"
+            )
         if self.failures:
             head += "\n  " + "\n  ".join(self.failures[:_MAX_REPORTED + 2])
         return head
@@ -104,9 +171,13 @@ class ScenarioRunner:
         failures: list[str] = []
         stack = build_stack(spec.stack)
         try:
+            if spec.crash is not None:
+                return self._run_crash(spec, stack, requests, failures)
             return self._run_built(spec, stack, requests, failures)
         finally:
-            stack.close()
+            # Failed comparisons, raising scenarios and crash phases all
+            # end here: worker pools shut down, durable slabs removed.
+            stack.cleanup()
 
     def _run_built(self, spec, stack, requests, failures) -> ScenarioResult:
         injector = None
@@ -140,7 +211,9 @@ class ScenarioRunner:
             )
 
         mismatches = self._compare_results(requests, results, expected, failures)
-        checked = self._check_final_state(stack, oracle, spec, failures)
+        checked = self._check_final_state(
+            stack.protocol, stack.spec.n_blocks, oracle, spec, failures
+        )
         self._check_invariants(stack, metrics, len(requests), failures)
 
         return ScenarioResult(
@@ -153,6 +226,135 @@ class ScenarioRunner:
             metrics=metrics,
             fault_stats=fault_stats(),
         )
+
+    # ------------------------------------------------------- crash/recovery
+    def _drive(self, protocol, requests) -> list:
+        """One-request-at-a-time submit/drain (quiesced between requests).
+
+        Crash scenarios use this driving pattern for every phase --
+        crashed, recovered and the uninterrupted twin -- so bit-identity
+        comparisons see the same schedule on both sides.
+        """
+        results = []
+        for request in requests:
+            entry = protocol.submit(request)
+            protocol.drain()
+            results.append(entry.result)
+        return results
+
+    def _run_crash(self, spec, stack, requests, failures) -> ScenarioResult:
+        from repro.core.checkpoint import recover, save_checkpoint
+
+        crash = spec.crash
+        if crash.snapshot_at >= len(requests):
+            raise ValueError(
+                f"snapshot_at ({crash.snapshot_at}) must fall inside the "
+                f"{len(requests)}-request workload"
+            )
+        oracle = ReferenceOracle(stack.payload_bytes)
+        expected = oracle.expect_all(requests)
+        head, tail = requests[: crash.snapshot_at], requests[crash.snapshot_at :]
+        crash_info = {"crashed": False, "recovered": False, "crash_op": None}
+
+        results = self._drive(stack.protocol, head)
+        restored = None
+        try:
+            with tempfile.TemporaryDirectory(prefix="horam-ckpt-") as ckpt_dir:
+                save_checkpoint(stack.protocol, ckpt_dir)
+
+                plan = FaultPlan(
+                    seed=spec.stack.seed,
+                    crash_at_op=crash.crash_at_op,
+                    crash_op_kind=crash.crash_op_kind,
+                    crash_torn=crash.crash_torn,
+                )
+                if stack.storage_stores:
+                    injector = FaultInjector(plan)
+                    for store in stack.storage_stores:
+                        injector.attach(store)
+                else:
+                    stack.install_faults(plan)
+                try:
+                    self._drive(stack.protocol, tail)
+                except CrashFault as fault:
+                    crash_info["crashed"] = True
+                    crash_info["crash_op"] = f"{fault.op}#{fault.op_index}" + (
+                        " torn" if fault.torn else ""
+                    )
+                if not crash_info["crashed"]:
+                    failures.append(
+                        f"crash at {crash.crash_op_kind} op {crash.crash_at_op} "
+                        "never fired; the workload tail is too short for it"
+                    )
+                # The "kill": tear the crashed stack down (worker processes
+                # and all) before recovering from the on-disk checkpoint.
+                stack.close()
+                restored = recover(ckpt_dir)
+                crash_info["recovered"] = True
+
+            results.extend(self._drive(restored, tail))
+            metrics = restored.metrics.copy()
+            mismatches = self._compare_results(requests, results, expected, failures)
+            if metrics.requests_served != len(requests):
+                failures.append(
+                    f"metrics.requests_served={metrics.requests_served} after "
+                    f"recovery, expected {len(requests)}"
+                )
+            if crash.compare_uninterrupted:
+                # Before the final-state readback: those reads advance the
+                # restored stack's clock and logs, which the twin never sees.
+                self._compare_with_twin(spec, requests, results, restored, failures)
+            checked = self._check_final_state(
+                restored, stack.spec.n_blocks, oracle, spec, failures
+            )
+        except Exception as error:  # noqa: BLE001 -- surface as a failed scenario
+            return ScenarioResult(
+                spec=spec,
+                ok=False,
+                requests=len(requests),
+                failures=failures + [f"crash run raised {type(error).__name__}: {error}"],
+                error=f"{type(error).__name__}: {error}",
+                crash_info=crash_info,
+            )
+        finally:
+            if restored is not None:
+                close = getattr(restored, "close", None)
+                if close is not None:
+                    close()
+        return ScenarioResult(
+            spec=spec,
+            ok=not failures,
+            requests=len(requests),
+            failures=failures,
+            mismatches=mismatches,
+            final_state_checked=checked,
+            metrics=metrics,
+            crash_info=crash_info,
+        )
+
+    def _compare_with_twin(self, spec, requests, results, restored, failures) -> None:
+        """Hold the recovered run bit-identical to an uninterrupted twin."""
+        twin = build_stack(spec.stack)
+        try:
+            twin_results = self._drive(twin.protocol, requests)
+            if twin_results != results:
+                diverged = sum(1 for a, b in zip(twin_results, results) if a != b)
+                failures.append(
+                    f"recovered run diverges from the uninterrupted twin on "
+                    f"{diverged} served results"
+                )
+            if list(restored.served_log) != list(twin.protocol.served_log):
+                failures.append("recovered served_log diverges from the twin's")
+            if restored.metrics.to_dict() != twin.protocol.metrics.to_dict():
+                failures.append("recovered metrics diverge from the twin's")
+            restored_clock = restored.hierarchy.clock.now_us
+            twin_clock = twin.protocol.hierarchy.clock.now_us
+            if restored_clock != twin_clock:
+                failures.append(
+                    f"recovered simulated clock {restored_clock} != twin {twin_clock}"
+                )
+        finally:
+            twin.cleanup()
 
     # ------------------------------------------------------------ execution
     def _execute(self, stack: BuiltStack, requests) -> tuple[list, Metrics]:
@@ -201,11 +403,15 @@ class ScenarioRunner:
             failures.append(f"... {mismatches} result mismatches total")
         return mismatches
 
-    def _check_final_state(self, stack, oracle, spec, failures) -> int:
-        """Read back a deterministic address sample after the run."""
+    def _check_final_state(self, reader, n_blocks, oracle, spec, failures) -> int:
+        """Read back a deterministic address sample after the run.
+
+        ``reader`` is the protocol that serves the reads (the front end
+        delegates reads to the back end; crash scenarios pass the
+        *restored* stack).
+        """
         if spec.final_state_sample <= 0:
             return 0
-        n_blocks = stack.spec.n_blocks
         rng = DeterministicRandom(f"final-state-{spec.stack.seed}")
         sample = {rng.randrange(n_blocks) for _ in range(spec.final_state_sample)}
         # Always include written addresses (bounded) -- where bugs live.
@@ -213,7 +419,6 @@ class ScenarioRunner:
             if len(sample) >= 2 * spec.final_state_sample:
                 break
             sample.add(addr)
-        reader = stack.protocol  # the front end delegates reads to the back end
         bad = 0
         for addr in sorted(sample):
             try:

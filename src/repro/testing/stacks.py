@@ -10,6 +10,9 @@ here, which is what lets one scenario replay across the whole zoo.
 
 from __future__ import annotations
 
+import os
+import shutil
+import tempfile
 from dataclasses import asdict, dataclass, field
 
 from repro.core.horam import build_horam
@@ -48,6 +51,9 @@ class StackSpec:
     lockstep: bool = True
     #: shard runtime: "serial" (in-process) or "parallel" (process per shard).
     executor: str = "serial"
+    #: storage-tier backing: "memory" (volatile) or "file" (a durable
+    #: slab in a scenario-owned temporary directory).
+    storage_backend: str = "memory"
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOLS:
@@ -66,6 +72,13 @@ class StackSpec:
             )
         if self.executor == "parallel" and self.protocol != "sharded":
             raise ValueError("the parallel executor runs sharded stacks only")
+        if self.storage_backend not in ("memory", "file"):
+            raise ValueError(
+                f"unknown storage backend {self.storage_backend!r} "
+                "(valid: memory, file)"
+            )
+        if self.storage_backend == "file" and self.protocol not in ("horam", "sharded"):
+            raise ValueError("the file storage backend runs horam/sharded stacks only")
 
     def label(self) -> str:
         name = self.protocol
@@ -73,6 +86,8 @@ class StackSpec:
             name += f"x{self.n_shards}"
         if self.executor == "parallel":
             name += "-par"
+        if self.storage_backend == "file":
+            name += "-durable"
         if self.users:
             name += f"+mu{self.users}"
         return f"{name}@{self.device}"
@@ -96,6 +111,9 @@ class BuiltStack:
     #: whose stores live inside the worker processes (use
     #: :meth:`install_faults` there instead).
     storage_stores: list[BlockStore] = field(default_factory=list)
+    #: temporary directory holding durable slabs ("file" backend only);
+    #: owned by this stack, removed by :meth:`cleanup`.
+    storage_dir: str | None = None
 
     @property
     def payload_bytes(self) -> int:
@@ -119,45 +137,78 @@ class BuiltStack:
         if close is not None:
             close()
 
+    def cleanup(self) -> None:
+        """Close *and* remove the stack's durable slab directory (if any)."""
+        self.close()
+        if self.storage_dir is not None:
+            shutil.rmtree(self.storage_dir, ignore_errors=True)
+            self.storage_dir = None
+
 
 def build_stack(spec: StackSpec) -> BuiltStack:
     """Instantiate the stack a spec describes (fresh stores, zero clock)."""
     device = DEVICES[spec.device]()
-    if spec.protocol == "horam":
-        protocol = build_horam(
-            n_blocks=spec.n_blocks,
-            mem_tree_blocks=spec.mem_blocks,
-            seed=spec.seed,
-            storage_device=device,
-        )
-        stores = [protocol.hierarchy.storage]
-    elif spec.protocol == "sharded":
-        protocol = build_sharded_horam(
-            n_blocks=spec.n_blocks,
-            mem_tree_blocks=spec.mem_blocks,
-            n_shards=spec.n_shards,
-            seed=spec.seed,
-            lockstep=spec.lockstep,
-            storage_device=device,
-            executor=spec.executor,
-        )
-        if spec.executor == "parallel":
-            stores = []  # worker-owned; reach them via install_faults
+    storage_dir = None
+    if spec.storage_backend == "file":
+        storage_dir = tempfile.mkdtemp(prefix="horam-slab-")
+    protocol = None
+    try:
+        if spec.protocol == "horam":
+            protocol = build_horam(
+                n_blocks=spec.n_blocks,
+                mem_tree_blocks=spec.mem_blocks,
+                seed=spec.seed,
+                storage_device=device,
+                storage_backend=spec.storage_backend,
+                storage_path=(
+                    os.path.join(storage_dir, "main.slab") if storage_dir else None
+                ),
+            )
+            stores = [protocol.hierarchy.storage]
+        elif spec.protocol == "sharded":
+            protocol = build_sharded_horam(
+                n_blocks=spec.n_blocks,
+                mem_tree_blocks=spec.mem_blocks,
+                n_shards=spec.n_shards,
+                seed=spec.seed,
+                lockstep=spec.lockstep,
+                storage_device=device,
+                executor=spec.executor,
+                storage_backend=spec.storage_backend,
+                storage_dir=storage_dir,
+            )
+            if spec.executor == "parallel":
+                stores = []  # worker-owned; reach them via install_faults
+            else:
+                stores = [shard.hierarchy.storage for shard in protocol.shards]
         else:
-            stores = [shard.hierarchy.storage for shard in protocol.shards]
-    else:
-        protocol = build_baseline(
-            spec.protocol,
-            spec.n_blocks,
-            memory_blocks=spec.mem_blocks,
-            seed=spec.seed,
-            storage_device=device,
-        )
-        stores = [protocol.hierarchy.storage]
+            protocol = build_baseline(
+                spec.protocol,
+                spec.n_blocks,
+                memory_blocks=spec.mem_blocks,
+                seed=spec.seed,
+                storage_device=device,
+            )
+            stores = [protocol.hierarchy.storage]
 
-    front = None
-    if spec.users:
-        front = MultiUserFrontEnd(protocol)
-        for user in range(spec.users):
-            front.register_user(user)
-    return BuiltStack(spec=spec, protocol=protocol, front=front, storage_stores=stores)
+        front = None
+        if spec.users:
+            front = MultiUserFrontEnd(protocol)
+            for user in range(spec.users):
+                front.register_user(user)
+    except Exception:
+        # A half-built stack must not leak worker processes or slabs.
+        if protocol is not None:
+            close = getattr(protocol, "close", None)
+            if close is not None:
+                close()
+        if storage_dir is not None:
+            shutil.rmtree(storage_dir, ignore_errors=True)
+        raise
+    return BuiltStack(
+        spec=spec,
+        protocol=protocol,
+        front=front,
+        storage_stores=stores,
+        storage_dir=storage_dir,
+    )

@@ -1,0 +1,146 @@
+"""Unit tests for the disk-backed slab store."""
+
+import json
+
+import pytest
+
+from repro.storage.backend import BlockStore
+from repro.storage.device import hdd_paper
+from repro.storage.durable import DurableBlockStore, SlabError, slab_meta_path
+
+
+def make_durable(path, slots=16, slot_bytes=8, **kwargs):
+    return DurableBlockStore(
+        path,
+        name="storage",
+        tier="storage",
+        slots=slots,
+        slot_bytes=slot_bytes,
+        device=hdd_paper(),
+        **kwargs,
+    )
+
+
+class TestDurableBlockStore:
+    def test_fresh_slab_starts_zeroed(self, tmp_path):
+        store = make_durable(tmp_path / "a.slab")
+        assert store.peek_slot(0) == b"\x00" * 8
+        assert (tmp_path / "a.slab").stat().st_size == 16 * 8
+        store.close()
+
+    def test_contents_survive_reopen(self, tmp_path):
+        path = tmp_path / "a.slab"
+        store = make_durable(path)
+        store.write_slot(3, b"ABCDEFGH")
+        store.poke_run(8, b"x" * 8 * 4)
+        store.close()
+
+        reopened = make_durable(path)
+        assert reopened.peek_slot(3) == b"ABCDEFGH"
+        assert bytes(reopened.peek_run(8, 4)) == b"x" * 8 * 4
+        # Counters are process state, not slab state: fresh after reopen.
+        assert reopened.counters.writes == 0
+        reopened.close()
+
+    def test_geometry_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "a.slab"
+        make_durable(path).close()
+        with pytest.raises(SlabError, match="slots"):
+            make_durable(path, slots=32)
+
+    def test_missing_meta_rejected(self, tmp_path):
+        path = tmp_path / "a.slab"
+        make_durable(path).close()
+        slab_meta_path(path).unlink()
+        with pytest.raises(SlabError, match="sidecar"):
+            make_durable(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "a.slab"
+        make_durable(path).close()
+        meta = json.loads(slab_meta_path(path).read_text())
+        meta["version"] = 999
+        slab_meta_path(path).write_text(json.dumps(meta))
+        with pytest.raises(SlabError, match="version"):
+            make_durable(path)
+
+    def test_reset_discards_existing_contents(self, tmp_path):
+        path = tmp_path / "a.slab"
+        store = make_durable(path)
+        store.write_slot(0, b"ABCDEFGH")
+        store.close()
+        fresh = make_durable(path, reset=True)
+        assert fresh.peek_slot(0) == b"\x00" * 8
+        fresh.close()
+
+    def test_close_is_idempotent_and_delete_removes_files(self, tmp_path):
+        path = tmp_path / "a.slab"
+        store = make_durable(path)
+        store.close()
+        store.close()
+        store.delete()
+        assert not path.exists()
+        assert not slab_meta_path(path).exists()
+
+    def test_bit_identical_to_memory_store(self, tmp_path):
+        """Same ops on both backings: same durations, counters and bytes."""
+        memory = BlockStore(
+            name="storage", tier="storage", slots=16, slot_bytes=8, device=hdd_paper()
+        )
+        durable = make_durable(tmp_path / "a.slab")
+        ops = [
+            ("write_slot", (2, b"ABCDEFGH")),
+            ("read_slot", (2,)),
+            ("read_slot", (3,)),  # sequential continuation
+            ("write_run", (4, b"y" * 8 * 3)),
+            ("read_run", (4, 3)),
+        ]
+        for op, args in ops:
+            got_m = getattr(memory, op)(*args)
+            got_d = getattr(durable, op)(*args)
+            assert got_m == got_d, op
+        assert memory.counters == durable.counters
+        assert memory.export_data() == durable.export_data()
+        durable.close()
+
+    def test_import_data_rolls_slab_back(self, tmp_path):
+        store = make_durable(tmp_path / "a.slab")
+        checkpointed = store.export_data()
+        store.write_slot(0, b"POSTCKPT")
+        store.import_data(checkpointed)
+        assert store.peek_slot(0) == b"\x00" * 8
+        store.close()
+
+
+class TestHierarchyBackend:
+    def test_file_backend_requires_path(self):
+        from repro.storage.hierarchy import StorageHierarchy
+
+        with pytest.raises(ValueError, match="storage_path"):
+            StorageHierarchy(
+                memory_slots=4, storage_slots=4, slot_bytes=8, storage_backend="file"
+            )
+
+    def test_unknown_backend_rejected(self):
+        from repro.storage.hierarchy import StorageHierarchy
+
+        with pytest.raises(ValueError, match="storage backend"):
+            StorageHierarchy(
+                memory_slots=4, storage_slots=4, slot_bytes=8, storage_backend="tape"
+            )
+
+    def test_file_backend_mounts_durable_store(self, tmp_path):
+        from repro.storage.durable import DurableBlockStore as Durable
+        from repro.storage.hierarchy import StorageHierarchy
+
+        hierarchy = StorageHierarchy(
+            memory_slots=4,
+            storage_slots=4,
+            slot_bytes=8,
+            storage_backend="file",
+            storage_path=tmp_path / "h.slab",
+        )
+        assert isinstance(hierarchy.storage, Durable)
+        assert hierarchy.describe()["storage_backend"] == "file"
+        hierarchy.close()
+        assert hierarchy.storage.closed

@@ -41,6 +41,14 @@ class TestDefaultMatrix:
         faulted = [spec for spec in MATRIX if spec.faults and spec.faults.active()]
         assert len(faulted) >= 2
         assert any(spec.stack.users for spec in MATRIX)
+        # Durability tier: crash/restore scenarios, including one on the
+        # parallel executor and one landing mid-shuffle (write_run), plus a
+        # disk-backed slab scenario.
+        crashes = [spec for spec in MATRIX if spec.crash is not None]
+        assert len(crashes) >= 3
+        assert any(spec.stack.executor == "parallel" for spec in crashes)
+        assert any(spec.crash.crash_op_kind == "write_run" for spec in crashes)
+        assert any(spec.stack.storage_backend == "file" for spec in MATRIX)
 
     def test_unknown_scale_rejected(self):
         with pytest.raises(ValueError, match="unknown scale"):

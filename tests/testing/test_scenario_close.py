@@ -1,0 +1,87 @@
+"""Regression: ScenarioRunner must release stack resources on *failure*.
+
+A scenario that raises (unrecoverable faults), fails its comparisons
+(seeded corruption), or crashes on purpose must still shut down parallel
+worker pools and remove durable slab directories -- a leaked worker
+process after a red scenario poisons every later test in the session.
+"""
+
+import multiprocessing
+import os
+import tempfile
+
+from repro.storage.faults import FaultPlan
+from repro.testing.scenario import CrashSpec, ScenarioRunner, ScenarioSpec
+from repro.testing.stacks import StackSpec, build_stack
+from repro.workload.generators import WorkloadSpec
+
+
+def _spec(name, **overrides) -> ScenarioSpec:
+    stack = dict(
+        protocol="sharded", n_blocks=512, mem_blocks=128, n_shards=2,
+        executor="parallel", seed=3,
+    )
+    stack.update(overrides.pop("stack", {}))
+    return ScenarioSpec(
+        name=name,
+        stack=StackSpec(**stack),
+        workload=WorkloadSpec(kind="hotspot", n_blocks=512, count=120, seed=8),
+        **overrides,
+    )
+
+
+def _slab_dirs() -> set:
+    tmp = tempfile.gettempdir()
+    return {d for d in os.listdir(tmp) if d.startswith("horam-slab-")}
+
+
+class TestFailureCleanup:
+    def test_raising_parallel_scenario_leaks_no_processes(self):
+        """An UnrecoverableFaultError mid-run must still shut the pools down."""
+        before = set(multiprocessing.active_children())
+        spec = _spec(
+            "raising-parallel",
+            faults=FaultPlan(seed=1, read_error_rate=1.0),
+        )
+        result = ScenarioRunner().run(spec)
+        assert not result.ok
+        assert "raised" in (result.error or "") or result.failures
+        leaked = set(multiprocessing.active_children()) - before
+        assert not leaked, f"leaked worker processes: {leaked}"
+
+    def test_failing_comparison_still_closes_parallel_pools(self):
+        """Silent corruption fails comparisons (no exception); pools close."""
+        before = set(multiprocessing.active_children())
+        spec = _spec(
+            "corrupt-parallel",
+            faults=FaultPlan(seed=2, corrupt_read_rate=0.2),
+            expect_failure=True,
+        )
+        result = ScenarioRunner().run(spec)
+        assert not result.ok  # the corruption was detected differentially
+        leaked = set(multiprocessing.active_children()) - before
+        assert not leaked, f"leaked worker processes: {leaked}"
+
+    def test_crash_scenario_cleans_slabs_and_processes(self):
+        before_children = set(multiprocessing.active_children())
+        before_slabs = _slab_dirs()
+        spec = _spec(
+            "crash-parallel-durable",
+            stack={"storage_backend": "file"},
+            crash=CrashSpec(snapshot_at=40, crash_at_op=20),
+        )
+        result = ScenarioRunner().run(spec)
+        assert result.ok, result.failures
+        assert result.crash_info["crashed"] and result.crash_info["recovered"]
+        assert not (set(multiprocessing.active_children()) - before_children)
+        assert not (_slab_dirs() - before_slabs), "leaked slab tmpdirs"
+
+    def test_built_stack_cleanup_removes_slab_dir(self):
+        stack = build_stack(
+            StackSpec(protocol="horam", n_blocks=256, mem_blocks=64, storage_backend="file")
+        )
+        slab_dir = stack.storage_dir
+        assert slab_dir is not None and os.path.isdir(slab_dir)
+        stack.cleanup()
+        assert not os.path.isdir(slab_dir)
+        assert stack.storage_dir is None
