@@ -1,0 +1,98 @@
+"""Resilience benchmark: supervised-fleet MTTR, availability, cadence cost.
+
+Drives a supervised shard fleet through a scheduled crash storm (the
+supervisor detects each crash, restores the shard from its latest valid
+checkpoint and replays the journaled tail) and reports:
+
+* **MTTR** and **availability** derived from the supervisor's event log,
+* a bit-identity cross-check: the storm run's served payloads must equal
+  an uninterrupted *unsupervised* twin's, and the recovery trace must be
+  bit-identical across two runs of the same seed + crash schedule,
+* **checkpoint-cadence overhead**: fault-free supervised wall-clock at
+  several cadences over the bare fleet's.
+
+Any divergence, unexpected fence, or unrepaired crash exits non-zero,
+which is what the CI resilience job gates on.
+
+The result is persisted to ``BENCH_resilience.json`` at the repo root,
+mirroring the other ``BENCH_*.json`` artifacts.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_resilience.py           # full run + JSON
+    PYTHONPATH=src python benchmarks/bench_resilience.py --smoke   # tiny CI sanity run
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - convenience for direct invocation
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench.experiments import resilience
+
+FULL_SCALE = "medium"
+SMOKE_SCALE = "quick"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="quick-scale CI run (still gates on recovery + bit-identity)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="result JSON path (default: BENCH_resilience.json at the repo root)",
+    )
+    args = parser.parse_args()
+
+    scale = SMOKE_SCALE if args.smoke else FULL_SCALE
+    started = time.perf_counter()
+    result = resilience(scale=scale)
+    elapsed = time.perf_counter() - started
+    print(result.render())
+    print(f"\n[resilience completed in {elapsed:.1f} s wall-clock]")
+
+    report = {
+        "benchmark": "resilience",
+        "mode": "smoke" if args.smoke else "full",
+        "scale": scale,
+        "ok": result.ok,
+        "data": result.data,
+        "machine": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpus": os.cpu_count(),
+        },
+        "wall_seconds": elapsed,
+    }
+    out = args.out or (REPO_ROOT / "BENCH_resilience.json")
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    if not result.ok:
+        print(
+            "RESILIENCE FAILURE: divergence, unexpected fence, or unrepaired crash",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

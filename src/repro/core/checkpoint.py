@@ -431,6 +431,149 @@ def _restore_sharded(checkpoint: Checkpoint, mp_context=None):
 
 
 # ---------------------------------------------------------------------------
+# Single-shard checkpoints (the supervisor's unit of recovery)
+# ---------------------------------------------------------------------------
+def snapshot_shard(fleet, index: int) -> Checkpoint:
+    """Checkpoint one shard of a (quiescent) sharded fleet.
+
+    Fleet-level snapshots capture every shard at once; the supervisor
+    instead checkpoints shards independently on an op-count cadence, so
+    recovering one crashed shard never touches the survivors.  Serial
+    fleets record the shard's rebuild recipe (it is restored to a
+    standalone :class:`~repro.core.horam.HybridORAM` first, replayed,
+    then swapped in); parallel fleets record the worker's build spec and
+    roll the respawned worker to the payload over IPC.
+    """
+    from repro.core.executor import ParallelExecutor
+
+    if isinstance(fleet.executor, ParallelExecutor):
+        spec = asdict(fleet.executor.specs[index])
+        spec["storage_device"] = _device_to_dict(fleet.executor.specs[index].storage_device)
+        spec["memory_device"] = _device_to_dict(fleet.executor.specs[index].memory_device)
+        state, blobs = fleet.executor.shard_state(index)
+        return Checkpoint(
+            kind="shard",
+            state={"mode": "parallel", "index": index, "spec": spec, "stack": state},
+            blobs=blobs,
+        )
+    shard = fleet.shards[index]
+    state, blobs = shard.state_dict()
+    return Checkpoint(
+        kind="shard",
+        state={
+            "mode": "serial",
+            "index": index,
+            "rebuild": _horam_rebuild_info(shard),
+            "stack": state,
+        },
+        blobs=blobs,
+    )
+
+
+def restore_shard_instance(checkpoint: Checkpoint):
+    """Rebuild a serial-mode shard checkpoint as a standalone instance.
+
+    The supervisor replays the shard's journal on this instance (no
+    injector attached, so replay cannot re-crash) before swapping it
+    into the fleet with ``executor.restore_shard``.
+    """
+    if checkpoint.kind != "shard":
+        raise CheckpointError(f"expected a shard checkpoint, got {checkpoint.kind!r}")
+    if checkpoint.state["mode"] != "serial":
+        raise CheckpointError(
+            "parallel shard checkpoints restore via load_shard_state, not "
+            "a standalone instance"
+        )
+    shard = _rebuild_horam(checkpoint.state["rebuild"])
+    shard.load_state(checkpoint.state["stack"], checkpoint.blobs)
+    return shard
+
+
+def shard_state_payload(checkpoint: Checkpoint) -> "tuple[dict, dict[str, bytes]]":
+    """The ``(state, blobs)`` payload ``load_shard_state`` ships to a worker."""
+    if checkpoint.kind != "shard":
+        raise CheckpointError(f"expected a shard checkpoint, got {checkpoint.kind!r}")
+    return checkpoint.state["stack"], checkpoint.blobs
+
+
+class CheckpointStore:
+    """Rotating keep-last-K checkpoint directories with validated fallback.
+
+    Checkpoints land in ``<root>/ckpt-NNNNNN`` with a monotonically
+    increasing sequence number.  :meth:`prune` keeps the newest
+    ``keep_last`` directories *plus* the newest one that still validates
+    -- retention can never garbage-collect the only good recovery point,
+    even when every newer checkpoint is torn.  :meth:`load_latest_valid`
+    walks newest to oldest, skipping anything :meth:`Checkpoint.load`
+    rejects, so a corrupted newest manifest degrades to an older
+    recovery point instead of an unrecoverable shard.
+    """
+
+    def __init__(self, root, keep_last: int = 3):
+        if keep_last < 1:
+            raise ValueError("keep_last must be >= 1")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.keep_last = keep_last
+
+    def paths(self) -> "list[Path]":
+        """Checkpoint directories, oldest first."""
+        found = []
+        for path in self.root.iterdir():
+            name = path.name
+            if path.is_dir() and name.startswith("ckpt-") and name[5:].isdigit():
+                found.append((int(name[5:]), path))
+        return [path for _, path in sorted(found)]
+
+    def save(self, checkpoint: Checkpoint) -> Path:
+        """Persist under the next sequence number, then prune."""
+        existing = self.paths()
+        seq = int(existing[-1].name[5:]) + 1 if existing else 0
+        path = checkpoint.save(self.root / f"ckpt-{seq:06d}")
+        self.prune()
+        return path
+
+    def prune(self) -> "list[Path]":
+        """Drop all but the newest ``keep_last`` checkpoints; returns the
+        removed paths.  The newest *valid* checkpoint is always retained,
+        even if retention count alone would have rotated it out."""
+        import shutil
+
+        paths = self.paths()
+        keep = set(paths[-self.keep_last :])
+        for path in reversed(paths):
+            if path in keep:
+                if self._valid(path):
+                    break
+                continue
+            if self._valid(path):
+                keep.add(path)
+                break
+        removed = [path for path in paths if path not in keep]
+        for path in removed:
+            shutil.rmtree(path, ignore_errors=True)
+        return removed
+
+    def load_latest_valid(self) -> "tuple[Checkpoint, Path]":
+        """Newest checkpoint that passes full validation, falling back
+        past torn or corrupt ones; raises if none survive."""
+        for path in reversed(self.paths()):
+            try:
+                return Checkpoint.load(path), path
+            except CheckpointError:
+                continue
+        raise CheckpointError(f"no valid checkpoint under '{self.root}'")
+
+    @staticmethod
+    def _valid(path: Path) -> bool:
+        try:
+            Checkpoint.load(path)
+        except CheckpointError:
+            return False
+        return True
+
+
+# ---------------------------------------------------------------------------
 # Baselines (factory-built: path / sqrt / partition / plain)
 # ---------------------------------------------------------------------------
 def _baseline_build_info(protocol) -> dict:

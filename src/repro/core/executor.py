@@ -43,7 +43,8 @@ from __future__ import annotations
 
 import multiprocessing
 from abc import ABC, abstractmethod
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
 from dataclasses import dataclass, field, fields, replace
 
 from repro.core.horam import build_horam
@@ -51,13 +52,44 @@ from repro.core.rob import EntryState, RobEntry
 from repro.oram.base import OpKind, Request
 from repro.sim.metrics import Metrics
 from repro.storage.backend import StoreCounters
-from repro.storage.faults import FaultInjector, FaultPlan, FaultStats
+from repro.storage.faults import CrashFault, FaultInjector, FaultPlan, FaultStats, HangFault
 from repro.storage.trace import TraceEvent
 
 #: (seq, op, local addr, data) -- one buffered request on its way to a worker.
 SubmitEnvelope = "tuple[int, OpKind, int, bytes | None]"
 #: (seq, result, submit_cycle, served_cycle) -- one retirement coming back.
 RetiredEnvelope = "tuple[int, bytes | None, int, int]"
+
+
+class ShardCrashed(RuntimeError):
+    """One shard failed while the rest of the fleet stayed healthy.
+
+    Raised only by *monitored* executors (a supervisor set
+    ``executor.monitored = True``); unmonitored fleets keep the original
+    fail-the-whole-fleet behavior.  Carries enough for the supervisor to
+    run recovery: which shard, how it failed (``"crash"`` for an injected
+    :class:`~repro.storage.faults.CrashFault`, ``"hung"`` for a
+    :class:`~repro.storage.faults.HangFault` or an IPC heartbeat timeout,
+    ``"dead"`` for a worker process that vanished, ``"error"`` otherwise)
+    and the underlying cause.
+    """
+
+    def __init__(self, shard_index: int, kind: str, cause: BaseException | None):
+        detail = f": {cause}" if cause is not None else ""
+        super().__init__(f"shard {shard_index} {kind}{detail}")
+        self.shard_index = shard_index
+        self.kind = kind
+        self.cause = cause
+
+
+def _failure_kind(error: BaseException) -> str:
+    if isinstance(error, HangFault) or isinstance(error, FuturesTimeout):
+        return "hung"
+    if isinstance(error, CrashFault):
+        return "crash"
+    if isinstance(error, BrokenExecutor):
+        return "dead"
+    return "error"
 
 
 @dataclass(frozen=True)
@@ -212,6 +244,10 @@ class ShardExecutor(ABC):
 
     kind: str = "abstract"
     shards: list
+    #: set by a :class:`~repro.core.supervisor.FleetSupervisor`: per-shard
+    #: failures surface as :class:`ShardCrashed` (fault containment)
+    #: instead of poisoning the fleet.
+    monitored: bool = False
 
     @abstractmethod
     def submit(self, shard_index: int, request: Request) -> RobEntry:
@@ -252,6 +288,23 @@ class ShardExecutor(ABC):
         """Rehydrate every shard from :meth:`snapshot_states` payloads."""
         raise NotImplementedError
 
+    # ------------------------------------------------------------ supervision
+    def shard_state(self, index: int) -> "tuple[dict, dict[str, bytes]]":
+        """One shard's ``state_dict()`` payload (incremental checkpoints)."""
+        raise NotImplementedError
+
+    def fence_shard(self, index: int) -> None:
+        """Stop running ``index``: skip it in step/has_work/retire."""
+        raise NotImplementedError
+
+    def heartbeats(self) -> "dict[int, float]":
+        """Per-live-shard liveness signal: the shard's simulated clock.
+
+        Serial fleets read it in-process; parallel fleets round-trip a
+        ping over IPC, so a dead or wedged worker fails the read.
+        """
+        raise NotImplementedError
+
     def close(self) -> None:
         """Release runtime resources (worker processes); idempotent."""
 
@@ -266,29 +319,50 @@ class SerialExecutor(ShardExecutor):
             raise ValueError("need at least one shard")
         self.shards = list(shards)
         self._injector: FaultInjector | None = None
+        #: shard indexes taken out of service by a supervisor.
+        self.fenced: set[int] = set()
+        # Retirements collected before a shard failure aborted the step:
+        # they were already popped from their ROBs, so dropping them would
+        # wedge the coordinator's in-order release.  Delivered by the next
+        # retire() call.
+        self._orphaned: list[RobEntry] = []
 
     def submit(self, shard_index: int, request: Request) -> RobEntry:
         return self.shards[shard_index].submit(request)
 
     def step(self, lockstep: bool) -> list[RobEntry]:
         retired: list[RobEntry] = []
-        for shard in self.shards:
+        for index, shard in enumerate(self.shards):
+            if index in self.fenced:
+                continue
             if lockstep or shard.rob.has_work():
-                retired.extend(shard.step())
+                try:
+                    retired.extend(shard.step())
+                except Exception as error:
+                    if not self.monitored:
+                        raise
+                    self._orphaned.extend(retired)
+                    raise ShardCrashed(index, _failure_kind(error), error) from error
         return retired
 
     def has_work(self) -> bool:
-        return any(shard.rob.has_work() for shard in self.shards)
+        return any(
+            shard.rob.has_work()
+            for index, shard in enumerate(self.shards)
+            if index not in self.fenced
+        )
 
     def retire(self) -> list[RobEntry]:
-        retired: list[RobEntry] = []
-        for shard in self.shards:
-            retired.extend(shard.rob.retire())
+        retired, self._orphaned = self._orphaned, []
+        for index, shard in enumerate(self.shards):
+            if index not in self.fenced:
+                retired.extend(shard.rob.retire())
         return retired
 
     def force_shuffle(self) -> None:
-        for shard in self.shards:
-            shard.force_shuffle()
+        for index, shard in enumerate(self.shards):
+            if index not in self.fenced:
+                shard.force_shuffle()
 
     @property
     def codec(self):
@@ -314,6 +388,33 @@ class SerialExecutor(ShardExecutor):
             )
         for shard, (state, blobs) in zip(self.shards, payloads):
             shard.load_state(state, blobs)
+
+    # ------------------------------------------------------------ supervision
+    def shard_state(self, index: int) -> "tuple[dict, dict[str, bytes]]":
+        return self.shards[index].state_dict()
+
+    def fence_shard(self, index: int) -> None:
+        self.fenced.add(index)
+
+    def heartbeats(self) -> "dict[int, float]":
+        return {
+            index: shard.hierarchy.clock.now_us
+            for index, shard in enumerate(self.shards)
+            if index not in self.fenced
+        }
+
+    def restore_shard(self, index: int, shard) -> None:
+        """Swap a freshly restored instance in for a failed shard.
+
+        Mutates ``self.shards`` in place (the coordinator aliases the
+        list) and re-attaches the fleet's fault injector to the new
+        instance's storage store, so the injector's shared crash/fault
+        counters keep running across the restore.
+        """
+        self.shards[index] = shard
+        self.fenced.discard(index)
+        if self._injector is not None:
+            self._injector.attach(shard.hierarchy.storage)
 
     def close(self) -> None:
         for shard in self.shards:
@@ -453,6 +554,11 @@ def _worker_load_state(payload: "tuple[dict, dict]") -> ShardInfo:
     return _worker_describe()
 
 
+def _worker_ping() -> float:
+    """IPC heartbeat: prove the worker is responsive; report its clock."""
+    return _WORKER["shard"].hierarchy.clock.now_us
+
+
 def _worker_close() -> None:
     """Flush and release the shard's durable backing before shutdown."""
     shard = _WORKER.get("shard")
@@ -482,16 +588,29 @@ class ParallelExecutor(ShardExecutor):
 
     kind = "parallel"
 
-    def __init__(self, specs: list[ShardBuildSpec], mp_context=None):
+    def __init__(
+        self,
+        specs: list[ShardBuildSpec],
+        mp_context=None,
+        heartbeat_timeout_s: float | None = None,
+        close_timeout_s: float = 10.0,
+    ):
         if not specs:
             raise ValueError("need at least one shard spec")
         #: the build recipes, kept for checkpoint manifests.
         self.specs = list(specs)
-        context = mp_context or _default_context()
+        self._context = mp_context or _default_context()
+        #: cap on any single IPC round-trip under supervision; a worker
+        #: that does not answer within it is classified as hung.  ``None``
+        #: (default) waits forever -- the pre-supervision behavior.
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        #: cap on the per-worker durable flush inside :meth:`close`; a
+        #: worker that cannot flush in time is terminated instead.
+        self.close_timeout_s = close_timeout_s
         self._pools: list[ProcessPoolExecutor] = [
             ProcessPoolExecutor(
                 max_workers=1,
-                mp_context=context,
+                mp_context=self._context,
                 initializer=_worker_init,
                 initargs=(spec,),
             )
@@ -514,6 +633,17 @@ class ParallelExecutor(ShardExecutor):
         # fleet is then unusable and every further call must fail loudly
         # instead of spinning in drain().
         self._broken = False
+        #: shard indexes taken out of service by a supervisor.
+        self.fenced: set[int] = set()
+        # Survivors' retirements from a step a shard failure aborted.
+        self._orphaned: list[RobEntry] = []
+        # Additional per-shard failures from a multi-failure step; each
+        # subsequent step() raises one until the supervisor has recovered
+        # them all.
+        self._pending_failures: list[ShardCrashed] = []
+        #: per-worker fault plans as installed (supervisors consult these
+        #: to re-install a rebased plan after a worker respawn).
+        self.worker_plans: dict[int, FaultPlan] = {}
 
     # ------------------------------------------------------------- plumbing
     def _broadcast(self, fn, *args) -> list:
@@ -550,9 +680,15 @@ class ParallelExecutor(ShardExecutor):
 
     def step(self, lockstep: bool) -> list[RobEntry]:
         self._check_usable()
+        if self._pending_failures:
+            # Surface one leftover failure from a multi-failure step; the
+            # supervisor recovers shards one incident at a time.
+            raise self._pending_failures.pop(0)
         if not self.has_work():
             return []
         batches, self._pending = self._pending, [[] for _ in self._pools]
+        if self.monitored:
+            return self._monitored_step(batches, lockstep)
         try:
             runs = self._broadcast_zip(_worker_run, batches)
             target = max(cycles for cycles, _ in runs) if lockstep else None
@@ -578,12 +714,84 @@ class ParallelExecutor(ShardExecutor):
             mirror.apply(snapshot)
         return retired
 
+    def _gather(self, futures: "dict[int, object]", kill_on_timeout: bool = True):
+        """Await per-shard futures with the heartbeat timeout.
+
+        Returns ``(results, failures)`` where ``failures`` is a list of
+        :class:`ShardCrashed` (one per failed shard).  A worker that
+        misses the timeout is presumed wedged and its process is killed
+        -- the recovery path respawns it.
+        """
+        results: dict[int, object] = {}
+        failures: list[ShardCrashed] = []
+        for index, future in futures.items():
+            try:
+                results[index] = future.result(timeout=self.heartbeat_timeout_s)
+            except FuturesTimeout as error:
+                if kill_on_timeout:
+                    self._kill_worker(index)
+                failures.append(ShardCrashed(index, "hung", error))
+            except Exception as error:  # noqa: BLE001 -- classified below
+                failures.append(ShardCrashed(index, _failure_kind(error), error))
+        return results, failures
+
+    def _monitored_step(self, batches: list, lockstep: bool) -> list[RobEntry]:
+        """Per-shard fault containment: one worker failing does not poison
+        the fleet.
+
+        A failed shard's batch is *not* delivered even if its run phase
+        succeeded: recovery rolls the shard back to its checkpoint, so
+        delivering results whose state is about to be discarded would let
+        the caller observe writes the restored shard never saw.  The
+        failed shard's outstanding proxies are dropped; the coordinator
+        (``ShardedHORAM.requeue_shard``) re-enters those requests after
+        the supervisor restores the shard.
+        """
+        live = [index for index in range(len(self._pools)) if index not in self.fenced]
+        runs, failures = self._gather(
+            {index: self._pools[index].submit(_worker_run, batches[index]) for index in live}
+        )
+        target = None
+        if lockstep and runs:
+            target = max(cycles for cycles, _ in runs.values())
+        finishes, finish_failures = self._gather(
+            {index: self._pools[index].submit(_worker_finish, target) for index in runs}
+        )
+        failures.extend(finish_failures)
+        failed = {failure.shard_index for failure in failures}
+        retired: list[RobEntry] = []
+        for index, (_, envelopes) in runs.items():
+            if index in failed:
+                continue
+            proxies = self._proxies[index]
+            for seq, result, submit_cycle, served_cycle in envelopes:
+                entry = proxies.pop(seq)
+                entry.result = result
+                entry.submit_cycle = submit_cycle
+                entry.served_cycle = served_cycle
+                entry.state = EntryState.SERVED
+                retired.append(entry)
+                self._outstanding -= 1
+        for index, snapshot in finishes.items():
+            if index not in failed:
+                self.shards[index].apply(snapshot)
+        for index in failed:
+            self._outstanding -= len(self._proxies[index])
+            self._proxies[index].clear()
+        if failures:
+            self._orphaned.extend(retired)
+            self._pending_failures.extend(failures[1:])
+            raise failures[0]
+        return retired
+
     def has_work(self) -> bool:
-        return self._outstanding > 0
+        return self._outstanding > 0 or bool(self._pending_failures)
 
     def retire(self) -> list[RobEntry]:
-        # Workers retire everything inside step(); nothing waits outside it.
-        return []
+        # Workers retire everything inside step(); only retirements
+        # stranded by an aborted monitored step wait here.
+        retired, self._orphaned = self._orphaned, []
+        return retired
 
     def force_shuffle(self) -> None:
         self._check_usable()
@@ -607,10 +815,19 @@ class ParallelExecutor(ShardExecutor):
         decorrelated; recoverable faults perturb only timing, so results
         remain bit-identical to a fault-free (or serial) run.
         """
-        self._broadcast_zip(
-            _worker_install_faults,
-            [replace(plan, seed=plan.seed + index) for index in range(len(self._pools))],
+        plans = [
+            replace(plan, seed=plan.seed + index) for index in range(len(self._pools))
+        ]
+        self._broadcast_zip(_worker_install_faults, plans)
+        self.worker_plans = dict(enumerate(plans))
+
+    def install_fault_plan_shard(self, index: int, plan: FaultPlan) -> None:
+        """(Re)install one worker's injector -- after a respawn, its
+        predecessor's plan and op counters died with the old process."""
+        self._pools[index].submit(_worker_install_faults, plan).result(
+            timeout=self.heartbeat_timeout_s
         )
+        self.worker_plans[index] = plan
 
     def fault_stats(self) -> FaultStats | None:
         stats = [m.fault_stats for m in self.shards if m.fault_stats is not None]
@@ -642,29 +859,133 @@ class ParallelExecutor(ShardExecutor):
         infos: list[ShardInfo] = self._broadcast_zip(_worker_load_state, payloads)
         self.shards = [ShardMirror(info) for info in infos]
 
+    # ------------------------------------------------------------ supervision
+    def shard_state(self, index: int) -> "tuple[dict, dict[str, bytes]]":
+        """One worker's checkpoint payload over IPC (shard must be idle)."""
+        self._check_usable()
+        if self._proxies[index] or self._pending[index]:
+            raise RuntimeError(
+                f"shard {index} snapshots at quiescent points only; drain() first"
+            )
+        return self._pools[index].submit(_worker_state).result(
+            timeout=self.heartbeat_timeout_s
+        )
+
+    def fence_shard(self, index: int) -> None:
+        """Take a worker out of service permanently: drop its queued work
+        and tear its process down."""
+        if index in self.fenced:
+            return
+        self.fenced.add(index)
+        self._outstanding -= len(self._proxies[index])
+        self._proxies[index].clear()
+        self._pending[index].clear()
+        self._pending_failures = [
+            failure
+            for failure in self._pending_failures
+            if failure.shard_index != index
+        ]
+        self._shutdown_pool(index)
+
+    def heartbeats(self) -> "dict[int, float]":
+        """Ping every live worker over IPC (timeout ⇒ ShardCrashed)."""
+        self._check_usable()
+        beats, failures = self._gather(
+            {
+                index: self._pools[index].submit(_worker_ping)
+                for index in range(len(self._pools))
+                if index not in self.fenced
+            }
+        )
+        if failures:
+            self._pending_failures.extend(failures[1:])
+            raise failures[0]
+        return beats
+
+    def respawn_shard(self, index: int) -> None:
+        """Replace a dead/hung/crashed worker with a fresh process.
+
+        The new worker rebuilds its shard from the original build spec
+        (blank state); callers follow up with :meth:`load_shard_state`
+        to roll it to a checkpoint.  Always respawning -- even when the
+        old process still answers -- keeps one recovery path for every
+        failure kind.
+        """
+        self._shutdown_pool(index)
+        self._pools[index] = ProcessPoolExecutor(
+            max_workers=1,
+            mp_context=self._context,
+            initializer=_worker_init,
+            initargs=(self.specs[index],),
+        )
+        info = self._pools[index].submit(_worker_describe).result(
+            timeout=self.heartbeat_timeout_s
+        )
+        self.shards[index] = ShardMirror(info)
+        self.fenced.discard(index)
+        self.worker_plans.pop(index, None)
+
+    def load_shard_state(self, index: int, payload: "tuple[dict, dict[str, bytes]]") -> None:
+        """Roll one worker's shard to a checkpoint payload."""
+        info = self._pools[index].submit(_worker_load_state, payload).result(
+            timeout=self.heartbeat_timeout_s
+        )
+        self.shards[index] = ShardMirror(info)
+
+    def replay_shard(self, index: int, envelopes: list) -> None:
+        """Re-execute journaled requests on a restored worker, then sync
+        its mirror.  Results are discarded -- the originals were already
+        delivered before the crash; replay only rebuilds state."""
+        pool = self._pools[index]
+        if envelopes:
+            pool.submit(_worker_run, envelopes).result(timeout=self.heartbeat_timeout_s)
+        snapshot = pool.submit(_worker_finish, None).result(
+            timeout=self.heartbeat_timeout_s
+        )
+        self.shards[index].apply(snapshot)
+
     # --------------------------------------------------------------- teardown
+    def _kill_worker(self, index: int) -> None:
+        """Terminate a wedged worker's process (it will not answer IPC)."""
+        processes = getattr(self._pools[index], "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except Exception:  # already gone
+                pass
+
+    def _shutdown_pool(self, index: int) -> None:
+        self._kill_worker(index)
+        self._pools[index].shutdown(wait=True, cancel_futures=True)
+
     def close(self) -> None:
         """Shut the worker processes down and wait for them to exit.
 
         Waiting matters: a fire-and-forget shutdown leaves worker
         processes alive briefly after a failed scenario, which is exactly
         the leak the harness' regression tests look for.  Workers flush
-        durable slabs first (best-effort -- a crashed fleet skips it).
+        durable slabs first (best-effort -- a crashed fleet skips it), but
+        a worker that cannot answer within ``close_timeout_s`` (wedged in
+        an injected hang, say) is terminated instead of waited on, so
+        ``close()`` cannot itself hang.  Idempotent, including after a
+        failed or in-flight drain: queued futures are cancelled.
         """
         if self._closed:
             return
         self._closed = True
         flushes = []
-        for pool in self._pools:
+        for index, pool in enumerate(self._pools):
+            if index in self.fenced:
+                continue  # fenced pools are already shut down
             try:
-                flushes.append(pool.submit(_worker_close))
+                flushes.append((index, pool.submit(_worker_close)))
             except Exception:  # broken/shut pool: nothing left to flush
                 pass
-        for future in flushes:
+        for index, future in flushes:
             try:
-                future.result()
+                future.result(timeout=self.close_timeout_s)
             except Exception:
-                pass
+                self._kill_worker(index)
         for pool in self._pools:
             pool.shutdown(wait=True, cancel_futures=True)
 

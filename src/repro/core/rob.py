@@ -41,6 +41,9 @@ class RobEntry:
     result: bytes | None = None
     submit_cycle: int = -1
     served_cycle: int = -1
+    #: set instead of ``result`` when the entry's shard was fenced: the
+    #: request failed fast and will never be served.
+    error: Exception | None = None
 
     @property
     def addr(self) -> int:

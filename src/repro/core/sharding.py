@@ -57,6 +57,22 @@ from repro.sim.metrics import Metrics, percentile
 from repro.storage.backend import StoreCounters
 
 
+class ShardUnavailableError(RuntimeError):
+    """The shard serving this address is fenced (supervision gave up on it).
+
+    Raised synchronously by :meth:`ShardedHORAM.submit` for new requests,
+    and recorded on the ``error`` field of entries that were in flight
+    when the shard was fenced.  Surviving shards keep serving; only the
+    fenced shard's address stripe fails fast.
+    """
+
+    def __init__(self, shard_index: int, addr: int | None = None):
+        at = f" (addr {addr})" if addr is not None else ""
+        super().__init__(f"shard {shard_index} is fenced{at}")
+        self.shard_index = shard_index
+        self.addr = addr
+
+
 class _SummedStores:
     """Read-only facade summing :class:`StoreCounters` across shard stores."""
 
@@ -134,8 +150,12 @@ class ShardedHORAM(ORAMProtocol):
         self.config = config
         self.lockstep = lockstep
         self.hierarchy = _ShardedHierarchy(self.shards)
-        #: entry -> (global submit order, caller's tagged request)
-        self._inflight: dict[int, tuple[int, Request]] = {}
+        #: entry id -> (global submit order, caller's tagged request, the
+        #: entry object the caller holds).  The object reference matters
+        #: for supervised recovery: a requeued request gets a *new*
+        #: executor entry, whose retirement must land on the entry the
+        #: caller is still watching.
+        self._inflight: dict[int, tuple[int, Request, RobEntry]] = {}
         self._submit_seq = 0
         # Cross-shard in-order release: shards retire in their own program
         # order, but a lightly loaded shard finishes later-submitted
@@ -144,6 +164,10 @@ class ShardedHORAM(ORAMProtocol):
         # retire guarantee across the fleet.
         self._release_seq = 0
         self._held: dict[int, RobEntry] = {}
+        # Sequence numbers that will never retire (their shard was fenced
+        # while they were in flight); the release loop skips them so the
+        # fleet-wide in-order stream does not wedge on a dead gap.
+        self._dead_seqs: set[int] = set()
 
     # ----------------------------------------------------------- properties
     @property
@@ -189,6 +213,11 @@ class ShardedHORAM(ORAMProtocol):
                 log.append((index, self.global_addr(index, local), cycle))
         return log
 
+    @property
+    def fenced(self) -> set[int]:
+        """Shard indexes taken out of service by a supervisor."""
+        return getattr(self.executor, "fenced", set())
+
     # -------------------------------------------------------------- routing
     def shard_of(self, addr: int) -> int:
         return addr % self.n_shards
@@ -204,12 +233,16 @@ class ShardedHORAM(ORAMProtocol):
         """Route a request to its shard's ROB; returns the shard's entry.
 
         The retired entry carries the caller's request (global address)
-        back; internally the shard sees a local-address copy.
+        back; internally the shard sees a local-address copy.  Requests
+        for a fenced shard fail fast with :class:`ShardUnavailableError`.
         """
         self.check_addr(request.addr)
+        shard_index = self.shard_of(request.addr)
+        if shard_index in self.fenced:
+            raise ShardUnavailableError(shard_index, request.addr)
         local = replace(request, addr=self.local_addr(request.addr))
-        entry = self.executor.submit(self.shard_of(request.addr), local)
-        self._inflight[id(entry)] = (self._submit_seq, request)
+        entry = self.executor.submit(shard_index, local)
+        self._inflight[id(entry)] = (self._submit_seq, request, entry)
         self._submit_seq += 1
         return entry
 
@@ -324,14 +357,81 @@ class ShardedHORAM(ORAMProtocol):
         callers see one coherent retirement stream, not per-shard bursts.
         """
         for entry in retired:
-            seq, original = self._inflight.pop(id(entry))
-            entry.request = original
-            self._held[seq] = entry
+            seq, original, public = self._inflight.pop(id(entry))
+            if public is not entry:
+                # A requeued request retired on its replacement entry;
+                # copy the outcome onto the entry the caller holds.
+                public.result = entry.result
+                public.state = entry.state
+                public.submit_cycle = entry.submit_cycle
+                public.served_cycle = entry.served_cycle
+            public.request = original
+            self._held[seq] = public
+        return self._release()
+
+    def _release(self) -> list[RobEntry]:
         released: list[RobEntry] = []
-        while self._release_seq in self._held:
-            released.append(self._held.pop(self._release_seq))
+        while True:
+            if self._release_seq in self._held:
+                released.append(self._held.pop(self._release_seq))
+            elif self._release_seq in self._dead_seqs:
+                self._dead_seqs.discard(self._release_seq)
+            else:
+                break
             self._release_seq += 1
         return released
+
+    # ------------------------------------------------------------ supervision
+    def inflight_count(self, shard_index: int) -> int:
+        """Requests routed to ``shard_index`` that have not retired yet."""
+        return sum(
+            1
+            for _, request, _ in self._inflight.values()
+            if self.shard_of(request.addr) == shard_index
+        )
+
+    def requeue_shard(self, shard_index: int) -> int:
+        """Re-enter a restored shard's lost in-flight requests.
+
+        A shard failure discards whatever the shard had not retired (the
+        executor drops the state along with the worker/instance); after
+        the supervisor rolls the shard back to a checkpoint and replays
+        its journal, this re-submits the still-unserved suffix through
+        the normal path -- under the *original* sequence numbers, so the
+        fleet-wide in-order release stream is unchanged.  Returns how
+        many requests were requeued.
+        """
+        stale = [
+            (key, value)
+            for key, value in self._inflight.items()
+            if self.shard_of(value[1].addr) == shard_index
+        ]
+        for key, (seq, request, public) in stale:
+            del self._inflight[key]
+            local = replace(request, addr=self.local_addr(request.addr))
+            entry = self.executor.submit(shard_index, local)
+            self._inflight[id(entry)] = (seq, request, public)
+        return len(stale)
+
+    def fence_shard(self, shard_index: int) -> "tuple[list[RobEntry], list[RobEntry]]":
+        """Take a shard out of service: fail its in-flight requests fast.
+
+        Returns ``(failed, released)``: the entries that will never be
+        served (each carries a :class:`ShardUnavailableError` on
+        ``entry.error``) and entries from *other* shards whose in-order
+        release was unblocked by marking the dead sequence numbers.
+        """
+        failed: list[RobEntry] = []
+        for key, (seq, request, public) in list(self._inflight.items()):
+            if self.shard_of(request.addr) != shard_index:
+                continue
+            del self._inflight[key]
+            public.request = request
+            public.error = ShardUnavailableError(shard_index, request.addr)
+            self._dead_seqs.add(seq)
+            failed.append(public)
+        self.executor.fence_shard(shard_index)
+        return failed, self._release()
 
 
 def shard_block_counts(n_blocks: int, n_shards: int) -> list[int]:

@@ -139,6 +139,18 @@ class Metrics:
         if occupancy > self.stash_peak:
             self.stash_peak = occupancy
 
+    def absorb_fault_stats(self, stats) -> None:
+        """Fold a :class:`~repro.storage.faults.FaultStats` into ``extra``.
+
+        Overwrites (rather than sums) the ``fault_*`` keys: the stats
+        object is already cumulative for its injector, so absorbing a
+        fresh snapshot must not double-count.  ``None`` is accepted so
+        callers can pass an optional injector's stats straight through.
+        """
+        if stats is None:
+            return
+        self.extra.update(stats.to_extra())
+
     def merge(self, other: "Metrics") -> "Metrics":
         """Field-wise sum (peaks take max); numeric ``extra`` values sum.
 

@@ -40,7 +40,8 @@ untouched.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass
+import time
+from dataclasses import asdict, dataclass, field
 
 from repro.crypto.random import DeterministicRandom
 from repro.storage.backend import BlockStore
@@ -83,6 +84,28 @@ class CrashFault(FaultError):
         return (CrashFault, (self.op, self.op_index, self.torn))
 
 
+class HangFault(FaultError):
+    """The process "hung" at this physical access (heartbeat testing).
+
+    Models a worker that stops making progress without dying: a stuck
+    I/O, a livelocked retry loop.  On serial fleets the injected
+    exception *is* the missed heartbeat -- the shard's simulated clock
+    stops advancing at this access and never recovers.  On parallel
+    fleets ``hang_wall_s`` first stalls the worker process for real wall
+    time, so the coordinator's IPC heartbeat timeout fires while the
+    worker is still unresponsive.  Terminal like :class:`CrashFault`:
+    recovery goes through the supervisor's checkpoint restore.
+    """
+
+    def __init__(self, op: str, op_index: int):
+        super().__init__(f"injected hang at physical op {op_index} ({op})")
+        self.op = op
+        self.op_index = op_index
+
+    def __reduce__(self):
+        return (HangFault, (self.op, self.op_index))
+
+
 @dataclass
 class FaultPlan:
     """Declarative fault mix; JSON-able so scenario specs can carry it."""
@@ -103,6 +126,19 @@ class FaultPlan:
     crash_op_kind: str = "any"
     #: land a torn prefix of the crashing bulk write before dying.
     crash_torn: bool = False
+    #: crash storm: additional 1-based physical-op indices (same counter
+    #: and kind filter as ``crash_at_op``) that each raise a
+    #: :class:`CrashFault`.  After a supervisor restores the shard, later
+    #: entries keep firing -- repeated crash/recover in one run.
+    crash_schedule: list = field(default_factory=list)
+    #: hang (not die) at the Nth physical access (1-based; 0 disables).
+    #: Counted on its own counter so enabling a hang does not shift the
+    #: crash schedule.
+    hang_at_op: int = 0
+    #: real wall-clock stall before the hang surfaces -- lets a parallel
+    #: worker sit unresponsive long enough for the coordinator's IPC
+    #: heartbeat timeout to classify it as hung (0 = raise immediately).
+    hang_wall_s: float = 0.0
 
     def __post_init__(self) -> None:
         for name in ("read_error_rate", "latency_spike_rate", "torn_write_rate", "corrupt_read_rate"):
@@ -119,9 +155,17 @@ class FaultPlan:
             raise ValueError(
                 f"crash_op_kind must be 'any' or 'write_run', got {self.crash_op_kind!r}"
             )
+        if any(op < 1 for op in self.crash_schedule):
+            raise ValueError("crash_schedule entries are 1-based op indices (>= 1)")
+        if list(self.crash_schedule) != sorted(set(self.crash_schedule)):
+            raise ValueError("crash_schedule must be strictly increasing")
+        if self.hang_at_op < 0:
+            raise ValueError("hang_at_op must be >= 0 (0 = disabled)")
+        if self.hang_wall_s < 0:
+            raise ValueError("hang_wall_s must be >= 0")
 
     def active(self) -> bool:
-        return self.crash_at_op > 0 or any(
+        return self.crash_at_op > 0 or bool(self.crash_schedule) or self.hang_at_op > 0 or any(
             rate > 0.0
             for rate in (
                 self.read_error_rate,
@@ -146,6 +190,12 @@ class FaultPlan:
                 f"crash@{self.crash_op_kind}:{self.crash_at_op}"
                 + ("+torn" if self.crash_torn else "")
             )
+        if self.crash_schedule:
+            parts.append(
+                f"storm@{self.crash_op_kind}:{','.join(map(str, self.crash_schedule))}"
+            )
+        if self.hang_at_op:
+            parts.append(f"hang@{self.hang_at_op}")
         return ", ".join(parts) or "none"
 
     def to_dict(self) -> dict:
@@ -162,14 +212,27 @@ class FaultStats:
 
     read_faults: int = 0
     retries: int = 0
+    #: transient faults that exhausted the retry budget and escalated to
+    #: an :class:`UnrecoverableFaultError`.
+    escalations: int = 0
     latency_spikes: int = 0
     torn_writes: int = 0
     corrupted_reads: int = 0
     injected_delay_us: float = 0.0
     crashes: int = 0
+    hangs: int = 0
 
     def to_dict(self) -> dict:
         return asdict(self)
+
+    def to_extra(self) -> dict:
+        """``Metrics.extra`` projection (``fault_``-prefixed counters).
+
+        Surfaces the injector's retry/escalation/backoff bookkeeping so
+        supervisor and conformance runs can assert on it from the one
+        metrics record they already report.
+        """
+        return {f"fault_{name}": value for name, value in asdict(self).items()}
 
 
 class FaultInjector:
@@ -188,6 +251,13 @@ class FaultInjector:
         self._stores: list[BlockStore] = []
         #: physical accesses counted toward the crash point (all stores).
         self._crash_ops = 0
+        #: 1-based op indices that crash: crash_at_op plus the storm
+        #: schedule, on the one shared counter.
+        self._crash_points = set(plan.crash_schedule)
+        if plan.crash_at_op > 0:
+            self._crash_points.add(plan.crash_at_op)
+        #: separate counter for the hang point (any-op, never filtered).
+        self._hang_ops = 0
 
     # ------------------------------------------------------------- rolling
     def _roll(self, rate: float) -> bool:
@@ -196,22 +266,38 @@ class FaultInjector:
         return rate > 0.0 and self.rng.random() < rate
 
     def _crash_due(self, op: str) -> bool:
-        """Count one physical access; True when it is the crash point.
+        """Count one physical access; True when it is a crash point.
 
         Counting consumes no randomness, so enabling a crash does not
         shift any other fault kind's injection points -- the pre-crash
-        behavior stays bit-identical to a crash-free run.
+        behavior stays bit-identical to a crash-free run.  Under a
+        supervisor the counter keeps running across restores (the
+        injector outlives the shard it is attached to), so a
+        ``crash_schedule`` fires each of its points exactly once --
+        including the physical ops re-executed by recovery replay on the
+        stores the injector is re-attached to.
         """
-        if self.plan.crash_at_op <= 0:
+        if not self._crash_points:
             return False
         if self.plan.crash_op_kind == "write_run" and op != "write_run":
             return False
         self._crash_ops += 1
-        return self._crash_ops == self.plan.crash_at_op
+        return self._crash_ops in self._crash_points
 
     def _crash(self, op: str, torn: bool = False) -> None:
         self.stats.crashes += 1
         raise CrashFault(op, self._crash_ops, torn=torn)
+
+    def _maybe_hang(self, op: str) -> None:
+        """Count one physical access toward the hang point; stall + raise there."""
+        if self.plan.hang_at_op <= 0:
+            return
+        self._hang_ops += 1
+        if self._hang_ops == self.plan.hang_at_op:
+            self.stats.hangs += 1
+            if self.plan.hang_wall_s > 0:
+                time.sleep(self.plan.hang_wall_s)
+            raise HangFault(op, self._hang_ops)
 
     def _perturb_read(self, store: BlockStore, op: str, duration: float) -> float:
         """Common read-path injection: transient errors then latency spikes."""
@@ -231,6 +317,7 @@ class FaultInjector:
             store.counters.busy_us += retry_us
             self.stats.injected_delay_us += retry_us
             if escalate:
+                self.stats.escalations += 1
                 raise UnrecoverableFaultError(
                     f"{op} on store '{store.name}' failed {self.plan.max_retries} retries"
                 )
@@ -281,6 +368,7 @@ class FaultInjector:
         def read_slot(slot):
             if injector._crash_due("read_slot"):
                 injector._crash("read_slot")
+            injector._maybe_hang("read_slot")
             record, duration = orig_read_slot(slot)
             duration = injector._perturb_read(store, "read_slot", duration)
             if injector._roll(injector.plan.corrupt_read_rate):
@@ -291,6 +379,7 @@ class FaultInjector:
         def read_slot_view(slot):
             if injector._crash_due("read_slot"):
                 injector._crash("read_slot")
+            injector._maybe_hang("read_slot")
             view, duration = orig_read_slot_view(slot)
             duration = injector._perturb_read(store, "read_slot", duration)
             if injector._roll(injector.plan.corrupt_read_rate):
@@ -302,6 +391,7 @@ class FaultInjector:
         def read_run(start, count):
             if injector._crash_due("read_run"):
                 injector._crash("read_run")
+            injector._maybe_hang("read_run")
             records, duration = orig_read_run(start, count)
             duration = injector._perturb_read(store, "read_run", duration)
             if injector._roll(injector.plan.corrupt_read_rate):
@@ -313,6 +403,7 @@ class FaultInjector:
         def read_run_view(start, count):
             if injector._crash_due("read_run"):
                 injector._crash("read_run")
+            injector._maybe_hang("read_run")
             view, duration = orig_read_run_view(start, count)
             duration = injector._perturb_read(store, "read_run_view", duration)
             if injector._roll(injector.plan.corrupt_read_rate):
@@ -331,6 +422,7 @@ class FaultInjector:
         def write_slot(slot, record):
             if injector._crash_due("write_slot"):
                 injector._crash("write_slot")
+            injector._maybe_hang("write_slot")
             duration = orig_write_slot(slot, record)
             return injector._perturb_write(store, duration)
 
@@ -353,6 +445,7 @@ class FaultInjector:
                     orig_write_run(start, prefix)
                     injector._crash("write_run", torn=True)
                 injector._crash("write_run")
+            injector._maybe_hang("write_run")
             # A run of one slot cannot tear (the slot write is atomic), so
             # the roll is only consumed -- and the tear only counted --
             # for genuinely tearable runs.

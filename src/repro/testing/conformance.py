@@ -22,7 +22,13 @@ stream, and replay from the shrunk spec's JSON.
 from __future__ import annotations
 
 from repro.storage.faults import FaultPlan
-from repro.testing.scenario import CrashSpec, ScenarioResult, ScenarioRunner, ScenarioSpec
+from repro.testing.scenario import (
+    CrashSpec,
+    ScenarioResult,
+    ScenarioRunner,
+    ScenarioSpec,
+    StormSpec,
+)
 from repro.testing.shrinker import ShrinkResult, shrink
 from repro.testing.stacks import StackSpec
 from repro.workload.generators import WorkloadSpec
@@ -47,10 +53,14 @@ def _spec(
     params: dict | None = None,
     faults: FaultPlan | None = None,
     crash: CrashSpec | None = None,
+    storm: StormSpec | None = None,
     expect_failure: bool = False,
     seed: int = 11,
     executor: str = "serial",
     storage_backend: str = "memory",
+    supervised: bool = False,
+    checkpoint_every_ops: int = 64,
+    max_restarts: int = 2,
 ) -> ScenarioSpec:
     return ScenarioSpec(
         name=name,
@@ -64,6 +74,9 @@ def _spec(
             seed=seed,
             executor=executor,
             storage_backend=storage_backend,
+            supervised=supervised,
+            checkpoint_every_ops=checkpoint_every_ops,
+            max_restarts=max_restarts,
         ),
         workload=WorkloadSpec(
             kind=kind,
@@ -75,6 +88,7 @@ def _spec(
         ),
         faults=faults,
         crash=crash,
+        storm=storm,
         expect_failure=expect_failure,
     )
 
@@ -156,6 +170,21 @@ def default_matrix(scale: str = "quick") -> list[ScenarioSpec]:
             "sharded4-parallel-crash-hdd", "sharded", "hotspot", 260 * m,
             n_blocks=1024, n_shards=4, executor="parallel",
             crash=CrashSpec(snapshot_at=100, crash_at_op=30),
+        ),
+        # -- resilience: supervised fleets (passthrough + crash storms)
+        _spec(
+            "sharded2-supervised-hotspot-hdd", "sharded", "hotspot", 240 * m,
+            n_blocks=1024, n_shards=2, supervised=True,
+        ),
+        _spec(
+            "sharded4-supervised-storm-hdd", "sharded", "hotspot", 260 * m,
+            n_blocks=1024, n_shards=4, supervised=True,
+            storm=StormSpec(crash_ops=[90, 400]),
+        ),
+        _spec(
+            "sharded2-parallel-supervised-storm-hdd", "sharded", "uniform", 240 * m,
+            n_blocks=1024, n_shards=2, executor="parallel", supervised=True,
+            storm=StormSpec(crash_ops=[120]),
         ),
         # -- recoverable fault injection (results must still match the oracle)
         _spec(

@@ -22,6 +22,7 @@ import json
 import tempfile
 from dataclasses import asdict, dataclass, field
 
+from repro.core.sharding import ShardUnavailableError
 from repro.crypto.random import DeterministicRandom
 from repro.oram.base import OpKind, Request
 from repro.sim.engine import SimulationEngine
@@ -78,6 +79,60 @@ class CrashSpec:
 
 
 @dataclass
+class StormSpec:
+    """Crash-storm choreography for a *supervised* stack (JSON-able).
+
+    Unlike :class:`CrashSpec` -- which kills the whole stack once and
+    recovers it by hand from an explicit checkpoint -- a storm schedules
+    N shard-level failures under a :class:`~repro.core.supervisor.
+    FleetSupervisor` and expects the fleet to keep serving: every crash
+    auto-recovered from cadence checkpoints (or the shard fenced when
+    ``expect_fenced``), with every request routed to a never-fenced shard
+    served bit-identically to an uninterrupted, unsupervised twin.
+    """
+
+    #: 1-based physical-op indices that crash (per injector: the serial
+    #: executor runs one injector fleet-wide, the parallel executor one
+    #: per worker -- so a parallel storm fires each point on each shard).
+    crash_ops: list = field(default_factory=list)
+    #: which accesses count: "any", or "write_run" (mid-shuffle crashes).
+    op_kind: str = "any"
+    #: leave a torn prefix of each crashing bulk write.
+    torn: bool = False
+    #: physical op at which the shard hangs (0 = no hang); on parallel
+    #: fleets ``hang_wall_s`` stalls the worker for real wall time so the
+    #: IPC heartbeat timeout, not an exception, detects it.
+    hang_at_op: int = 0
+    hang_wall_s: float = 0.0
+    #: diff served results against an uninterrupted, unsupervised twin.
+    compare_uninterrupted: bool = True
+    #: the scenario *expects* shards to end up fenced (degradation runs);
+    #: otherwise any fenced shard fails the scenario.
+    expect_fenced: bool = False
+
+    def __post_init__(self) -> None:
+        if any(op < 1 for op in self.crash_ops):
+            raise ValueError("crash_ops entries are 1-based op indices (>= 1)")
+        if list(self.crash_ops) != sorted(set(self.crash_ops)):
+            raise ValueError("crash_ops must be strictly increasing")
+        if self.op_kind not in ("any", "write_run"):
+            raise ValueError(f"op_kind must be 'any' or 'write_run', got {self.op_kind!r}")
+        if self.hang_at_op < 0:
+            raise ValueError("hang_at_op must be >= 0 (0 = disabled)")
+        if self.hang_wall_s < 0:
+            raise ValueError("hang_wall_s must be >= 0")
+        if not self.crash_ops and not self.hang_at_op:
+            raise ValueError("a storm needs at least one crash or hang point")
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StormSpec":
+        return cls(**data)
+
+
+@dataclass
 class ScenarioSpec:
     """One replayable conformance scenario (seed + spec = the whole run)."""
 
@@ -87,6 +142,8 @@ class ScenarioSpec:
     faults: FaultPlan | None = None
     #: crash-and-recover choreography; None = run uninterrupted.
     crash: CrashSpec | None = None
+    #: supervised crash-storm choreography; None = no storm.
+    storm: StormSpec | None = None
     #: scenarios that *should* fail (seeded corruption demos) are inverted
     #: by the matrix runner, not by the scenario itself.
     expect_failure: bool = False
@@ -109,12 +166,23 @@ class ScenarioSpec:
                     "the uninterrupted twin could not replay the same fault "
                     "stream; drop `faults` from this spec"
                 )
+        if self.storm is not None:
+            if not self.stack.supervised:
+                raise ValueError("storm scenarios need a supervised stack")
+            if self.crash is not None:
+                raise ValueError("storm and crash choreographies are exclusive")
+            if self.faults is not None:
+                raise ValueError(
+                    "storm scenarios carry their fault schedule in the storm "
+                    "spec; drop `faults`"
+                )
 
     # -------------------------------------------------------- serialization
     def to_json(self) -> str:
         data = asdict(self)
         data["faults"] = self.faults.to_dict() if self.faults else None
         data["crash"] = self.crash.to_dict() if self.crash else None
+        data["storm"] = self.storm.to_dict() if self.storm else None
         return json.dumps(data, indent=2, sort_keys=True)
 
     @classmethod
@@ -122,6 +190,7 @@ class ScenarioSpec:
         data = json.loads(text)
         faults = data.pop("faults", None)
         crash = data.pop("crash", None)
+        storm = data.pop("storm", None)
         stack = StackSpec.from_dict(data.pop("stack"))
         workload = WorkloadSpec(**data.pop("workload"))
         return cls(
@@ -129,6 +198,7 @@ class ScenarioSpec:
             workload=workload,
             faults=FaultPlan.from_dict(faults) if faults else None,
             crash=CrashSpec.from_dict(crash) if crash else None,
+            storm=StormSpec.from_dict(storm) if storm else None,
             **data,
         )
 
@@ -152,11 +222,18 @@ class ScenarioResult:
     def summary(self) -> str:
         status = "PASS" if self.ok else "FAIL"
         head = f"{status} {self.spec.name} ({self.requests} requests)"
-        if self.crash_info is not None:
+        if self.crash_info is not None and "crashed" in self.crash_info:
             head += (
                 f"\n  crash: fired={self.crash_info['crashed']} "
                 f"op={self.crash_info['crash_op']} "
                 f"recovered={self.crash_info['recovered']}"
+            )
+        elif self.crash_info is not None:
+            head += (
+                f"\n  storm: crashes={self.crash_info['crashes']} "
+                f"restores={self.crash_info['restores']} "
+                f"fenced={self.crash_info['fenced']} "
+                f"failed_fast={self.crash_info['failed_fast']}"
             )
         if self.failures:
             head += "\n  " + "\n  ".join(self.failures[:_MAX_REPORTED + 2])
@@ -173,6 +250,8 @@ class ScenarioRunner:
         try:
             if spec.crash is not None:
                 return self._run_crash(spec, stack, requests, failures)
+            if spec.storm is not None:
+                return self._run_storm(spec, stack, requests, failures)
             return self._run_built(spec, stack, requests, failures)
         finally:
             # Failed comparisons, raising scenarios and crash phases all
@@ -212,9 +291,11 @@ class ScenarioRunner:
 
         mismatches = self._compare_results(requests, results, expected, failures)
         checked = self._check_final_state(
-            stack.protocol, stack.spec.n_blocks, oracle, spec, failures
+            stack.driver, stack.spec.n_blocks, oracle, spec, failures
         )
         self._check_invariants(stack, metrics, len(requests), failures)
+        if metrics is not None:
+            metrics.absorb_fault_stats(fault_stats())
 
         return ScenarioResult(
             spec=spec,
@@ -356,11 +437,210 @@ class ScenarioRunner:
         finally:
             twin.cleanup()
 
+    # --------------------------------------------------------- crash storms
+    def _drive_supervised(self, supervisor, requests) -> "tuple[list, int]":
+        """One-at-a-time drive that tolerates fenced stripes.
+
+        Returns ``(results, failed_fast)``: a fenced request contributes
+        ``None`` (whether it failed at submit or while in flight) and
+        counts toward ``failed_fast``.
+        """
+        results: list = []
+        failed_fast = 0
+        for request in requests:
+            try:
+                entry = supervisor.submit(request)
+            except ShardUnavailableError:
+                results.append(None)
+                failed_fast += 1
+                continue
+            supervisor.drain()
+            if entry.error is not None:
+                results.append(None)
+                failed_fast += 1
+            else:
+                results.append(entry.result)
+        return results, failed_fast
+
+    def _run_storm(self, spec, stack, requests, failures) -> ScenarioResult:
+        """Drive a scheduled crash storm under supervision.
+
+        Pass criteria: every incident ends in ``restored`` or (when
+        ``expect_fenced``) ``fenced`` without manual intervention; every
+        request routed to a never-fenced shard is served with the exact
+        bytes an uninterrupted, unsupervised twin serves; the final
+        logical state of never-fenced stripes matches the oracle.
+        """
+        storm = spec.storm
+        supervisor = stack.supervisor
+        protocol = stack.protocol
+        oracle = ReferenceOracle(stack.payload_bytes)
+        expected = oracle.expect_all(requests)
+        stack.install_faults(
+            FaultPlan(
+                seed=spec.stack.seed,
+                crash_schedule=list(storm.crash_ops),
+                crash_op_kind=storm.op_kind,
+                crash_torn=storm.torn,
+                hang_at_op=storm.hang_at_op,
+                hang_wall_s=storm.hang_wall_s,
+            )
+        )
+
+        try:
+            results, failed_fast = self._drive_supervised(supervisor, requests)
+        except Exception as error:  # noqa: BLE001 -- a storm must not escape
+            return ScenarioResult(
+                spec=spec,
+                ok=False,
+                requests=len(requests),
+                failures=[f"storm run raised {type(error).__name__}: {error}"],
+                error=f"{type(error).__name__}: {error}",
+                fault_stats=stack.fault_stats(),
+            )
+
+        fenced = sorted(supervisor.fenced)
+        report = supervisor.recovery_report()
+        storm_info = {
+            "crashes": report["crashes_detected"],
+            "restores": report["restores"],
+            "fenced": fenced,
+            "failed_fast": failed_fast,
+            "mttr_s": report["mttr_s"],
+            "trace": supervisor.event_trace(),
+        }
+
+        if fenced and not storm.expect_fenced:
+            failures.append(f"shards {fenced} were fenced; the storm expected none")
+        if storm.expect_fenced and not fenced:
+            failures.append("the storm expected fenced shards but all recovered")
+        if not fenced and failed_fast:
+            failures.append(
+                f"{failed_fast} requests failed fast with no shard fenced"
+            )
+        unresolved = [i for i in report["incidents"] if i["outcome"] is None]
+        if unresolved:
+            failures.append(
+                f"{len(unresolved)} incidents never resolved to restored/fenced"
+            )
+        # Judge "did the schedule fire" from the supervisor's incident log:
+        # a respawned parallel worker gets a fresh injector, so its mirror's
+        # fault stats forget everything the dead process counted.
+        kinds = [incident["kind"] for incident in report["incidents"]]
+        stats = stack.fault_stats()
+        if storm.crash_ops and "crash" not in kinds:
+            failures.append("the storm's crash schedule never fired")
+        if storm.hang_at_op and "hung" not in kinds:
+            failures.append("the storm's hang point never fired")
+
+        # Value-identity on every never-fenced stripe (fenced requests
+        # legitimately return None).
+        mismatches = 0
+        for index, (request, got, want) in enumerate(zip(requests, results, expected)):
+            if protocol.shard_of(request.addr) in supervisor.fenced:
+                continue
+            if request.op is OpKind.WRITE and got is None:
+                continue
+            if got != want:
+                mismatches += 1
+                if mismatches <= _MAX_REPORTED:
+                    failures.append(
+                        f"request {index} ({request.op.value} addr {request.addr}): "
+                        f"got {got!r}, want {want!r}"
+                    )
+        if mismatches > _MAX_REPORTED:
+            failures.append(f"... {mismatches} result mismatches total")
+
+        if storm.compare_uninterrupted:
+            self._compare_storm_twin(spec, requests, results, supervisor, failures)
+
+        checked = self._check_storm_final_state(spec, stack, oracle, failures)
+        metrics = supervisor.metrics
+        return ScenarioResult(
+            spec=spec,
+            ok=not failures,
+            requests=len(requests),
+            failures=failures,
+            mismatches=mismatches,
+            final_state_checked=checked,
+            metrics=metrics,
+            fault_stats=stats,
+            crash_info=storm_info,
+        )
+
+    def _compare_storm_twin(self, spec, requests, results, supervisor, failures) -> None:
+        """Non-fenced served results must match an uninterrupted twin's.
+
+        Recovery is value-level (replay may batch what the original run
+        interleaved), so unlike :meth:`_compare_with_twin` this compares
+        served bytes only -- not cycle counts, clocks or served logs.
+        """
+        from dataclasses import replace as dc_replace
+
+        twin_spec = dc_replace(spec.stack, supervised=False)
+        twin = build_stack(twin_spec)
+        try:
+            twin_results = self._drive(twin.protocol, requests)
+            diverged = 0
+            for index, (request, got, want) in enumerate(
+                zip(requests, results, twin_results)
+            ):
+                if twin.protocol.shard_of(request.addr) in supervisor.fenced:
+                    continue
+                if got != want:
+                    diverged += 1
+                    if diverged <= _MAX_REPORTED:
+                        failures.append(
+                            f"request {index} (addr {request.addr}) diverges from "
+                            f"the uninterrupted twin: got {got!r}, want {want!r}"
+                        )
+            if diverged > _MAX_REPORTED:
+                failures.append(f"... {diverged} twin divergences total")
+        finally:
+            twin.cleanup()
+
+    def _check_storm_final_state(self, spec, stack, oracle, failures) -> int:
+        """Oracle readback over never-fenced addresses only."""
+        if spec.final_state_sample <= 0:
+            return 0
+        supervisor = stack.supervisor
+        protocol = stack.protocol
+        rng = DeterministicRandom(f"final-state-{spec.stack.seed}")
+        sample = {rng.randrange(stack.spec.n_blocks) for _ in range(spec.final_state_sample)}
+        for addr in sorted(oracle.state):
+            if len(sample) >= 2 * spec.final_state_sample:
+                break
+            sample.add(addr)
+        live = [
+            addr for addr in sorted(sample)
+            if protocol.shard_of(addr) not in supervisor.fenced
+        ]
+        bad = 0
+        for addr in live:
+            try:
+                got = supervisor.read(addr)
+            except Exception as error:  # noqa: BLE001
+                failures.append(
+                    f"final-state read of addr {addr} raised "
+                    f"{type(error).__name__}: {error}"
+                )
+                return len(live)
+            want = oracle.value(addr)
+            if got != want:
+                bad += 1
+                if bad <= _MAX_REPORTED:
+                    failures.append(
+                        f"final state addr {addr}: got {got!r}, want {want!r}"
+                    )
+        if bad > _MAX_REPORTED:
+            failures.append(f"... {bad} final-state mismatches total")
+        return len(live)
+
     # ------------------------------------------------------------ execution
     def _execute(self, stack: BuiltStack, requests) -> tuple[list, Metrics]:
         if stack.front is not None:
             return self._execute_multiuser(stack, requests)
-        engine = SimulationEngine(stack.protocol, record_results=True)
+        engine = SimulationEngine(stack.driver, record_results=True)
         metrics = engine.run(requests)
         return engine.results, metrics
 
@@ -466,7 +746,13 @@ class ScenarioRunner:
             if value < 0:
                 failures.append(f"negative accounting: metrics.{name}={value}")
         protocol = stack.protocol
-        if getattr(protocol, "lockstep", False):
+        recovered = stack.supervisor is not None and any(
+            event.kind == "restored" for event in stack.supervisor.events
+        )
+        # Recovery is value-level: a restored shard's replay may batch
+        # cycles the original run interleaved, so cycle equality only
+        # binds fleets that never went through a restore.
+        if getattr(protocol, "lockstep", False) and not recovered:
             cycles = {shard.metrics.cycles for shard in protocol.shards}
             if len(cycles) > 1:
                 failures.append(

@@ -54,6 +54,14 @@ class StackSpec:
     #: storage-tier backing: "memory" (volatile) or "file" (a durable
     #: slab in a scenario-owned temporary directory).
     storage_backend: str = "memory"
+    #: wrap the fleet in a :class:`~repro.core.supervisor.FleetSupervisor`
+    #: (sharded stacks only): cadence checkpoints, crash auto-recovery.
+    supervised: bool = False
+    #: supervisor knobs (ignored unless ``supervised``).
+    checkpoint_every_ops: int = 64
+    max_restarts: int = 2
+    keep_checkpoints: int = 3
+    heartbeat_timeout_s: float = 30.0
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOLS:
@@ -79,6 +87,10 @@ class StackSpec:
             )
         if self.storage_backend == "file" and self.protocol not in ("horam", "sharded"):
             raise ValueError("the file storage backend runs horam/sharded stacks only")
+        if self.supervised and self.protocol != "sharded":
+            raise ValueError("supervision wraps sharded stacks only")
+        if self.supervised and self.users:
+            raise ValueError("supervised stacks do not take the multi-user front end")
 
     def label(self) -> str:
         name = self.protocol
@@ -88,6 +100,8 @@ class StackSpec:
             name += "-par"
         if self.storage_backend == "file":
             name += "-durable"
+        if self.supervised:
+            name += "+sup"
         if self.users:
             name += f"+mu{self.users}"
         return f"{name}@{self.device}"
@@ -108,12 +122,19 @@ class BuiltStack:
     protocol: object  # the engine-facing protocol instance
     front: MultiUserFrontEnd | None
     #: directly attachable storage stores; empty for parallel stacks,
-    #: whose stores live inside the worker processes (use
-    #: :meth:`install_faults` there instead).
+    #: whose stores live inside the worker processes, and for supervised
+    #: stacks, whose injector must survive shard restores (use
+    #: :meth:`install_faults` for both).
     storage_stores: list[BlockStore] = field(default_factory=list)
     #: temporary directory holding durable slabs ("file" backend only);
     #: owned by this stack, removed by :meth:`cleanup`.
     storage_dir: str | None = None
+    #: the fleet supervisor ("supervised" specs only); the harness drives
+    #: it instead of the raw protocol so crashes are auto-recovered.
+    supervisor: object = None
+    #: temporary directory of the supervisor's checkpoint stores; owned
+    #: by this stack, removed by :meth:`cleanup`.
+    checkpoint_dir: str | None = None
 
     @property
     def payload_bytes(self) -> int:
@@ -123,9 +144,17 @@ class BuiltStack:
     def batched(self) -> bool:
         return hasattr(self.protocol, "submit") and hasattr(self.protocol, "drain")
 
+    @property
+    def driver(self):
+        """What the harness drives: the supervisor when present."""
+        return self.supervisor if self.supervisor is not None else self.protocol
+
     def install_faults(self, plan) -> None:
         """Route a fault plan to stores the harness cannot reach directly."""
-        self.protocol.executor.install_fault_plan(plan)
+        if self.supervisor is not None:
+            self.supervisor.install_fault_plan(plan)
+        else:
+            self.protocol.executor.install_fault_plan(plan)
 
     def fault_stats(self):
         executor = getattr(self.protocol, "executor", None)
@@ -138,11 +167,14 @@ class BuiltStack:
             close()
 
     def cleanup(self) -> None:
-        """Close *and* remove the stack's durable slab directory (if any)."""
+        """Close *and* remove the stack's on-disk directories (if any)."""
         self.close()
         if self.storage_dir is not None:
             shutil.rmtree(self.storage_dir, ignore_errors=True)
             self.storage_dir = None
+        if self.checkpoint_dir is not None:
+            shutil.rmtree(self.checkpoint_dir, ignore_errors=True)
+            self.checkpoint_dir = None
 
 
 def build_stack(spec: StackSpec) -> BuiltStack:
@@ -152,6 +184,7 @@ def build_stack(spec: StackSpec) -> BuiltStack:
     if spec.storage_backend == "file":
         storage_dir = tempfile.mkdtemp(prefix="horam-slab-")
     protocol = None
+    checkpoint_dir = None
     try:
         if spec.protocol == "horam":
             protocol = build_horam(
@@ -177,8 +210,8 @@ def build_stack(spec: StackSpec) -> BuiltStack:
                 storage_backend=spec.storage_backend,
                 storage_dir=storage_dir,
             )
-            if spec.executor == "parallel":
-                stores = []  # worker-owned; reach them via install_faults
+            if spec.executor == "parallel" or spec.supervised:
+                stores = []  # reach them via install_faults
             else:
                 stores = [shard.hierarchy.storage for shard in protocol.shards]
         else:
@@ -190,6 +223,22 @@ def build_stack(spec: StackSpec) -> BuiltStack:
                 storage_device=device,
             )
             stores = [protocol.hierarchy.storage]
+
+        supervisor = None
+        if spec.supervised:
+            from repro.core.supervisor import FleetSupervisor, SupervisorConfig
+
+            checkpoint_dir = tempfile.mkdtemp(prefix="horam-sup-")
+            supervisor = FleetSupervisor(
+                protocol,
+                checkpoint_dir,
+                SupervisorConfig(
+                    checkpoint_every_ops=spec.checkpoint_every_ops,
+                    max_restarts=spec.max_restarts,
+                    keep_checkpoints=spec.keep_checkpoints,
+                    heartbeat_timeout_s=spec.heartbeat_timeout_s,
+                ),
+            )
 
         front = None
         if spec.users:
@@ -204,6 +253,8 @@ def build_stack(spec: StackSpec) -> BuiltStack:
                 close()
         if storage_dir is not None:
             shutil.rmtree(storage_dir, ignore_errors=True)
+        if checkpoint_dir is not None:
+            shutil.rmtree(checkpoint_dir, ignore_errors=True)
         raise
     return BuiltStack(
         spec=spec,
@@ -211,4 +262,6 @@ def build_stack(spec: StackSpec) -> BuiltStack:
         front=front,
         storage_stores=stores,
         storage_dir=storage_dir,
+        supervisor=supervisor,
+        checkpoint_dir=checkpoint_dir,
     )

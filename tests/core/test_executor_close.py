@@ -1,0 +1,131 @@
+"""ParallelExecutor.close() hardening: idempotent, safe mid-drain, safe
+after failures, never leaks worker processes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.executor import ShardCrashed
+from repro.core.sharding import build_sharded_horam
+from repro.crypto.random import DeterministicRandom
+from repro.storage.faults import FaultPlan
+from repro.workload.generators import hotspot
+
+
+def _fleet(n_shards=2, executor="parallel"):
+    return build_sharded_horam(
+        n_blocks=256, mem_tree_blocks=64, n_shards=n_shards, seed=0,
+        executor=executor,
+    )
+
+
+def _requests(count, seed=11):
+    rng = DeterministicRandom(seed)
+    return list(hotspot(256, count, rng, hot_blocks=32))
+
+
+def _worker_pids(executor):
+    return [
+        pid
+        for pool in executor._pools
+        for pid in list(getattr(pool, "_processes", {}) or {})
+    ]
+
+
+def _alive(pids):
+    import os
+
+    alive = []
+    for pid in pids:
+        try:
+            os.kill(pid, 0)
+        except OSError:
+            continue
+        alive.append(pid)
+    return alive
+
+
+class TestIdempotentClose:
+    def test_double_close_is_a_noop(self):
+        fleet = _fleet()
+        fleet.close()
+        fleet.close()  # must not raise or hang
+
+    def test_close_then_context_exit(self):
+        fleet = _fleet()
+        with fleet:
+            fleet.close()
+        fleet.close()
+
+    def test_serial_close_is_idempotent_too(self):
+        fleet = _fleet(executor="serial")
+        fleet.close()
+        fleet.close()
+
+    def test_use_after_close_raises(self):
+        fleet = _fleet()
+        fleet.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            fleet.submit(_requests(1)[0])
+
+
+class TestCloseDuringInflightDrain:
+    def test_close_with_queued_undrained_work(self):
+        fleet = _fleet()
+        pids = _worker_pids(fleet.executor)
+        for request in _requests(8):
+            fleet.submit(request)
+        fleet.close()  # queued batches are cancelled, not drained
+        assert not _alive(pids)
+
+    def test_close_mid_drain(self):
+        fleet = _fleet()
+        pids = _worker_pids(fleet.executor)
+        for request in _requests(8):
+            fleet.submit(request)
+        while fleet.has_work():
+            fleet.step()
+            break  # leave retirements unharvested
+        fleet.close()
+        fleet.close()
+        assert not _alive(pids)
+
+    def test_close_after_monitored_failure(self):
+        """A crash surfaced in monitored mode must not wedge close()."""
+        fleet = _fleet()
+        fleet.executor.monitored = True
+        pids = _worker_pids(fleet.executor)
+        fleet.executor.install_fault_plan(
+            FaultPlan(seed=0, crash_schedule=[5], crash_op_kind="any")
+        )
+        with pytest.raises(ShardCrashed):
+            for request in _requests(30):
+                fleet.submit(request)
+                while fleet.has_work():
+                    fleet.step()
+                fleet.retire()
+        fleet.close()
+        fleet.close()
+        assert not _alive(pids)
+
+    def test_close_after_fence(self):
+        fleet = _fleet()
+        fleet.executor.monitored = True
+        pids = _worker_pids(fleet.executor)
+        fleet.executor.fence_shard(0)
+        fleet.close()  # fenced pool already shut; must skip, not raise
+        assert not _alive(pids)
+
+
+class TestSupervisedClose:
+    def test_supervisor_close_is_idempotent(self, tmp_path):
+        from repro.core.supervisor import FleetSupervisor, SupervisorConfig
+
+        supervisor = FleetSupervisor(
+            _fleet(), str(tmp_path), SupervisorConfig(checkpoint_every_ops=0)
+        )
+        for request in _requests(6):
+            supervisor.submit(request)
+        supervisor.drain()
+        supervisor.close()
+        supervisor.close()

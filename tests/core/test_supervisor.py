@@ -1,0 +1,339 @@
+"""The self-healing fleet: supervision, heartbeats, auto-recovery.
+
+Crash storms are diffed against an uninterrupted, unsupervised twin --
+recovery is *value-level* (same bytes for the same requests), and the
+recovery trace must be a pure function of (seed, fault plan).
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+
+import pytest
+
+from repro.core.sharding import ShardUnavailableError, build_sharded_horam
+from repro.core.supervisor import FleetSupervisor, SupervisorConfig
+from repro.crypto.random import DeterministicRandom
+from repro.storage.faults import FaultPlan
+from repro.workload.generators import hotspot
+
+N_BLOCKS = 512
+MEM_BLOCKS = 128
+
+
+def _workload(count, seed=31):
+    rng = DeterministicRandom(seed)
+    return list(hotspot(N_BLOCKS, count, rng, hot_blocks=48))
+
+
+def _drive(protocol, requests):
+    served = []
+    for request in requests:
+        entry = protocol.submit(request)
+        protocol.drain()
+        served.append(entry.result)
+    return served
+
+
+def _twin_results(requests, n_shards):
+    twin = build_sharded_horam(
+        n_blocks=N_BLOCKS, mem_tree_blocks=MEM_BLOCKS, n_shards=n_shards, seed=0
+    )
+    try:
+        return _drive(twin, requests)
+    finally:
+        twin.close()
+
+
+@pytest.fixture
+def ckpt_dir():
+    path = tempfile.mkdtemp(prefix="horam-sup-test-")
+    yield path
+    shutil.rmtree(path, ignore_errors=True)
+
+
+def _supervised(ckpt_dir, n_shards=4, executor="serial", **config):
+    fleet = build_sharded_horam(
+        n_blocks=N_BLOCKS,
+        mem_tree_blocks=MEM_BLOCKS,
+        n_shards=n_shards,
+        seed=0,
+        executor=executor,
+    )
+    defaults = dict(checkpoint_every_ops=24, max_restarts=2, keep_checkpoints=3)
+    defaults.update(config)
+    return FleetSupervisor(fleet, ckpt_dir, SupervisorConfig(**defaults))
+
+
+class TestSerialStorm:
+    def test_storm_recovers_and_matches_twin(self, ckpt_dir):
+        requests = _workload(140)
+        twin = _twin_results(requests, 4)
+        supervisor = _supervised(ckpt_dir)
+        try:
+            supervisor.install_fault_plan(
+                FaultPlan(seed=0, crash_schedule=[40, 90], crash_op_kind="any")
+            )
+            results = _drive(supervisor, requests)
+            report = supervisor.recovery_report()
+            assert report["crashes_detected"] == 2
+            assert report["restores"] == 2
+            assert report["fences"] == 0
+            assert all(i["outcome"] == "restored" for i in report["incidents"])
+            assert not supervisor.fenced
+            assert results == twin
+        finally:
+            supervisor.close()
+
+    def test_recovery_trace_is_deterministic(self, ckpt_dir):
+        requests = _workload(120)
+        traces, payloads = [], []
+        for run in range(2):
+            run_dir = tempfile.mkdtemp(prefix="horam-sup-det-")
+            supervisor = _supervised(run_dir)
+            try:
+                supervisor.install_fault_plan(
+                    FaultPlan(seed=0, crash_schedule=[35], crash_op_kind="any")
+                )
+                payloads.append(_drive(supervisor, requests))
+                traces.append(supervisor.event_trace())
+            finally:
+                supervisor.close()
+                shutil.rmtree(run_dir, ignore_errors=True)
+        assert traces[0] == traces[1]
+        assert payloads[0] == payloads[1]
+        assert any(kind == "crash_detected" for kind, _, _ in traces[0])
+
+    def test_supervision_counters_surface_in_metrics(self, ckpt_dir):
+        supervisor = _supervised(ckpt_dir)
+        try:
+            supervisor.install_fault_plan(
+                FaultPlan(seed=0, crash_schedule=[20], crash_op_kind="any")
+            )
+            _drive(supervisor, _workload(60))
+            extra = supervisor.metrics.extra
+            assert extra["supervisor_crashes"] == 1
+            assert extra["supervisor_restores"] == 1
+            assert extra["supervisor_fenced"] == 0
+            assert extra["supervisor_checkpoints"] >= 4  # one initial per shard
+            assert extra["fault_crashes"] == 1
+        finally:
+            supervisor.close()
+
+
+class TestFencing:
+    def test_exhausted_retries_fence_the_shard(self, ckpt_dir):
+        requests = _workload(90)
+        supervisor = _supervised(ckpt_dir, max_restarts=0)
+        try:
+            supervisor.install_fault_plan(
+                FaultPlan(seed=0, crash_schedule=[30], crash_op_kind="any")
+            )
+            served = failed = 0
+            for request in requests:
+                try:
+                    entry = supervisor.submit(request)
+                except ShardUnavailableError:
+                    failed += 1
+                    continue
+                supervisor.drain()
+                if entry.error is not None:
+                    assert isinstance(entry.error, ShardUnavailableError)
+                    failed += 1
+                else:
+                    served += 1
+            kinds = [kind for kind, _, _ in supervisor.event_trace()]
+            assert "gave_up" in kinds and "fenced" in kinds
+            assert "restored" not in kinds
+            assert len(supervisor.fenced) == 1
+            assert served > 0  # survivors kept serving
+            assert failed > 0  # the fenced stripe failed fast
+            assert supervisor.metrics.extra["supervisor_fenced"] == 1
+        finally:
+            supervisor.close()
+
+    def test_fenced_stripe_raises_typed_error_with_context(self, ckpt_dir):
+        supervisor = _supervised(ckpt_dir, max_restarts=0)
+        try:
+            supervisor.install_fault_plan(
+                FaultPlan(seed=0, crash_schedule=[25], crash_op_kind="any")
+            )
+            _drive_tolerant(supervisor, _workload(80))
+            (fenced_shard,) = supervisor.fenced
+            addr = next(
+                a for a in range(N_BLOCKS)
+                if supervisor.fleet.shard_of(a) == fenced_shard
+            )
+            with pytest.raises(ShardUnavailableError) as excinfo:
+                supervisor.read(addr)
+            assert excinfo.value.shard_index == fenced_shard
+        finally:
+            supervisor.close()
+
+    def test_survivors_serve_correct_values_after_fence(self, ckpt_dir):
+        requests = _workload(100)
+        twin = _twin_results(requests, 4)
+        supervisor = _supervised(ckpt_dir, max_restarts=0)
+        try:
+            supervisor.install_fault_plan(
+                FaultPlan(seed=0, crash_schedule=[30], crash_op_kind="any")
+            )
+            results = _drive_tolerant(supervisor, requests)
+            (fenced_shard,) = supervisor.fenced
+            checked = 0
+            for request, mine, twin_value in zip(requests, results, twin):
+                if supervisor.fleet.shard_of(request.addr) == fenced_shard:
+                    continue
+                assert mine == twin_value
+                checked += 1
+            assert checked > 0
+        finally:
+            supervisor.close()
+
+
+def _drive_tolerant(supervisor, requests):
+    """Drive accepting fenced fail-fasts; returns result-or-None per request."""
+    results = []
+    for request in requests:
+        try:
+            entry = supervisor.submit(request)
+        except ShardUnavailableError:
+            results.append(None)
+            continue
+        supervisor.drain()
+        results.append(entry.result if entry.error is None else None)
+    return results
+
+
+class TestCheckpointFallback:
+    def test_restore_falls_back_past_corrupted_newest(self, ckpt_dir):
+        requests = _workload(140)
+        twin = _twin_results(requests, 4)
+        supervisor = _supervised(ckpt_dir, checkpoint_every_ops=12)
+        try:
+            results = _drive(supervisor, requests[:100])
+            for store in supervisor.stores:
+                assert len(store.paths()) >= 2
+                manifest = store.paths()[-1] / "checkpoint.json"
+                manifest.write_text("{ torn garbage")
+            supervisor.install_fault_plan(
+                FaultPlan(seed=0, crash_schedule=[5], crash_op_kind="any")
+            )
+            results += _drive(supervisor, requests[100:])
+            report = supervisor.recovery_report()
+            assert report["restores"] == report["crashes_detected"] == 1
+            assert not supervisor.fenced
+            assert results == twin
+        finally:
+            supervisor.close()
+
+    def test_no_valid_checkpoint_fences_after_retries(self, ckpt_dir):
+        requests = _workload(90)
+        supervisor = _supervised(ckpt_dir, checkpoint_every_ops=0, max_restarts=2)
+        try:
+            _drive(supervisor, requests[:40])
+            for store in supervisor.stores:
+                for path in store.paths():
+                    (path / "checkpoint.json").write_text("not json")
+            supervisor.install_fault_plan(
+                FaultPlan(seed=0, crash_schedule=[5], crash_op_kind="any")
+            )
+            _drive_tolerant(supervisor, requests[40:])
+            kinds = [kind for kind, _, _ in supervisor.event_trace()]
+            assert kinds.count("restore_failed") == 2  # both attempts
+            assert "fenced" in kinds
+            assert len(supervisor.fenced) == 1
+        finally:
+            supervisor.close()
+
+
+class TestCheckpointCadence:
+    def test_cadence_writes_and_rotates_on_disk(self, ckpt_dir):
+        supervisor = _supervised(
+            ckpt_dir, checkpoint_every_ops=8, keep_checkpoints=2
+        )
+        try:
+            _drive(supervisor, _workload(120))
+            report = supervisor.recovery_report()
+            assert report["checkpoints"] > 4  # beyond the initial per-shard ones
+            for store in supervisor.stores:
+                paths = store.paths()
+                assert 1 <= len(paths) <= 2
+                # rotation kept the newest sequence numbers
+                seqs = [int(p.name[5:]) for p in paths]
+                assert seqs == sorted(seqs)
+                assert store.load_latest_valid()[1] == paths[-1]
+        finally:
+            supervisor.close()
+
+    def test_zero_cadence_keeps_initial_checkpoint_only(self, ckpt_dir):
+        supervisor = _supervised(ckpt_dir, checkpoint_every_ops=0)
+        try:
+            _drive(supervisor, _workload(60))
+            assert supervisor.recovery_report()["checkpoints"] == 4
+            for store in supervisor.stores:
+                assert len(store.paths()) == 1
+        finally:
+            supervisor.close()
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SupervisorConfig(checkpoint_every_ops=-1)
+        with pytest.raises(ValueError):
+            SupervisorConfig(keep_checkpoints=0)
+        with pytest.raises(ValueError):
+            SupervisorConfig(max_restarts=-1)
+        with pytest.raises(ValueError):
+            SupervisorConfig(backoff_factor=0.5)
+
+
+class TestSerialHealth:
+    def test_heartbeats_report_all_shards(self, ckpt_dir):
+        supervisor = _supervised(ckpt_dir)
+        try:
+            _drive(supervisor, _workload(20))
+            beats = supervisor.check_health()
+            assert sorted(beats) == [0, 1, 2, 3]
+            assert all(now >= 0 for now in beats.values())
+        finally:
+            supervisor.close()
+
+
+class TestParallelSupervision:
+    def test_parallel_storm_recovers_and_matches_twin(self, ckpt_dir):
+        requests = _workload(70)
+        twin = _twin_results(requests, 2)
+        supervisor = _supervised(ckpt_dir, n_shards=2, executor="parallel")
+        try:
+            # one injector per worker: the schedule fires on each shard
+            supervisor.install_fault_plan(
+                FaultPlan(seed=0, crash_schedule=[30], crash_op_kind="any")
+            )
+            results = _drive(supervisor, requests)
+            report = supervisor.recovery_report()
+            assert report["crashes_detected"] >= 1
+            assert report["restores"] == report["crashes_detected"]
+            assert report["fences"] == 0
+            assert results == twin
+        finally:
+            supervisor.close()
+
+    def test_parallel_hang_detected_by_heartbeat_timeout(self, ckpt_dir):
+        requests = _workload(50)
+        twin = _twin_results(requests, 2)
+        supervisor = _supervised(
+            ckpt_dir, n_shards=2, executor="parallel", heartbeat_timeout_s=0.75
+        )
+        try:
+            supervisor.install_fault_plan(
+                FaultPlan(seed=0, hang_at_op=25, hang_wall_s=3.0)
+            )
+            results = _drive(supervisor, requests)
+            report = supervisor.recovery_report()
+            assert report["crashes_detected"] >= 1
+            assert all(i["kind"] == "hung" for i in report["incidents"])
+            assert report["fences"] == 0
+            assert results == twin
+        finally:
+            supervisor.close()

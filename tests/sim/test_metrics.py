@@ -83,3 +83,30 @@ class TestSerialization:
         m = Metrics(requests_served=42, io_reads=7)
         text = "\n".join(m.summary_lines())
         assert "42" in text and "7" in text
+
+
+class TestFaultStatsAbsorption:
+    def test_none_is_a_noop(self):
+        m = Metrics()
+        m.absorb_fault_stats(None)
+        assert m.extra == {}
+
+    def test_surfaces_retry_and_backoff_counters(self):
+        from repro.storage.faults import FaultStats
+
+        m = Metrics()
+        m.absorb_fault_stats(
+            FaultStats(retries=3, escalations=1, injected_delay_us=250.0)
+        )
+        assert m.extra["fault_retries"] == 3
+        assert m.extra["fault_escalations"] == 1
+        assert m.extra["fault_injected_delay_us"] == 250.0
+        assert "fault_crashes" in m.extra and "fault_hangs" in m.extra
+
+    def test_absorb_overwrites_instead_of_summing(self):
+        from repro.storage.faults import FaultStats
+
+        m = Metrics()
+        m.absorb_fault_stats(FaultStats(retries=3))
+        m.absorb_fault_stats(FaultStats(retries=5))  # cumulative snapshot
+        assert m.extra["fault_retries"] == 5
