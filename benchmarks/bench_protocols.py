@@ -1,0 +1,98 @@
+"""Cross-protocol benchmark: the engine-kernel grid.
+
+Runs every registered :class:`~repro.core.kernel.EngineKernel` protocol
+(H-ORAM, the succinct hierarchical ORAM, BIOS) on one seeded hotspot
+stream and reports the grid the kernel extraction makes comparable:
+
+* **bandwidth overhead** -- storage bytes moved per logical byte served,
+* **round trips per request** -- kernel cycles per request (each cycle
+  batches its storage probes into one trip),
+* **stash / cache occupancy peaks**,
+
+each normalized against H-ORAM.  It then replays the kernel-protocol
+slice of the conformance matrix (plain, sharded and crash/restore
+scenarios for the non-H-ORAM protocols); any divergence exits non-zero,
+which is what the CI protocols job gates on.
+
+The result is persisted to ``BENCH_protocols.json`` at the repo root,
+mirroring the other ``BENCH_*.json`` artifacts.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_protocols.py           # full run + JSON
+    PYTHONPATH=src python benchmarks/bench_protocols.py --smoke   # tiny CI sanity run
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - convenience for direct invocation
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench.experiments import protocols
+
+FULL_SCALE = "medium"
+SMOKE_SCALE = "quick"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="quick-scale CI run (still gates on conformance)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="result JSON path (default: BENCH_protocols.json at the repo root)",
+    )
+    args = parser.parse_args()
+
+    scale = SMOKE_SCALE if args.smoke else FULL_SCALE
+    started = time.perf_counter()
+    result = protocols(scale=scale)
+    elapsed = time.perf_counter() - started
+    print(result.render())
+    print(f"\n[protocols completed in {elapsed:.1f} s wall-clock]")
+
+    report = {
+        "benchmark": "protocols",
+        "mode": "smoke" if args.smoke else "full",
+        "scale": scale,
+        "ok": result.ok,
+        "data": result.data,
+        "machine": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpus": os.cpu_count(),
+        },
+        "wall_seconds": elapsed,
+    }
+    out = args.out or (REPO_ROOT / "BENCH_protocols.json")
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    if not result.ok:
+        print(
+            "DIVERGENCE: a kernel-protocol conformance scenario failed",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

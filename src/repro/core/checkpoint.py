@@ -22,9 +22,10 @@ all of it -- version, blob presence, sizes, digests -- and raises
 :class:`CheckpointError` on any mismatch, which is what makes
 :func:`recover` safe to point at a slab that died mid-write.
 
-Supported stacks: :class:`~repro.core.horam.HybridORAM`,
+Supported stacks: every :class:`~repro.core.kernel.EngineKernel`
+protocol (H-ORAM, the succinct hierarchical and BIOS variants),
 :class:`~repro.core.sharding.ShardedHORAM` under both executors (the
-parallel executor checkpoints its workers over IPC), and the four
+parallel executor checkpoints its workers over IPC), and the classic
 baselines built by :mod:`repro.oram.factory`.  Snapshots of a sharded
 fleet require a quiesced coordinator (everything submitted has drained).
 """
@@ -284,21 +285,31 @@ def _load_hierarchy_state(
 
 
 # ---------------------------------------------------------------------------
-# HybridORAM
+# EngineKernel protocols (HybridORAM, succinct hierarchical, BIOS, ...)
 # ---------------------------------------------------------------------------
-def _horam_rebuild_info(oram) -> dict:
+def _kernel_rebuild_info(oram) -> dict:
     return {
+        "protocol": oram.protocol_name,
         "config": _config_to_dict(oram.config),
         "hierarchy": _hierarchy_info(oram.hierarchy),
         "integrity": oram.codec.mac_key is not None,
+        "params": oram.backend_params(),
     }
 
 
-def _rebuild_horam(rebuild: dict):
-    from repro.core.horam import HybridORAM
+def _rebuild_kernel(rebuild: dict):
+    # Importing these registers every bundled protocol in KERNEL_PROTOCOLS.
+    import repro.core.horam  # noqa: F401
+    import repro.oram.factory  # noqa: F401
+    from repro.core.kernel import KERNEL_PROTOCOLS
     from repro.crypto.ctr import StreamCipher
     from repro.oram.base import BlockCodec
 
+    name = rebuild.get("protocol", "horam")
+    try:
+        cls = KERNEL_PROTOCOLS[name]
+    except KeyError:
+        raise CheckpointError(f"unknown kernel protocol {name!r}") from None
     config = _config_from_dict(rebuild["config"])
     hierarchy = _build_hierarchy(rebuild["hierarchy"])
     codec = None
@@ -310,20 +321,20 @@ def _rebuild_horam(rebuild: dict):
             StreamCipher(rng.spawn("record-key").token(32)),
             mac_key=rng.spawn("mac-key").token(32),
         )
-    return HybridORAM(config, hierarchy, codec=codec)
+    return cls(config, hierarchy, codec=codec, **rebuild.get("params", {}))
 
 
-def _snapshot_horam(oram) -> Checkpoint:
+def _snapshot_kernel(oram) -> Checkpoint:
     state, blobs = oram.state_dict()
     return Checkpoint(
-        kind="horam",
-        state={"rebuild": _horam_rebuild_info(oram), "stack": state},
+        kind=oram.protocol_name,
+        state={"rebuild": _kernel_rebuild_info(oram), "stack": state},
         blobs=blobs,
     )
 
 
-def _restore_horam(checkpoint: Checkpoint):
-    oram = _rebuild_horam(checkpoint.state["rebuild"])
+def _restore_kernel(checkpoint: Checkpoint):
+    oram = _rebuild_kernel(checkpoint.state["rebuild"])
     oram.load_state(checkpoint.state["stack"], checkpoint.blobs)
     return oram
 
@@ -370,7 +381,7 @@ def _snapshot_sharded(fleet) -> Checkpoint:
     for index, shard in enumerate(fleet.shards):
         shard_state, shard_blobs = shard.state_dict()
         state["shards"].append(
-            {"rebuild": _horam_rebuild_info(shard), "stack": shard_state}
+            {"rebuild": _kernel_rebuild_info(shard), "stack": shard_state}
         )
         for name, blob in shard_blobs.items():
             blobs[f"shard{index}.{name}"] = blob
@@ -419,7 +430,7 @@ def _restore_sharded(checkpoint: Checkpoint, mp_context=None):
 
     shards = []
     for index, shard_state in enumerate(state["shards"]):
-        shard = _rebuild_horam(shard_state["rebuild"])
+        shard = _rebuild_kernel(shard_state["rebuild"])
         shard.load_state(shard_state["stack"], _shard_blobs(checkpoint, index))
         shards.append(shard)
     return ShardedHORAM(
@@ -463,7 +474,7 @@ def snapshot_shard(fleet, index: int) -> Checkpoint:
         state={
             "mode": "serial",
             "index": index,
-            "rebuild": _horam_rebuild_info(shard),
+            "rebuild": _kernel_rebuild_info(shard),
             "stack": state,
         },
         blobs=blobs,
@@ -484,7 +495,7 @@ def restore_shard_instance(checkpoint: Checkpoint):
             "parallel shard checkpoints restore via load_shard_state, not "
             "a standalone instance"
         )
-    shard = _rebuild_horam(checkpoint.state["rebuild"])
+    shard = _rebuild_kernel(checkpoint.state["rebuild"])
     shard.load_state(checkpoint.state["stack"], checkpoint.blobs)
     return shard
 
@@ -701,11 +712,11 @@ def _restore_baseline(checkpoint: Checkpoint):
 # ---------------------------------------------------------------------------
 def snapshot_stack(protocol) -> Checkpoint:
     """Checkpoint any supported stack (see the module docstring)."""
-    from repro.core.horam import HybridORAM
+    from repro.core.kernel import EngineKernel
     from repro.core.sharding import ShardedHORAM
 
-    if isinstance(protocol, HybridORAM):
-        return _snapshot_horam(protocol)
+    if isinstance(protocol, EngineKernel):
+        return _snapshot_kernel(protocol)
     if isinstance(protocol, ShardedHORAM):
         return _snapshot_sharded(protocol)
     return _snapshot_baseline(protocol)
@@ -718,8 +729,10 @@ def restore_stack(checkpoint: Checkpoint, mp_context=None):
     rolls its contents back to the checkpoint, discarding anything --
     including a torn most-recent write -- that landed after it.
     """
-    if checkpoint.kind == "horam":
-        return _restore_horam(checkpoint)
+    from repro.core.kernel import KERNEL_PROTOCOLS
+
+    if checkpoint.kind in KERNEL_PROTOCOLS:
+        return _restore_kernel(checkpoint)
     if checkpoint.kind in ("sharded", "sharded-parallel"):
         return _restore_sharded(checkpoint, mp_context=mp_context)
     if checkpoint.kind.startswith("baseline-"):

@@ -47,7 +47,6 @@ from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeout
 from dataclasses import dataclass, field, fields, replace
 
-from repro.core.horam import build_horam
 from repro.core.rob import EntryState, RobEntry
 from repro.oram.base import OpKind, Request
 from repro.sim.metrics import Metrics
@@ -117,6 +116,9 @@ class ShardBuildSpec:
     #: "memory" or "file" (a durable slab owned by the worker process).
     storage_backend: str = "memory"
     storage_path: str | None = None
+    #: which EngineKernel protocol runs inside the shard (default keeps
+    #: specs from pre-protocol checkpoints loading unchanged).
+    protocol: str = "horam"
 
 
 @dataclass
@@ -429,8 +431,10 @@ _WORKER: dict = {}
 
 
 def _worker_init(spec: ShardBuildSpec) -> None:
+    from repro.oram.factory import shard_builder
+
     n_shards, index = spec.n_shards, spec.index
-    shard = build_horam(
+    shard = shard_builder(spec.protocol)(
         n_blocks=spec.n_blocks,
         mem_tree_blocks=spec.mem_tree_blocks,
         payload_bytes=spec.payload_bytes,

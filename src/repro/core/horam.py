@@ -1,19 +1,21 @@
 """The H-ORAM protocol (Section 4.1's data flow, Figure 4-1).
 
-:class:`HybridORAM` conducts the three layers through the two alternating
+:class:`HybridORAM` implements the :class:`~repro.core.kernel.ProtocolBackend`
+hooks on top of the shared :class:`~repro.core.kernel.EngineKernel`
+pipeline, conducting the three layers through the two alternating
 periods:
 
-* **access period** -- :meth:`step` runs one scheduler cycle: plan ``c``
-  in-memory hits plus one storage load from the ROB window, execute the
-  memory side and the I/O side (overlapped, per "the I/O loads and
-  in-memory reads are conducted simultaneously"), admit the loaded block
-  to the cache tree, and retire served requests in order.  Every cycle
-  issues exactly one storage load; after ``n/2`` of them the period ends.
+* **access period** -- each kernel cycle plans ``c`` in-memory hits plus
+  one storage load from the ROB window; the hooks here serve the hits
+  from the cache tree, fetch the miss from the permuted storage layer
+  (admitting it to the cache), and pad with unread-dummy loads.  Every
+  cycle issues exactly one storage load; after ``n/2`` of them the
+  period ends.
 * **shuffle period** -- obliviously evict the cache tree, fold the evicted
   hot data into the storage layer's group/partition shuffle, and start a
   fresh period.
 
-The class offers two API styles:
+The class offers two API styles (both kernel-provided):
 
 * batch: ``submit(request)`` + ``drain()`` -- what the engine and the
   benchmarks use; keeps the scheduler's window full so padding is rare;
@@ -29,21 +31,22 @@ import math
 
 from repro.core.cache_tree import CacheTree
 from repro.core.config import HORAMConfig
-from repro.core.rob import EntryState, RobEntry, RobTable
-from repro.core.scheduler import SecureScheduler
+from repro.core.kernel import DummyLoad, EngineKernel, ShuffleReport
 from repro.core.storage_layer import PermutedStorage
 from repro.crypto.ctr import StreamCipher
 from repro.crypto.random import DeterministicRandom
-from repro.oram.base import RECORD_OVERHEAD, BlockCodec, OpKind, ORAMProtocol, Request
+from repro.oram.base import RECORD_OVERHEAD, BlockCodec
 from repro.oram.tree import TreeGeometry
 from repro.shuffle import get_shuffle
-from repro.sim.metrics import Metrics, TierTimes, percentile
+from repro.sim.metrics import TierTimes
 from repro.storage.hierarchy import StorageHierarchy
 from repro.storage.trace import TraceRecorder
 
 
-class HybridORAM(ORAMProtocol):
+class HybridORAM(EngineKernel):
     """The cacheable ORAM interface of the paper."""
+
+    protocol_name = "horam"
 
     def __init__(
         self,
@@ -52,23 +55,11 @@ class HybridORAM(ORAMProtocol):
         codec: BlockCodec | None = None,
         initial_addr_map=None,
     ):
-        self.config = config
-        self.hierarchy = hierarchy
-        self.rng = DeterministicRandom(config.seed)
-        if codec is None:
-            cipher = StreamCipher(self.rng.spawn("record-key").token(32))
-            codec = BlockCodec(config.payload_bytes, cipher)
-        if codec.slot_bytes != hierarchy.slot_bytes:
-            raise ValueError(
-                f"hierarchy slot size {hierarchy.slot_bytes} does not match the "
-                f"codec record size {codec.slot_bytes}"
-            )
-        self.codec = codec
-
+        super().__init__(config, hierarchy, codec=codec)
         self.cache = CacheTree(
             mem_blocks_budget=config.mem_tree_blocks,
             bucket_size=config.bucket_size,
-            codec=codec,
+            codec=self.codec,
             memory_store=hierarchy.memory,
             rng=self.rng.spawn("cache-tree"),
             shuffle=get_shuffle(config.shuffle_algorithm),
@@ -76,7 +67,7 @@ class HybridORAM(ORAMProtocol):
         )
         self.storage = PermutedStorage(
             n_blocks=config.n_blocks,
-            codec=codec,
+            codec=self.codec,
             storage_store=hierarchy.storage,
             memory_store=hierarchy.memory,
             rng=self.rng.spawn("storage-layer"),
@@ -85,292 +76,75 @@ class HybridORAM(ORAMProtocol):
             period_capacity=self.cache.period_capacity,
             initial_addr_map=initial_addr_map,
         )
-        self.rob = RobTable()
-        self.scheduler = SecureScheduler(window_for=config.window_for)
-        self.metrics = Metrics()
 
-        self._cycle_index = 0
-        self._loads_this_period = 0
-        self._period_index = 0
-        #: secret-side log (addr, cycle) of served requests, for analyzers
-        self.served_log: list[tuple[int, int]] = []
-        #: per-request service latency in cycles, for percentile reporting
-        self.latency_log: list[int] = []
-
-    # ----------------------------------------------------------- properties
-    @property
-    def n_blocks(self) -> int:
-        return self.config.n_blocks
-
+    # ---------------------------------------------------- ProtocolBackend
     @property
     def period_capacity(self) -> int:
         """I/O loads per access period (the paper's n/2)."""
         return self.cache.period_capacity
 
-    @property
-    def period_index(self) -> int:
-        return self._period_index
-
-    @property
-    def current_c(self) -> int:
-        progress = self._loads_this_period / self.period_capacity
-        return self.config.stages.c_at(progress)
-
-    # -------------------------------------------------------------- batch API
-    def submit(self, request: Request) -> RobEntry:
-        """Queue a request into the ROB table."""
-        self.check_addr(request.addr)
-        self.metrics.requests_submitted += 1
-        return self.rob.push(request, self._cycle_index)
-
-    def step(self) -> list[RobEntry]:
-        """Run one scheduler cycle; returns requests retired this cycle."""
-        # Loads complete within their cycle (the I/O overlaps the c memory
-        # reads and both finish by the cycle barrier), so no address is
-        # ever in flight across cycles.
-        self.hierarchy.mark("cycle-start")
-        c = self.current_c
-        plan = self.scheduler.plan(self.rob, c, self._is_cached, set())
-
-        mem_times = TierTimes()
-        io_times = TierTimes()
-
-        # Memory side: c path accesses (real hits first, then padding).
-        if plan.hits:
-            self._serve_hits(plan.hits, mem_times)
-        for _ in range(plan.dummy_hits):
-            mem_times.add(self.cache.dummy_access())
-        self.metrics.dummy_hits += plan.dummy_hits
-        self.metrics.scheduled_hits += c
-
-        # I/O side: exactly one storage load.
-        if plan.miss is not None:
-            payload, times = self.storage.fetch(plan.miss.addr)
-            io_times.add(times)
-            self.cache.insert(plan.miss.addr, payload)
-            plan.miss.state = EntryState.READY
-        else:
-            exhausted_before = self.storage.dummy_pool_exhausted
-            addr, payload, times = self.storage.dummy_fetch()
-            io_times.add(times)
-            self.metrics.dummy_misses += 1
-            if self.storage.dummy_pool_exhausted != exhausted_before:
-                self.metrics.extra["dummy_pool_exhausted"] = (
-                    self.metrics.extra.get("dummy_pool_exhausted", 0) + 1
-                )
-            if addr is not None:
-                self.cache.insert(addr, payload)
-                self.metrics.prefetched_hits += 1
-        self.metrics.scheduled_misses += 1
-
-        # Advance simulated time: overlapped or serial composition.
-        if self.config.overlap_io:
-            start = self.hierarchy.clock.now_us
-            mem_done = self.hierarchy.memory_channel.submit(start, mem_times.mem_us)
-            io_done = self.hierarchy.io_channel.submit(start, io_times.io_us)
-            self.hierarchy.clock.advance_to(max(mem_done, io_done))
-        else:
-            self.hierarchy.clock.advance(mem_times.mem_us + io_times.io_us)
-
-        self.metrics.cycles += 1
-        self.metrics.record_stash(len(self.cache.stash))
-        self.metrics.tree_real_blocks_peak = max(
-            self.metrics.tree_real_blocks_peak, self.cache.real_blocks
-        )
-        self._cycle_index += 1
-        self.hierarchy.mark("cycle-end")
-
-        # Period bookkeeping: every cycle performs one I/O load.
-        self._loads_this_period += 1
-        if self._loads_this_period >= self.period_capacity:
-            self._run_shuffle_period()
-
-        return self.rob.retire()
-
-    def drain(self) -> list[RobEntry]:
-        """Run cycles until every submitted request has retired."""
-        retired: list[RobEntry] = []
-        while self.rob.has_work():
-            retired.extend(self.step())
-        retired.extend(self.rob.retire())
-        return retired
-
-    def has_work(self) -> bool:
-        """Whether any submitted request has not yet been served."""
-        return self.rob.has_work()
-
-    def retire(self) -> list[RobEntry]:
-        """Pop served entries waiting at the ROB head (in program order)."""
-        return self.rob.retire()
-
-    # -------------------------------------------------------- synchronous API
-    def read(self, addr: int) -> bytes:
-        entry = self.submit(Request.read(addr))
-        self.drain()
-        assert entry.result is not None
-        return entry.result
-
-    def write(self, addr: int, data: bytes) -> None:
-        self.submit(Request.write(addr, data))
-        self.drain()
-
-    def force_shuffle(self) -> None:
-        """End the current period immediately (maintenance hook)."""
-        self._run_shuffle_period()
-
-    def close(self) -> None:
-        """Release durable storage backings (flush + unmap); idempotent."""
-        self.hierarchy.close()
-
-    # ------------------------------------------------------------ checkpoint
-    def snapshot(self):
-        """Full-stack checkpoint (see :mod:`repro.core.checkpoint`)."""
-        from repro.core.checkpoint import snapshot_stack
-
-        return snapshot_stack(self)
-
-    def state_dict(self) -> "tuple[dict, dict[str, bytes]]":
-        """(JSON-able state, binary blobs) capturing every mutable bit.
-
-        Restoring this state into a freshly built instance with the same
-        config and hierarchy geometry makes it bit-identical -- results,
-        logs, metrics, timing, randomness -- to the snapshotted one, from
-        this point forward.
-        """
-        from repro.core.checkpoint import _hierarchy_state
-
-        state, blobs = _hierarchy_state(self.hierarchy)
-        state.update(
-            codec_nonce=self.codec._nonce_counter,
-            rng=self.rng.state_dict(),
-            cache=self.cache.state_dict(),
-            storage=self.storage.state_dict(),
-            rob=self.rob.state_dict(),
-            scheduler_cycles_planned=self.scheduler.cycles_planned,
-            metrics=self.metrics.to_dict(),
-            cycle_index=self._cycle_index,
-            loads_this_period=self._loads_this_period,
-            period_index=self._period_index,
-            served_log=[list(item) for item in self.served_log],
-            latency_log=list(self.latency_log),
-        )
-        return state, blobs
-
-    def load_state(self, state: dict, blobs: "dict[str, bytes]") -> None:
-        """Overwrite this instance's mutable state with a checkpoint's."""
-        from repro.core.checkpoint import _load_hierarchy_state
-
-        _load_hierarchy_state(self.hierarchy, state, blobs)
-        self.codec._nonce_counter = state["codec_nonce"]
-        self.rng.load_state(state["rng"])
-        self.cache.load_state(state["cache"])
-        self.storage.load_state(state["storage"])
-        self.rob.load_state(state["rob"])
-        self.scheduler.cycles_planned = state["scheduler_cycles_planned"]
-        self.metrics = Metrics.from_dict(state["metrics"])
-        self._cycle_index = state["cycle_index"]
-        self._loads_this_period = state["loads_this_period"]
-        self._period_index = state["period_index"]
-        self.served_log[:] = [tuple(item) for item in state["served_log"]]
-        self.latency_log[:] = state["latency_log"]
-
-    def latency_percentiles(self, quantiles=(50, 90, 99)) -> dict[int, float]:
-        """Service-latency percentiles in scheduler cycles.
-
-        Queueing latency shows where the fixed-shape pipeline makes
-        requests wait: misses take at least one extra cycle (load, then
-        serve), and ROB backlog adds more under bursts.
-        """
-        if not self.latency_log:
-            return {int(q): 0.0 for q in quantiles}
-        return {int(q): percentile(self.latency_log, q) for q in quantiles}
-
-    # ------------------------------------------------------------- internals
-    def _is_cached(self, addr: int) -> bool:
+    def is_cached(self, addr: int) -> bool:
         return self.cache.contains(addr)
 
-    def _serve_hits(self, entries: list[RobEntry], times: TierTimes) -> None:
-        """Serve a cycle's hit group with batched bookkeeping.
+    def serve_hits(self, items) -> "tuple[list[bytes], TierTimes]":
+        return self.cache.access_many(items)
 
-        The in-memory path accesses themselves are untouched (one per
-        entry, same order); the per-entry metric increments and log
-        appends are folded into one pass over the group.
-        """
-        write = OpKind.WRITE
-        served = EntryState.SERVED
-        cycle = self._cycle_index
-        items = []
-        writes = 0
-        for entry in entries:
-            request = entry.request
-            if request.op is write:
-                items.append((request.op, entry.addr, request.data))
-                writes += 1
-            else:
-                items.append((request.op, entry.addr, None))
-        payloads, batch_times = self.cache.access_many(items)
-        times.add(batch_times)
-        latency_log = self.latency_log
-        served_log = self.served_log
-        for entry, payload in zip(entries, payloads):
-            entry.result = payload
-            entry.state = served
-            entry.served_cycle = cycle
-            latency_log.append(entry.latency_cycles)
-            served_log.append((entry.addr, cycle))
-        self.metrics.requests_served += len(entries)
-        self.metrics.read_requests += len(entries) - writes
-        self.metrics.write_requests += writes
+    def dummy_hit(self) -> TierTimes:
+        return self.cache.dummy_access()
 
-    def _run_shuffle_period(self) -> None:
-        """Evict + group/partition shuffle + fresh period (Section 4.3)."""
-        self.hierarchy.mark("shuffle-start")
-        start_us = self.hierarchy.clock.now_us
-        io_before = self.hierarchy.storage.snapshot()
-        mem_before = self.hierarchy.memory.snapshot()
+    def fetch_path(self, addr: int) -> TierTimes:
+        payload, times = self.storage.fetch(addr)
+        self.cache.insert(addr, payload)
+        return times
 
+    def dummy_fetch_path(self) -> DummyLoad:
+        exhausted_before = self.storage.dummy_pool_exhausted
+        addr, payload, times = self.storage.dummy_fetch()
+        prefetched = addr is not None
+        if prefetched:
+            self.cache.insert(addr, payload)
+        return DummyLoad(
+            times=times,
+            prefetched=prefetched,
+            pool_exhausted=self.storage.dummy_pool_exhausted != exhausted_before,
+        )
+
+    def run_shuffle_period(self) -> ShuffleReport:
+        """Evict + group/partition shuffle (Section 4.3)."""
         evicted, evict_times, _moves = self.cache.evict_all()
         stats = self.storage.shuffle_into(evicted, self._period_index)
-
-        # The shuffle period is serial: the storage waits for it.
-        total_us = evict_times.serial_us + stats.times.serial_us
-        self.hierarchy.clock.advance(total_us)
-        # Keep the overlap channels from "catching up" during the pause.
-        self.hierarchy.memory_channel.busy_until_us = self.hierarchy.clock.now_us
-        self.hierarchy.io_channel.busy_until_us = self.hierarchy.clock.now_us
-
-        io_delta = self.hierarchy.storage.snapshot().delta(io_before)
-        mem_delta = self.hierarchy.memory.snapshot().delta(mem_before)
-        self.metrics.shuffle_count += 1
-        self.metrics.shuffle_time_us += self.hierarchy.clock.now_us - start_us
-        self.metrics.evict_time_us += evict_times.serial_us
-        self.metrics.shuffle_bytes_read += io_delta.bytes_read
-        self.metrics.shuffle_bytes_written += io_delta.bytes_written
-        self.metrics.shuffle_io_reads += io_delta.reads
-        self.metrics.shuffle_io_writes += io_delta.writes
-        self.metrics.shuffle_io_time_us += io_delta.busy_us
-        # The in-memory shuffle moves are charged to durations, not to the
-        # memory store's counters; account the store part plus move time.
-        self.metrics.shuffle_mem_time_us += evict_times.mem_us + stats.times.mem_us
-        self.metrics.extra["partitions_shuffled"] = (
-            self.metrics.extra.get("partitions_shuffled", 0) + stats.partitions_shuffled
-        )
-        self.metrics.extra["blocks_appended"] = (
-            self.metrics.extra.get("blocks_appended", 0) + stats.blocks_appended
+        return ShuffleReport(
+            advance_us=evict_times.serial_us + stats.times.serial_us,
+            evict_us=evict_times.serial_us,
+            mem_time_us=evict_times.mem_us + stats.times.mem_us,
+            extra={
+                "partitions_shuffled": stats.partitions_shuffled,
+                "blocks_appended": stats.blocks_appended,
+            },
         )
 
-        # Requests whose block was loaded but not yet serviced lost their
-        # cached copy to the eviction; they re-enter as pending misses.
-        demoted = self.rob.demote_ready()
-        if demoted:
-            self.metrics.extra["ready_demotions"] = (
-                self.metrics.extra.get("ready_demotions", 0) + demoted
-            )
-
+    def end_shuffle_period(self) -> None:
         self.storage.end_period()
-        self._loads_this_period = 0
-        self._period_index += 1
-        self.hierarchy.mark("shuffle-end")
+
+    def stash_size(self) -> int:
+        return len(self.cache.stash)
+
+    def cached_real_blocks(self) -> int:
+        return self.cache.real_blocks
+
+    def backend_state_dict(self) -> dict:
+        return {
+            "cache": self.cache.state_dict(),
+            "storage": self.storage.state_dict(),
+        }
+
+    def load_backend_state(self, state: dict) -> None:
+        self.cache.load_state(state["cache"])
+        self.storage.load_state(state["storage"])
+
+    # kept for callers that predate the kernel's public hook name
+    def _is_cached(self, addr: int) -> bool:
+        return self.is_cached(addr)
 
 
 def build_horam(

@@ -454,6 +454,7 @@ def build_sharded_horam(
     mp_context=None,
     storage_backend: str = "memory",
     storage_dir=None,
+    protocol: str = "horam",
     **config_kwargs,
 ) -> ShardedHORAM:
     """Factory mirroring :func:`~repro.core.horam.build_horam`.
@@ -465,12 +466,25 @@ def build_sharded_horam(
     fleet inside dedicated worker processes (one per shard); the derived
     seeds and the striped ``initial_addr_map`` travel in the build specs,
     so the parallel fleet replays bit-identically to the serial one.
+
+    ``protocol`` picks what runs inside each shard: any registered
+    :class:`~repro.core.kernel.EngineKernel` protocol (see
+    :func:`repro.oram.factory.shard_protocol_names`) stripes the same
+    way H-ORAM does, because the coordinator only speaks the kernel's
+    submit/step/drain surface.
     """
+    from repro.oram.factory import shard_builder, shard_protocol_names
+
     if n_shards < 1:
         raise ValueError("n_shards must be >= 1")
     if executor not in EXECUTORS:
         raise ValueError(
             f"unknown executor {executor!r} (valid: {', '.join(EXECUTORS)})"
+        )
+    if protocol not in shard_protocol_names():
+        raise ValueError(
+            f"unknown shard protocol {protocol!r} "
+            f"(valid: {', '.join(shard_protocol_names())})"
         )
     counts = shard_block_counts(n_blocks, n_shards)
     if min(counts) <= 0:
@@ -528,6 +542,7 @@ def build_sharded_horam(
                 config_kwargs=dict(config_kwargs),
                 storage_backend=storage_backend,
                 storage_path=shard_path(index),
+                protocol=protocol,
             )
             for index in range(n_shards)
         ]
@@ -536,10 +551,11 @@ def build_sharded_horam(
             n_blocks=n_blocks, config=template, lockstep=lockstep, executor=runtime
         )
 
+    builder = shard_builder(protocol)
     shards: list[HybridORAM] = []
     for index in range(n_shards):
         shards.append(
-            build_horam(
+            builder(
                 n_blocks=counts[index],
                 mem_tree_blocks=mem_per_shard,
                 payload_bytes=payload_bytes,

@@ -61,6 +61,7 @@ def _spec(
     supervised: bool = False,
     checkpoint_every_ops: int = 64,
     max_restarts: int = 2,
+    shard_protocol: str = "horam",
 ) -> ScenarioSpec:
     return ScenarioSpec(
         name=name,
@@ -73,6 +74,7 @@ def _spec(
             device=device,
             seed=seed,
             executor=executor,
+            shard_protocol=shard_protocol,
             storage_backend=storage_backend,
             supervised=supervised,
             checkpoint_every_ops=checkpoint_every_ops,
@@ -117,6 +119,33 @@ def default_matrix(scale: str = "quick") -> list[ScenarioSpec]:
         _spec("sqrt-hotspot-hdd", "sqrt", "hotspot", 150 * m, n_blocks=256, mem_blocks=64),
         _spec("partition-uniform-hdd", "partition", "uniform", 150 * m, n_blocks=256, mem_blocks=64),
         _spec("plain-mix-hdd", "plain", "mix", 200 * m, n_blocks=256, mem_blocks=64, write_ratio=0.0),
+        # -- the engine-kernel protocols (same kernel, different backends)
+        _spec("succinct-hotspot-hdd", "succinct", "hotspot", 220 * m, n_blocks=256, mem_blocks=64),
+        _spec("succinct-uniform-ssd", "succinct", "uniform", 200 * m, n_blocks=256, mem_blocks=64, device="ssd-sata"),
+        _spec("bios-hotspot-hdd", "bios", "hotspot", 220 * m, n_blocks=256, mem_blocks=64),
+        _spec("bios-mix-ssd", "bios", "mix", 200 * m, n_blocks=256, mem_blocks=64, write_ratio=0.0, device="ssd-sata"),
+        _spec(
+            "sharded2-succinct-hotspot-hdd", "sharded", "hotspot", 240 * m,
+            n_blocks=1024, n_shards=2, shard_protocol="succinct",
+        ),
+        _spec(
+            "sharded2-bios-uniform-hdd", "sharded", "uniform", 240 * m,
+            n_blocks=1024, n_shards=2, shard_protocol="bios",
+        ),
+        _spec(
+            "sharded2-parallel-succinct-hdd", "sharded", "hotspot", 220 * m,
+            n_blocks=1024, n_shards=2, executor="parallel", shard_protocol="succinct",
+        ),
+        _spec(
+            "succinct-crash-restore-hdd", "succinct", "hotspot", 220 * m,
+            n_blocks=256, mem_blocks=64,
+            crash=CrashSpec(snapshot_at=80, crash_at_op=30),
+        ),
+        _spec(
+            "bios-crash-restore-hdd", "bios", "hotspot", 220 * m,
+            n_blocks=256, mem_blocks=64,
+            crash=CrashSpec(snapshot_at=80, crash_at_op=30),
+        ),
         # -- the sharded fleet at every supported width
         _spec("sharded1-hotspot-hdd", "sharded", "hotspot", 260 * m, n_shards=1),
         _spec("sharded2-zipf-hdd", "sharded", "zipfian", 300 * m, n_blocks=1024, n_shards=2),

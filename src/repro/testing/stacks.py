@@ -51,6 +51,10 @@ class StackSpec:
     lockstep: bool = True
     #: shard runtime: "serial" (in-process) or "parallel" (process per shard).
     executor: str = "serial"
+    #: what runs inside each shard ("sharded" stacks only): any
+    #: registered EngineKernel protocol (see
+    #: :func:`repro.oram.factory.shard_protocol_names`).
+    shard_protocol: str = "horam"
     #: storage-tier backing: "memory" (volatile) or "file" (a durable
     #: slab in a scenario-owned temporary directory).
     storage_backend: str = "memory"
@@ -80,6 +84,16 @@ class StackSpec:
             )
         if self.executor == "parallel" and self.protocol != "sharded":
             raise ValueError("the parallel executor runs sharded stacks only")
+        if self.shard_protocol != "horam":
+            from repro.oram.factory import shard_protocol_names
+
+            if self.protocol != "sharded":
+                raise ValueError("shard_protocol applies to sharded stacks only")
+            if self.shard_protocol not in shard_protocol_names():
+                raise ValueError(
+                    f"unknown shard protocol {self.shard_protocol!r} "
+                    f"(valid: {', '.join(shard_protocol_names())})"
+                )
         if self.storage_backend not in ("memory", "file"):
             raise ValueError(
                 f"unknown storage backend {self.storage_backend!r} "
@@ -95,6 +109,8 @@ class StackSpec:
     def label(self) -> str:
         name = self.protocol
         if self.protocol == "sharded":
+            if self.shard_protocol != "horam":
+                name += f"[{self.shard_protocol}]"
             name += f"x{self.n_shards}"
         if self.executor == "parallel":
             name += "-par"
@@ -209,6 +225,7 @@ def build_stack(spec: StackSpec) -> BuiltStack:
                 executor=spec.executor,
                 storage_backend=spec.storage_backend,
                 storage_dir=storage_dir,
+                protocol=spec.shard_protocol,
             )
             if spec.executor == "parallel" or spec.supervised:
                 stores = []  # reach them via install_faults

@@ -31,11 +31,18 @@ STACKS = [
     ("sharded", {"n_shards": 2, "executor": "serial"}),
     ("sharded", {"n_shards": 4, "executor": "serial"}),
     ("sharded", {"n_shards": 2, "executor": "parallel"}),
+    ("sharded", {"n_shards": 2, "executor": "serial", "protocol": "succinct"}),
+    ("sharded", {"n_shards": 2, "executor": "serial", "protocol": "bios"}),
     ("path", {}),
     ("plain", {}),
     ("sqrt", {}),
     ("partition", {}),
+    ("succinct", {}),
+    ("bios", {}),
 ]
+
+#: baselines that take a memory budget (mirrors factory._NEEDS_MEMORY).
+_MEMORY_BASELINES = ("path", "succinct", "bios")
 
 
 def build(kind, options, seed):
@@ -45,7 +52,7 @@ def build(kind, options, seed):
         return build_sharded_horam(
             n_blocks=256, mem_tree_blocks=64, seed=seed, **options
         )
-    kwargs = {"memory_blocks": 32} if kind == "path" else {}
+    kwargs = {"memory_blocks": 32} if kind in _MEMORY_BASELINES else {}
     return build_baseline(kind, 128, seed=seed, **kwargs)
 
 

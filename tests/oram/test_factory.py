@@ -4,10 +4,17 @@ import pytest
 
 from repro.core.horam import build_horam
 from repro.oram.factory import (
+    BASELINES,
+    baseline_names,
+    build_baseline,
+    build_bios,
     build_partition,
     build_path_oram,
     build_plain,
     build_square_root,
+    build_succinct_hier,
+    shard_builder,
+    shard_protocol_names,
 )
 from repro.storage.device import hdd_realistic, ssd_sata
 
@@ -83,3 +90,49 @@ class TestTraceFlag:
         oram = build_plain(n_blocks=64, trace=True)
         oram.read(1)
         assert len(oram.hierarchy.trace) == 1
+
+
+class TestRegistry:
+    def test_baseline_names_sorted_and_complete(self):
+        assert baseline_names() == sorted(BASELINES)
+        for name in ("path", "sqrt", "partition", "plain", "succinct", "bios"):
+            assert name in baseline_names()
+
+    def test_unknown_baseline_enumerates_valid_names(self):
+        with pytest.raises(ValueError) as excinfo:
+            build_baseline("nope", 64)
+        message = str(excinfo.value)
+        assert "unknown baseline 'nope'" in message
+        for name in baseline_names():
+            assert name in message
+
+    def test_memory_baselines_demand_a_budget(self):
+        for name in ("path", "succinct", "bios"):
+            with pytest.raises(ValueError, match="needs memory_blocks"):
+                build_baseline(name, 64)
+
+    def test_shard_protocol_names(self):
+        assert shard_protocol_names() == sorted(["horam", "succinct", "bios"])
+
+    def test_unknown_shard_protocol_enumerates_valid_names(self):
+        with pytest.raises(ValueError, match="unknown shard protocol"):
+            shard_builder("nope")
+
+    def test_kernel_geometry_sized_exactly(self):
+        succinct = build_succinct_hier(n_blocks=256, memory_blocks=64)
+        assert (
+            succinct.hierarchy.storage.slots
+            >= type(succinct).required_storage_slots(succinct.config)
+        )
+        bios = build_bios(n_blocks=256, memory_blocks=64)
+        assert (
+            bios.hierarchy.storage.slots
+            >= type(bios).required_storage_slots(bios.config)
+        )
+
+    def test_shard_builder_matches_direct_build(self):
+        via_factory = shard_builder("succinct")(
+            n_blocks=128, mem_tree_blocks=32, seed=3
+        )
+        direct = build_succinct_hier(n_blocks=128, memory_blocks=32, seed=3)
+        assert via_factory.read(5) == direct.read(5)
