@@ -1,0 +1,124 @@
+"""Serving benchmark: open-loop SLO percentiles over the network front door.
+
+Drives the asyncio :class:`~repro.serve.ORAMServer` with the open-loop
+load generator at every (arrival process, tenant count) cell -- Poisson
+and diurnal arrivals, each at two tenant counts -- and reports:
+
+* wall-clock **p50/p99/p999** arrival-to-response latency per cell, with
+  an advisory SLO verdict against fixed targets,
+* a **twin fidelity** cross-check: each cell's served bytes are replayed
+  one-at-a-time through a fresh identical stack (the direct-submit twin)
+  and must match per sequence number.
+
+Any twin divergence, unserved journal entry, or transport error exits
+non-zero, which is what the CI serving job gates on.  SLO misses are
+reported, not gated: wall-clock latency on shared CI hosts is advisory.
+
+The result is persisted to ``BENCH_serving.json`` at the repo root,
+mirroring the other ``BENCH_*.json`` artifacts.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py           # full run + JSON
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke   # tiny CI sanity run
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - convenience for direct invocation
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench.experiments import serving
+
+FULL_SCALE = "medium"
+SMOKE_SCALE = "quick"
+
+#: every cell must carry the SLO percentile fields; CI fails without them.
+REQUIRED_SLO_KEYS = ("p50", "p99", "p999")
+
+
+def missing_slo_fields(data: dict) -> list[str]:
+    """Cells whose report lacks a percentile or SLO verdict field."""
+    problems = []
+    for name, cell in data.get("cells", {}).items():
+        percentiles = cell.get("percentiles_ms", {})
+        slo = cell.get("slo", {})
+        for key in REQUIRED_SLO_KEYS:
+            if key not in percentiles:
+                problems.append(f"{name}: percentiles_ms.{key}")
+            if key not in slo.get("measured", {}):
+                problems.append(f"{name}: slo.measured.{key}")
+        if "met" not in slo:
+            problems.append(f"{name}: slo.met")
+    return problems
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="quick-scale CI run (still gates on twin fidelity + SLO fields)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="result JSON path (default: BENCH_serving.json at the repo root)",
+    )
+    args = parser.parse_args()
+
+    scale = SMOKE_SCALE if args.smoke else FULL_SCALE
+    started = time.perf_counter()
+    result = serving(scale=scale)
+    elapsed = time.perf_counter() - started
+    print(result.render())
+    print(f"\n[serving completed in {elapsed:.1f} s wall-clock]")
+
+    report = {
+        "benchmark": "serving",
+        "mode": "smoke" if args.smoke else "full",
+        "scale": scale,
+        "ok": result.ok,
+        "data": result.data,
+        "machine": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpus": os.cpu_count(),
+        },
+        "wall_seconds": elapsed,
+    }
+    out = args.out or (REPO_ROOT / "BENCH_serving.json")
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    problems = missing_slo_fields(result.data)
+    if problems:
+        print(
+            "SERVING FAILURE: SLO fields missing: " + ", ".join(problems),
+            file=sys.stderr,
+        )
+        return 1
+    if not result.ok:
+        print(
+            "SERVING FAILURE: served stream diverged from the direct-submit twin",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

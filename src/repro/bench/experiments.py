@@ -1381,6 +1381,156 @@ def protocols(scale: str = "quick") -> ExperimentResult:
     )
 
 
+def serving(scale: str = "quick") -> ExperimentResult:
+    """Online serving front door: SLO percentiles + twin fidelity.
+
+    Drives the asyncio :class:`~repro.serve.ORAMServer` over an
+    in-process socketpair with the open-loop load generator at every
+    (arrival process, tenant count) cell -- Poisson and diurnal
+    arrivals, each at two tenant counts -- and reports wall-clock
+    p50/p99/p999 per cell.  Every cell's served bytes are then replayed
+    one-at-a-time through a fresh identical stack (the direct-submit
+    twin); any divergence, unserved journal entry, or transport error
+    flips ``ok`` False, which ``benchmarks/bench_serving.py`` and the
+    CI serving job exit non-zero on.  SLO misses are reported, not
+    gated: wall-clock latency on shared CI hosts is advisory.
+    """
+    import asyncio
+    import socket as socket_mod
+
+    from repro.serve import (
+        LoadSpec,
+        ORAMServer,
+        ServeClient,
+        ServeConfig,
+        diff_served,
+        generate_load,
+        replay_direct,
+        run_load,
+        tenants_used,
+    )
+
+    params = {
+        "quick": (512, 128, 150.0, 0.4, 50.0),
+        "medium": (1024, 256, 300.0, 1.0, 25.0),
+        "full": (2048, 512, 400.0, 2.0, 10.0),
+    }
+    try:
+        n_blocks, mem_blocks, rate, duration, time_scale = params[scale]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale '{scale}' (choose from {sorted(params)})"
+        ) from None
+    slo_targets_ms = {"p50_ms": 250.0, "p99_ms": 1000.0, "p999_ms": 2000.0}
+    arrivals = ("poisson", "diurnal")
+    tenant_counts = (1, 3)
+
+    def make_stack(seed):
+        return build_horam(n_blocks=n_blocks, mem_tree_blocks=mem_blocks, seed=seed)
+
+    async def serve_cell(spec, seed):
+        stack = make_stack(seed)
+        # The load generator is open-loop (no client-side throttle), so
+        # give admission control headroom: this experiment prices
+        # latency, not the overload path (tests cover that).
+        server = ORAMServer(stack, ServeConfig(max_inflight=4096))
+        server_end, client_end = socket_mod.socketpair()
+        await server.attach(server_end)
+        client = await ServeClient.from_socket(client_end)
+        try:
+            for tenant in tenants_used(spec):
+                server.add_tenant(tenant)
+            report = await run_load(client, spec, time_scale=time_scale)
+        finally:
+            await client.close()
+            await server.close()
+        return server, report
+
+    rows = []
+    data: dict = {
+        "scale": scale,
+        "arrivals": list(arrivals),
+        "tenant_counts": list(tenant_counts),
+        "slo_targets_ms": slo_targets_ms,
+        "cells": {},
+    }
+    ok = True
+    for arrival in arrivals:
+        for tenants in tenant_counts:
+            spec = LoadSpec(
+                arrival=arrival,
+                rate_per_s=rate,
+                duration_s=duration,
+                tenants=tenants,
+                n_blocks=n_blocks,
+                write_ratio=0.25,
+                seed=17 + tenants,
+            )
+            seed = 23 + tenants
+            server, report = asyncio.run(serve_cell(spec, seed))
+            twin = replay_direct(server.journal, make_stack(seed))
+            diff = diff_served(server.journal, server.served_by_seq, twin)
+            cell_ok = (
+                diff.identical
+                and not diff.unserved
+                and diff.compared == len(server.journal)
+                and report.errored == 0
+            )
+            ok = ok and cell_ok
+            percentiles = report.percentiles()
+            slo = report.slo(**slo_targets_ms)
+            throughput = (
+                report.served / report.wall_seconds if report.wall_seconds else 0.0
+            )
+            name = f"{arrival}/t{tenants}"
+            rows.append(
+                [
+                    arrival,
+                    tenants,
+                    report.offered,
+                    report.served,
+                    sum(report.rejected.values()),
+                    f"{percentiles['p50']:.1f} ms",
+                    f"{percentiles['p99']:.1f} ms",
+                    f"{percentiles['p999']:.1f} ms",
+                    "identical" if cell_ok else "DIVERGED",
+                ]
+            )
+            data["cells"][name] = {
+                "spec": spec.to_dict(),
+                "offered": report.offered,
+                "served": report.served,
+                "rejected": dict(report.rejected),
+                "errored": report.errored,
+                "percentiles_ms": percentiles,
+                "slo": slo,
+                "twin": diff.to_dict(),
+                "twin_identical": cell_ok,
+                "throughput_rps": throughput,
+                "wall_seconds": report.wall_seconds,
+            }
+    return ExperimentResult(
+        experiment_id="serving",
+        title="Serving front door: open-loop SLO percentiles, twin-checked",
+        headers=[
+            "arrival", "tenants", "offered", "served", "rejected",
+            "p50", "p99", "p999", "twin",
+        ],
+        rows=rows,
+        notes=[
+            f"scale '{scale}': {rate:.0f} req/s offered for {duration} s "
+            f"(time compressed {time_scale:.0f}x), {n_blocks}-block H-ORAM, "
+            "25% writes, served over an in-process socketpair",
+            "twin = the same journal replayed one-at-a-time through a fresh "
+            "identical stack; served bytes must match per sequence number",
+            "percentiles are wall-clock arrival-to-response; SLO verdicts "
+            "are advisory (host-dependent), divergence is the gate",
+        ],
+        data=data,
+        ok=ok,
+    )
+
+
 EXPERIMENTS = {
     "table5_1": table5_1,
     "figure5_1": figure5_1,
@@ -1401,6 +1551,7 @@ EXPERIMENTS = {
     "durability": durability,
     "resilience": resilience,
     "protocols": protocols,
+    "serving": serving,
 }
 
 

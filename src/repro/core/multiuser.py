@@ -35,6 +35,23 @@ class AccessDenied(ORAMError):
     """The user's ACL does not cover the requested address."""
 
 
+class UnknownUserError(ORAMError):
+    """A request or stats lookup named a user that was never registered.
+
+    Typed (rather than a bare ``KeyError``/``ValueError``) so serving
+    layers can map it to a clean client-error rejection; carries the
+    offending user id and the registered set for the error payload.
+    """
+
+    def __init__(self, user: int, registered: "list[int]"):
+        super().__init__(
+            f"user {user} is not registered "
+            f"(registered users: {sorted(registered)})"
+        )
+        self.user = user
+        self.registered = sorted(registered)
+
+
 @dataclass
 class UserStats:
     """Per-user service accounting.
@@ -177,7 +194,7 @@ class MultiUserFrontEnd:
         try:
             return self._users[user]
         except KeyError:
-            raise ValueError(f"user {user} is not registered") from None
+            raise UnknownUserError(user, list(self._users)) from None
 
     def _has_queued(self) -> bool:
         return any(entry.queue for entry in self._users.values())

@@ -189,10 +189,21 @@ class ShardedHORAM(ORAMProtocol):
 
     @property
     def metrics(self) -> Metrics:
-        """Cross-shard aggregate (sums; peaks take the max)."""
+        """Cross-shard aggregate (sums; peaks take the max).
+
+        Fenced shards are skipped: a fenced parallel worker's mirror stops
+        updating when the supervisor gives up on it, so folding it in would
+        silently mix dead, stale counters into the live aggregate.  When
+        any shard is fenced the aggregate says so via
+        ``extra["fenced_shards"]``.
+        """
         merged = Metrics()
-        for shard in self.shards:
+        for index, shard in enumerate(self.shards):
+            if index in self.fenced:
+                continue
             merged = merged.merge(shard.metrics)
+        if self.fenced:
+            merged.extra["fenced_shards"] = sorted(self.fenced)
         return merged
 
     @property
@@ -312,27 +323,42 @@ class ShardedHORAM(ORAMProtocol):
         return [shard.metrics.copy() for shard in self.shards]
 
     def latency_percentiles(self, quantiles=(50, 90, 99)) -> dict[int, float]:
+        """Fleet-wide latency percentiles over live (non-fenced) shards.
+
+        A fenced shard's latency log is a dead mirror frozen at the moment
+        supervision gave up on it; merging it would skew the live
+        distribution with stale samples.
+        """
         merged: list[int] = []
-        for shard in self.shards:
+        for index, shard in enumerate(self.shards):
+            if index in self.fenced:
+                continue
             merged.extend(shard.latency_log)
         if not merged:
             return {int(q): 0.0 for q in quantiles}
         return {int(q): percentile(merged, q) for q in quantiles}
 
     def load_balance(self) -> dict:
-        """How evenly real work spread across the fleet.
+        """How evenly real work spread across the live fleet.
 
         ``imbalance`` is max/mean of per-shard served requests (1.0 =
         perfectly even); ``cycle_spread`` the same for scheduler cycles.
+        Fenced shards are excluded from the per-shard lists and the
+        ratios (their mirrors are stale) and reported in
+        ``fenced_shards``; ``shards`` lists the live indexes the
+        positional lists describe.
         """
-        served = [shard.metrics.requests_served for shard in self.shards]
-        cycles = [shard.metrics.cycles for shard in self.shards]
-        mean_served = sum(served) / len(served)
-        mean_cycles = sum(cycles) / len(cycles)
+        live = [index for index in range(self.n_shards) if index not in self.fenced]
+        served = [self.shards[i].metrics.requests_served for i in live]
+        cycles = [self.shards[i].metrics.cycles for i in live]
+        mean_served = (sum(served) / len(served)) if served else 0.0
+        mean_cycles = (sum(cycles) / len(cycles)) if cycles else 0.0
         return {
+            "shards": live,
+            "fenced_shards": sorted(self.fenced),
             "per_shard_served": served,
             "per_shard_cycles": cycles,
-            "per_shard_clock_us": [s.hierarchy.clock.now_us for s in self.shards],
+            "per_shard_clock_us": [self.shards[i].hierarchy.clock.now_us for i in live],
             "imbalance": (max(served) / mean_served) if mean_served else 1.0,
             "cycle_spread": (max(cycles) / mean_cycles) if mean_cycles else 1.0,
         }

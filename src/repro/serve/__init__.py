@@ -1,0 +1,58 @@
+"""Online serving front door: asyncio service, client, twin, load gen."""
+
+from repro.serve.client import ClientClosed, ServeClient
+from repro.serve.loadgen import (
+    LoadReport,
+    LoadSpec,
+    TimedRequest,
+    generate_load,
+    run_load,
+    tenants_used,
+)
+from repro.serve.protocol import (
+    ERROR_CODES,
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    encode_frame,
+    read_frame,
+)
+from repro.serve.server import (
+    JournalRecord,
+    ORAMServer,
+    Overloaded,
+    QuotaExhausted,
+    RateLimited,
+    ServeConfig,
+    ServeRejection,
+    ServeUnavailable,
+    TenantPolicy,
+)
+from repro.serve.twin import TwinDiff, diff_served, replay_direct
+
+__all__ = [
+    "ClientClosed",
+    "ServeClient",
+    "LoadReport",
+    "LoadSpec",
+    "TimedRequest",
+    "generate_load",
+    "run_load",
+    "tenants_used",
+    "ERROR_CODES",
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "encode_frame",
+    "read_frame",
+    "JournalRecord",
+    "ORAMServer",
+    "Overloaded",
+    "QuotaExhausted",
+    "RateLimited",
+    "ServeConfig",
+    "ServeRejection",
+    "ServeUnavailable",
+    "TenantPolicy",
+    "TwinDiff",
+    "diff_served",
+    "replay_direct",
+]

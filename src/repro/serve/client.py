@@ -1,0 +1,134 @@
+"""Asyncio client for the serving front door.
+
+:class:`ServeClient` speaks the length-prefixed JSON protocol with full
+pipelining: a background reader task dispatches response frames back to
+their callers by ``id``, so any number of requests can be in flight on
+one connection.  Two call styles:
+
+* awaitable -- :meth:`read` / :meth:`write` / :meth:`health` /
+  :meth:`metrics` send one frame and await its response; convenient for
+  tests and examples.
+* open-loop -- :meth:`send` returns the response future without
+  awaiting it, which is what the load generator needs: arrivals must
+  not be gated on completions.
+
+Server-side rejections come back as ``ok: false`` response dicts, not
+exceptions: an open-loop client measuring SLOs treats a rejection as an
+outcome, not an error.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+
+from repro.serve.protocol import encode_frame, read_frame, to_hex
+
+
+class ClientClosed(ConnectionError):
+    """The connection died with requests still awaiting responses."""
+
+
+class ServeClient:
+    """One pipelined connection to an :class:`~repro.serve.server.ORAMServer`."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+        self._ids = itertools.count()
+        self._waiting: dict[int, asyncio.Future] = {}
+        self._reader_task = asyncio.get_running_loop().create_task(self._read_loop())
+        self._closed = False
+
+    # ---------------------------------------------------------- constructors
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServeClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    @classmethod
+    async def from_socket(cls, sock) -> "ServeClient":
+        """Wrap one end of a connected socket pair (in-process tests)."""
+        reader, writer = await asyncio.open_connection(sock=sock)
+        return cls(reader, writer)
+
+    # --------------------------------------------------------------- sending
+    def send(self, message: dict) -> asyncio.Future:
+        """Fire one request frame; returns the future of its response.
+
+        Assigns the ``id`` if the caller did not.  The future resolves
+        with the response dict (``ok`` true or false) or raises
+        :class:`ClientClosed` if the connection dies first.
+        """
+        if self._closed:
+            raise ClientClosed("client is closed")
+        msg_id = message.setdefault("id", next(self._ids))
+        future = asyncio.get_running_loop().create_future()
+        self._waiting[msg_id] = future
+        self._writer.write(encode_frame(message))
+        return future
+
+    async def request(self, message: dict) -> dict:
+        future = self.send(message)
+        await self._writer.drain()
+        return await future
+
+    async def read(self, addr: int, tenant: int) -> dict:
+        return await self.request({"op": "read", "addr": addr, "tenant": tenant})
+
+    async def write(self, addr: int, data: bytes, tenant: int) -> dict:
+        return await self.request(
+            {"op": "write", "addr": addr, "data": to_hex(data), "tenant": tenant}
+        )
+
+    async def health(self) -> dict:
+        response = await self.request({"op": "health"})
+        return response["health"]
+
+    async def metrics(self) -> dict | None:
+        response = await self.request({"op": "metrics"})
+        return response["metrics"]
+
+    async def drain(self) -> None:
+        """Flush the send buffer (open-loop callers batch their writes)."""
+        await self._writer.drain()
+
+    # ------------------------------------------------------------- lifecycle
+    async def close(self) -> None:
+        self._closed = True
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+        if self._reader_task is not None:
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:  # pragma: no cover - teardown race
+                pass
+
+    async def __aenter__(self) -> "ServeClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------- internals
+    async def _read_loop(self) -> None:
+        error: Exception | None = None
+        try:
+            while True:
+                message = await read_frame(self._reader)
+                if message is None:
+                    break
+                future = self._waiting.pop(message.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(message)
+        except Exception as caught:  # noqa: BLE001 - any death fails the waiters
+            error = caught
+        for future in self._waiting.values():
+            if not future.done():
+                future.set_exception(
+                    ClientClosed(f"connection closed: {error or 'EOF'}")
+                )
+        self._waiting.clear()

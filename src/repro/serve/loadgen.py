@@ -1,0 +1,274 @@
+"""Open-loop load generator for the serving front door.
+
+Open-loop means arrivals are scheduled by an external clock, never gated
+on completions: when the server falls behind, requests pile up against
+the admission bound and the generator *measures* the resulting
+rejections and tail latencies instead of politely slowing down.  That is
+the regime the paper's hardware front door lives in, and the one where
+admission control earns its keep.
+
+Arrival processes:
+
+* ``poisson`` -- exponential inter-arrival gaps at ``rate_per_s``.
+* ``diurnal`` -- a Poisson process whose rate swings sinusoidally
+  between the base rate and ``peak_ratio`` times it over
+  ``diurnal_period_s`` (thinning construction), modelling the day/night
+  cycle compressed into seconds.
+
+On top of the arrival clock the generator models:
+
+* **tenant churn** -- the active tenant window slides every
+  ``tenant_churn_every_s``: one tenant retires, a new id joins, so the
+  server sees a changing population (``tenants_used`` lists everyone
+  who must be registered up front).
+* **bursty hotspots** -- a hot address range absorbs
+  ``hot_probability`` of the traffic and *moves* every
+  ``hotspot_move_every_s``, so no static cache placement stays right.
+
+Everything is deterministic given the seed: the same
+:class:`LoadSpec` always produces the same timed request stream, so a
+served run can be twinned and diffed (:mod:`repro.serve.twin`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import time
+from dataclasses import dataclass, field
+
+from repro.crypto.random import DeterministicRandom
+from repro.serve.protocol import to_hex
+from repro.sim.metrics import percentile
+
+
+@dataclass
+class LoadSpec:
+    """Declarative description of one open-loop load run."""
+
+    arrival: str = "poisson"  # "poisson" | "diurnal"
+    rate_per_s: float = 200.0
+    duration_s: float = 2.0
+    #: diurnal peak rate as a multiple of ``rate_per_s``.
+    peak_ratio: float = 3.0
+    diurnal_period_s: float = 1.0
+    #: size of the active tenant window.
+    tenants: int = 2
+    #: slide the active tenant window this often (None = no churn).
+    tenant_churn_every_s: float | None = None
+    n_blocks: int = 512
+    hot_fraction: float = 0.1
+    hot_probability: float = 0.8
+    #: relocate the hot range this often (None = static hotspot).
+    hotspot_move_every_s: float | None = None
+    write_ratio: float = 0.2
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.arrival not in ("poisson", "diurnal"):
+            raise ValueError(f"unknown arrival process {self.arrival!r}")
+        if self.rate_per_s <= 0 or self.duration_s <= 0:
+            raise ValueError("rate_per_s and duration_s must be positive")
+        if self.tenants < 1:
+            raise ValueError("tenants must be >= 1")
+        if self.arrival == "diurnal" and self.peak_ratio < 1:
+            raise ValueError("peak_ratio must be >= 1")
+
+    def to_dict(self) -> dict:
+        return {
+            "arrival": self.arrival,
+            "rate_per_s": self.rate_per_s,
+            "duration_s": self.duration_s,
+            "peak_ratio": self.peak_ratio,
+            "diurnal_period_s": self.diurnal_period_s,
+            "tenants": self.tenants,
+            "tenant_churn_every_s": self.tenant_churn_every_s,
+            "n_blocks": self.n_blocks,
+            "hot_fraction": self.hot_fraction,
+            "hot_probability": self.hot_probability,
+            "hotspot_move_every_s": self.hotspot_move_every_s,
+            "write_ratio": self.write_ratio,
+            "seed": self.seed,
+        }
+
+
+@dataclass
+class TimedRequest:
+    """One scheduled arrival of the open-loop stream."""
+
+    at_s: float
+    tenant: int
+    op: str
+    addr: int
+    data: bytes | None = None
+
+
+def arrival_times(spec: LoadSpec, rng: DeterministicRandom) -> "list[float]":
+    """Arrival instants in [0, duration); Poisson or diurnal thinning."""
+    times: list[float] = []
+    if spec.arrival == "poisson":
+        t = 0.0
+        while True:
+            t += -math.log(1.0 - rng.random()) / spec.rate_per_s
+            if t >= spec.duration_s:
+                break
+            times.append(t)
+        return times
+    # Diurnal: thin a homogeneous process at the peak rate down to
+    # rate(t) = base * (1 + (peak-1) * sin^2(pi t / period)).
+    peak_rate = spec.rate_per_s * spec.peak_ratio
+    t = 0.0
+    while True:
+        t += -math.log(1.0 - rng.random()) / peak_rate
+        if t >= spec.duration_s:
+            break
+        swing = math.sin(math.pi * t / spec.diurnal_period_s) ** 2
+        rate_t = spec.rate_per_s * (1.0 + (spec.peak_ratio - 1.0) * swing)
+        if rng.random() < rate_t / peak_rate:
+            times.append(t)
+    return times
+
+
+def _epoch(t: float, every: float | None) -> int:
+    return int(t / every) if every else 0
+
+
+def _active_tenant(spec: LoadSpec, t: float, rng: DeterministicRandom) -> int:
+    """One tenant from the window active at time ``t`` (sliding churn)."""
+    base = _epoch(t, spec.tenant_churn_every_s)
+    return base + rng.randrange(spec.tenants)
+
+
+def _hot_addr(spec: LoadSpec, t: float, rng: DeterministicRandom) -> int:
+    hot_blocks = max(1, int(spec.n_blocks * spec.hot_fraction))
+    if rng.random() >= spec.hot_probability:
+        return rng.randrange(spec.n_blocks)
+    # The hot range relocates each epoch; the odd multiplier scatters
+    # successive epochs across the space instead of sliding adjacently.
+    epoch = _epoch(t, spec.hotspot_move_every_s)
+    start = (epoch * (2 * hot_blocks + 1)) % spec.n_blocks
+    return (start + rng.randrange(hot_blocks)) % spec.n_blocks
+
+
+def generate_load(spec: LoadSpec) -> "list[TimedRequest]":
+    """The full deterministic timed request stream for ``spec``."""
+    rng = DeterministicRandom(f"serving-load-{spec.seed}")
+    stream: list[TimedRequest] = []
+    for t in arrival_times(spec, rng):
+        tenant = _active_tenant(spec, t, rng)
+        addr = _hot_addr(spec, t, rng)
+        if spec.write_ratio > 0 and rng.random() < spec.write_ratio:
+            stream.append(
+                TimedRequest(t, tenant, "write", addr, f"load-{addr}".encode())
+            )
+        else:
+            stream.append(TimedRequest(t, tenant, "read", addr))
+    return stream
+
+
+def tenants_used(spec: LoadSpec) -> "list[int]":
+    """Every tenant id the stream can emit (register these up front)."""
+    last_epoch = _epoch(
+        math.nextafter(spec.duration_s, 0.0), spec.tenant_churn_every_s
+    )
+    return list(range(last_epoch + spec.tenants))
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one open-loop run against a live server."""
+
+    spec: dict
+    offered: int = 0
+    served: int = 0
+    rejected: dict = field(default_factory=dict)
+    errored: int = 0
+    #: wall-clock send->response latencies of served requests (ms).
+    latencies_ms: list = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    def percentiles(self) -> dict:
+        ordered = sorted(self.latencies_ms)
+        if not ordered:
+            return {"p50": 0.0, "p99": 0.0, "p999": 0.0}
+        return {
+            "p50": percentile(ordered, 50),
+            "p99": percentile(ordered, 99),
+            "p999": percentile(ordered, 99.9),
+        }
+
+    def slo(self, p50_ms: float, p99_ms: float, p999_ms: float) -> dict:
+        """Judge the run against a latency SLO (served requests only)."""
+        measured = self.percentiles()
+        return {
+            "target": {"p50": p50_ms, "p99": p99_ms, "p999": p999_ms},
+            "measured": measured,
+            "met": (
+                measured["p50"] <= p50_ms
+                and measured["p99"] <= p99_ms
+                and measured["p999"] <= p999_ms
+            ),
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "spec": self.spec,
+            "offered": self.offered,
+            "served": self.served,
+            "rejected": dict(self.rejected),
+            "errored": self.errored,
+            "latency_percentiles_ms": self.percentiles(),
+        }
+
+
+async def run_load(
+    client,
+    spec: LoadSpec,
+    time_scale: float = 1.0,
+    clock=time.monotonic,
+) -> LoadReport:
+    """Replay ``spec``'s stream open-loop through a connected client.
+
+    ``time_scale`` compresses the schedule (10 = run 10x faster than the
+    spec's nominal clock) so smoke runs finish quickly; rates scale with
+    it, so backpressure behaviour scales too.  Arrivals never await
+    responses -- response futures are collected and awaited only after
+    the last send.
+    """
+    stream = generate_load(spec)
+    report = LoadReport(spec=spec.to_dict())
+    report.offered = len(stream)
+    inflight: "list[tuple[asyncio.Future, float]]" = []
+    finished_at: "dict[int, float]" = {}
+    start = clock()
+    for timed in stream:
+        due = start + timed.at_s / time_scale
+        delay = due - clock()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        message = {"op": timed.op, "addr": timed.addr, "tenant": timed.tenant}
+        if timed.data is not None:
+            message["data"] = to_hex(timed.data)
+        future = client.send(message)
+        # Stamp completion when the response *arrives*, not when the
+        # tail loop below finally awaits it.
+        future.add_done_callback(
+            lambda _f, i=len(inflight): finished_at.setdefault(i, clock())
+        )
+        inflight.append((future, clock()))
+        await client.drain()
+    for index, (future, sent_at) in enumerate(inflight):
+        try:
+            response = await future
+        except Exception:  # noqa: BLE001 - connection death
+            report.errored += 1
+            continue
+        if response.get("ok"):
+            report.served += 1
+            done = finished_at.get(index, clock())
+            report.latencies_ms.append((done - sent_at) * 1000.0)
+        else:
+            code = response.get("error", "internal")
+            report.rejected[code] = report.rejected.get(code, 0) + 1
+    report.wall_seconds = clock() - start
+    return report

@@ -1,0 +1,115 @@
+"""Wire protocol of the serving front door: length-prefixed JSON frames.
+
+Every message on the socket -- request or response -- is one *frame*::
+
+    4-byte big-endian body length || UTF-8 JSON body
+
+JSON keeps the protocol debuggable (``nc`` + a hex dump is a working
+client) and the length prefix keeps framing trivial under pipelining:
+clients may write any number of request frames before reading a single
+response, and responses are matched back by the client-chosen ``id``
+field, never by ordering.
+
+Requests the server understands::
+
+    {"id": 1, "op": "read",  "addr": 7,              "tenant": 0}
+    {"id": 2, "op": "write", "addr": 7, "data": hex, "tenant": 0}
+    {"id": 3, "op": "health"}
+    {"id": 4, "op": "metrics"}
+
+Responses::
+
+    {"id": 1, "ok": true,  "seq": 12, "data": hex, "latency_cycles": 3}
+    {"id": 2, "ok": false, "error": "overloaded", "message": "..."}
+
+``seq`` is the server's backend program order (the order the request was
+fed to the oblivious stack); it is what the direct-submit twin replays
+when conformance diffs served bytes.  Error codes are the
+:data:`ERROR_CODES` vocabulary; anything with ``ok: false`` never
+entered the backend and is excluded from twin comparison by design.
+
+Payload bytes travel hex-encoded (JSON has no bytes type); block
+payloads are small (tens of bytes), so the 2x hex overhead is noise
+next to the protocol's obliviousness padding.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+
+from repro.oram.base import ORAMError
+
+#: Hard cap on one frame's body; a peer announcing more is protocol abuse.
+MAX_FRAME_BYTES = 1 << 20
+
+_LEN = struct.Struct(">I")
+
+#: Rejection vocabulary: every ``ok: false`` response carries one of these.
+ERROR_CODES = (
+    "overloaded",        # admission control: queue + ROB occupancy at the bound
+    "quota_exhausted",   # the tenant spent its lifetime ops budget
+    "rate_limited",      # the tenant's token bucket is empty
+    "access_denied",     # the tenant's ACL does not cover the address
+    "unknown_tenant",    # no such tenant registered with the server
+    "unavailable",       # the address' shard is fenced
+    "bad_request",       # malformed frame/fields
+    "shutting_down",     # the server is closing
+    "internal",          # unexpected server-side failure
+)
+
+
+class ProtocolError(ORAMError):
+    """The peer violated framing or sent an undecodable body."""
+
+
+def encode_frame(message: dict) -> bytes:
+    """One wire frame for ``message`` (compact JSON, length-prefixed)."""
+    body = json.dumps(message, separators=(",", ":"), sort_keys=True).encode()
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame body of {len(body)} bytes exceeds the {MAX_FRAME_BYTES} cap"
+        )
+    return _LEN.pack(len(body)) + body
+
+
+async def read_frame(
+    reader: asyncio.StreamReader, max_frame_bytes: int = MAX_FRAME_BYTES
+) -> dict | None:
+    """Read one frame; ``None`` on clean EOF (peer closed between frames)."""
+    try:
+        header = await reader.readexactly(_LEN.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None  # clean close
+        raise ProtocolError("connection closed mid-header") from None
+    (length,) = _LEN.unpack(header)
+    if length > max_frame_bytes:
+        raise ProtocolError(
+            f"peer announced a {length}-byte frame (cap {max_frame_bytes})"
+        )
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise ProtocolError("connection closed mid-frame") from None
+    try:
+        message = json.loads(body.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"undecodable frame body: {error}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError("frame body must be a JSON object")
+    return message
+
+
+def to_hex(data: bytes | None) -> str | None:
+    return data.hex() if data is not None else None
+
+
+def from_hex(text: str | None) -> bytes | None:
+    if text is None:
+        return None
+    try:
+        return bytes.fromhex(text)
+    except ValueError:
+        raise ProtocolError(f"invalid hex payload: {text!r}") from None

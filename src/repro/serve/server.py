@@ -1,0 +1,651 @@
+"""The asyncio serving front door.
+
+:class:`ORAMServer` puts a socket in front of any stack the testing
+harness can build -- :class:`~repro.core.horam.HybridORAM`, a
+:class:`~repro.core.sharding.ShardedHORAM` under either executor, or a
+:class:`~repro.core.supervisor.FleetSupervisor` -- so concurrent clients
+reach the oblivious engine through the same cacheable interface the
+paper measures: client-visible latency is the access period; shuffles
+stay off the critical path inside the pump.
+
+Layers, outermost first:
+
+* **transport** -- length-prefixed JSON frames (:mod:`repro.serve.
+  protocol`), any number of concurrent connections, full pipelining.
+* **admission control** -- one bounded budget over everything admitted
+  but not yet answered, i.e. the per-tenant front-end FIFOs plus the
+  backend ROB/scheduler occupancy.  At the bound new work is rejected
+  with a typed :class:`Overloaded` (never queued blindly), which is the
+  backpressure signal open-loop clients see.
+* **tenancy** -- per-tenant ACLs ride :class:`~repro.core.multiuser.
+  MultiUserFrontEnd` unchanged; the server layers lifetime *quotas* and
+  token-bucket *rate limits* on top, each with its own typed rejection.
+* **the pump** -- a single task that feeds admitted requests through the
+  front end's round-robin scheduler and steps the engine, resolving one
+  future per admitted request.  The stack never runs concurrently with
+  itself; asyncio interleaves I/O with the pump, not inside it.
+
+Every request the backend accepts is journaled in backend program order
+(``seq``).  Served values are a pure function of that order, so a
+*direct-submit twin* -- a fresh identical stack driven ``submit``/
+``drain`` straight from the journal -- must serve bit-identical bytes
+(:mod:`repro.serve.twin`).  The conformance harness and
+``bench_serving`` both gate on that diff; rejections never enter the
+journal and are excluded from the comparison by design (but counted).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core.multiuser import AccessDenied, MultiUserFrontEnd, UnknownUserError
+from repro.core.sharding import ShardUnavailableError
+from repro.oram.base import ORAMError, Request
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    encode_frame,
+    from_hex,
+    read_frame,
+    to_hex,
+)
+from repro.sim.metrics import percentile
+
+
+class ServeRejection(ORAMError):
+    """Base of the typed admission rejections; ``code`` is the wire code."""
+
+    code = "rejected"
+
+
+class Overloaded(ServeRejection):
+    """Admission control: queue depth + ROB occupancy hit the bound."""
+
+    code = "overloaded"
+
+    def __init__(self, inflight: int, bound: int):
+        super().__init__(
+            f"server overloaded: {inflight} requests in flight (bound {bound})"
+        )
+        self.inflight = inflight
+        self.bound = bound
+
+
+class QuotaExhausted(ServeRejection):
+    """The tenant has spent its lifetime operations budget."""
+
+    code = "quota_exhausted"
+
+    def __init__(self, tenant: int, quota: int):
+        super().__init__(f"tenant {tenant} exhausted its quota of {quota} ops")
+        self.tenant = tenant
+        self.quota = quota
+
+
+class RateLimited(ServeRejection):
+    """The tenant's token bucket is empty right now (retry later)."""
+
+    code = "rate_limited"
+
+    def __init__(self, tenant: int, rate_per_s: float):
+        super().__init__(
+            f"tenant {tenant} exceeded its rate limit of {rate_per_s:g} ops/s"
+        )
+        self.tenant = tenant
+        self.rate_per_s = rate_per_s
+
+
+class ServeUnavailable(ServeRejection):
+    """The address' shard is fenced; the stripe fails fast."""
+
+    code = "unavailable"
+
+    def __init__(self, shard_index: int, addr: int):
+        super().__init__(f"shard {shard_index} is fenced (addr {addr})")
+        self.shard_index = shard_index
+        self.addr = addr
+
+
+@dataclass
+class ServeConfig:
+    """Operator knobs for one server instance."""
+
+    #: admission bound: admitted-but-unanswered requests (front-end FIFOs
+    #: plus backend ROB occupancy).  At the bound, ``Overloaded``.
+    max_inflight: int = 64
+    #: scheduler cycles per pump quantum before yielding to the loop, so
+    #: admission and response writes interleave with long drains.
+    pump_max_cycles: int = 32
+    #: per-frame body cap forwarded to the protocol layer.
+    max_frame_bytes: int = MAX_FRAME_BYTES
+
+    def __post_init__(self) -> None:
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if self.pump_max_cycles < 1:
+            raise ValueError("pump_max_cycles must be >= 1")
+
+
+@dataclass
+class TenantPolicy:
+    """Per-tenant admission policy (ACL + quota + rate)."""
+
+    #: address range the tenant may touch (None = whole space); enforced
+    #: by the MultiUserFrontEnd ACL machinery, not re-implemented here.
+    allowed: range | None = None
+    #: lifetime operations budget (None = unmetered).
+    quota: int | None = None
+    #: sustained ops/second token-bucket rate (None = unlimited).
+    rate_per_s: float | None = None
+    #: bucket depth (burst tolerance); default one second of rate.
+    burst: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.quota is not None and self.quota < 0:
+            raise ValueError("quota must be >= 0")
+        if self.rate_per_s is not None and self.rate_per_s <= 0:
+            raise ValueError("rate_per_s must be positive")
+        if self.burst is not None and self.burst < 1:
+            raise ValueError("burst must be >= 1")
+
+
+class _TenantState:
+    """Live policy state: remaining quota and the token bucket."""
+
+    def __init__(self, tenant: int, policy: TenantPolicy, now: float):
+        self.tenant = tenant
+        self.policy = policy
+        self.quota_remaining = policy.quota
+        self.bucket_cap = (
+            float(policy.burst)
+            if policy.burst is not None
+            else max(1.0, policy.rate_per_s or 1.0)
+        )
+        self.tokens = self.bucket_cap
+        self.refilled_at = now
+        self.admitted = 0
+        self.rejections: Counter = Counter()
+
+    def check_rate(self, now: float) -> bool:
+        """Refill by elapsed time, then try to spend one token."""
+        rate = self.policy.rate_per_s
+        if rate is None:
+            return True
+        self.tokens = min(
+            self.bucket_cap, self.tokens + (now - self.refilled_at) * rate
+        )
+        self.refilled_at = now
+        if self.tokens < 1.0:
+            return False
+        self.tokens -= 1.0
+        return True
+
+
+@dataclass
+class JournalRecord:
+    """One backend-accepted request, in backend program order."""
+
+    seq: int
+    request_id: int
+    tenant: int
+    op: str
+    addr: int
+    data: bytes | None = None
+
+
+class _JournalingBackend:
+    """The front end's view of the stack: journals backend program order.
+
+    The :class:`~repro.core.multiuser.MultiUserFrontEnd` feeds its user
+    FIFOs into ``submit`` in round-robin order -- *that* order, not
+    admission order, is the program order served values depend on, so
+    the journal records exactly the submits the stack accepts (a fenced
+    stripe's refusal is captured on :attr:`failed` instead of journaled,
+    and never raises into the middle of a pump, which would lose the
+    quantum's already-retired entries).
+
+    ``step`` is exposed only for stacks that step safely; a
+    :class:`~repro.core.supervisor.FleetSupervisor` recovers crashes
+    inside ``drain``, so hiding ``step`` makes the front end fall back
+    to the supervised drain path.
+    """
+
+    def __init__(self, stack, journal: list[JournalRecord]):
+        self._stack = stack
+        self._journal = journal
+        #: requests a fenced stripe refused at feed time; the server
+        #: fails their futures after the pump quantum returns.
+        self.failed: list[Request] = []
+        # Supervisors recover ShardCrashed inside drain(); their fleet's
+        # raw step() must never be driven directly.
+        if hasattr(stack, "step") and not hasattr(stack, "recovery_report"):
+            self.step = stack.step
+
+    def submit(self, request: Request):
+        try:
+            result = self._stack.submit(request)
+        except ShardUnavailableError:
+            self.failed.append(request)
+            return None
+        self._journal.append(
+            JournalRecord(
+                seq=len(self._journal),
+                request_id=request.request_id,
+                tenant=request.user,
+                op=request.op.value,
+                addr=request.addr,
+                data=request.data,
+            )
+        )
+        return result
+
+    def drain(self):
+        return self._stack.drain()
+
+    def has_work(self) -> bool:
+        return self._stack.has_work()
+
+    def retire(self):
+        return self._stack.retire()
+
+    @property
+    def config(self):
+        return getattr(self._stack, "config", None)
+
+    @property
+    def current_c(self):
+        return getattr(self._stack, "current_c", None)
+
+
+@dataclass
+class _Pending:
+    """One admitted request awaiting retirement."""
+
+    tenant: int
+    future: asyncio.Future
+    admitted_at: float
+    addr: int
+
+
+class ORAMServer:
+    """Concurrent network front door over one oblivious stack."""
+
+    def __init__(self, stack, config: ServeConfig | None = None, clock=time.monotonic):
+        self.stack = stack
+        self.config = config or ServeConfig()
+        self.clock = clock
+        #: backend program order of every accepted request.
+        self.journal: list[JournalRecord] = []
+        #: served payload by journal seq (None for writes) -- what the
+        #: direct-submit twin must reproduce byte-for-byte.
+        self.served_by_seq: dict[int, bytes | None] = {}
+        self._backend = _JournalingBackend(stack, self.journal)
+        self.front = MultiUserFrontEnd(self._backend)
+        self._tenants: dict[int, _TenantState] = {}
+        self._pending: dict[int, _Pending] = {}  # request_id -> pending
+        self._seq_of_request: dict[int, int] = {}
+        self.rejections: Counter = Counter()
+        self.served = 0
+        self.connections = 0
+        #: wall-clock admission->response latencies (seconds).
+        self.wall_latencies_s: list[float] = []
+        self._work = asyncio.Event()
+        self._pump_task: asyncio.Task | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._tcp_server: asyncio.AbstractServer | None = None
+        self._closing = False
+
+    # ------------------------------------------------------------- tenancy
+    def add_tenant(self, tenant: int, policy: TenantPolicy | None = None) -> None:
+        """Register a tenant with the front end and attach its policy."""
+        policy = policy or TenantPolicy()
+        self.front.register_user(tenant, allowed=policy.allowed)
+        self._tenants[tenant] = _TenantState(tenant, policy, self.clock())
+
+    def tenants(self) -> list[int]:
+        return list(self._tenants)
+
+    # ------------------------------------------------------------ lifecycle
+    async def __aenter__(self) -> "ORAMServer":
+        self.ensure_pump()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    def ensure_pump(self) -> None:
+        if self._pump_task is None or self._pump_task.done():
+            self._pump_task = asyncio.get_running_loop().create_task(self._pump_loop())
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
+        """Listen on TCP; returns the bound (host, port)."""
+        self.ensure_pump()
+        self._tcp_server = await asyncio.start_server(self._handle, host, port)
+        bound = self._tcp_server.sockets[0].getsockname()
+        return bound[0], bound[1]
+
+    async def attach(self, sock) -> asyncio.Task:
+        """Serve one already-connected socket (socketpair tests)."""
+        self.ensure_pump()
+        reader, writer = await asyncio.open_connection(sock=sock)
+        task = asyncio.get_running_loop().create_task(self._handle(reader, writer))
+        self._conn_tasks.add(task)
+        task.add_done_callback(self._conn_tasks.discard)
+        return task
+
+    async def close(self) -> None:
+        """Stop accepting, fail whatever is still pending, stop the pump."""
+        self._closing = True
+        if self._tcp_server is not None:
+            self._tcp_server.close()
+            await self._tcp_server.wait_closed()
+        for pending in list(self._pending.values()):
+            if not pending.future.done():
+                pending.future.set_result(
+                    _error_response(None, "shutting_down", "server closing")
+                )
+        self._pending.clear()
+        self._work.set()
+        if self._pump_task is not None:
+            try:
+                await self._pump_task
+            except asyncio.CancelledError:  # pragma: no cover - teardown race
+                pass
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+
+    # ----------------------------------------------------------- accounting
+    def inflight(self) -> int:
+        """Admitted-but-unanswered requests: FIFO depth + ROB occupancy."""
+        return len(self._pending)
+
+    def health(self) -> dict:
+        """The live health/metrics report the ``health`` op serves."""
+        wall_ms = sorted(s * 1000.0 for s in self.wall_latencies_s)
+        wall = (
+            {
+                "p50": percentile(wall_ms, 50),
+                "p99": percentile(wall_ms, 99),
+                "p999": percentile(wall_ms, 99.9),
+            }
+            if wall_ms
+            else {"p50": 0.0, "p99": 0.0, "p999": 0.0}
+        )
+        backend_pct = getattr(self.stack, "latency_percentiles", None)
+        load_balance = getattr(self.stack, "load_balance", None)
+        report = getattr(self.stack, "recovery_report", None)
+        tenants = {}
+        for tenant, state in self._tenants.items():
+            stats = self.front.stats(tenant)
+            tenants[str(tenant)] = {
+                "submitted": stats.submitted,
+                "served": stats.served,
+                "mean_latency_cycles": stats.mean_latency_cycles,
+                "quota_remaining": state.quota_remaining,
+                "rejections": dict(state.rejections),
+            }
+        return {
+            "requests": {
+                "accepted": len(self.journal),
+                "served": self.served,
+                "inflight": self.inflight(),
+                "rejections": dict(self.rejections),
+            },
+            "latency_percentiles": {
+                "wall_ms": wall,
+                "simulated_cycles": (
+                    {str(q): v for q, v in backend_pct().items()}
+                    if backend_pct is not None
+                    else None
+                ),
+            },
+            "load_balance": load_balance() if load_balance is not None else None,
+            "fenced_shards": sorted(getattr(self.stack, "fenced", ())),
+            "supervisor": report() if report is not None else None,
+            "tenants": tenants,
+        }
+
+    # ------------------------------------------------------------ admission
+    def _admit(self, message: dict) -> "tuple[dict | None, asyncio.Future | None]":
+        """Admission-control one request frame.
+
+        Returns ``(error_response, None)`` to reject immediately, or
+        ``(None, future)`` when admitted (the future resolves via the
+        pump).  No awaits, so admission is atomic under asyncio's
+        cooperative scheduling.
+        """
+        msg_id = message.get("id")
+        try:
+            request, tenant = self._parse(message)
+        except (ProtocolError, ValueError) as error:
+            self.rejections["bad_request"] += 1
+            return _error_response(msg_id, "bad_request", str(error)), None
+        state = self._tenants.get(tenant)
+        if state is None:
+            self.rejections["unknown_tenant"] += 1
+            error = UnknownUserError(tenant, list(self._tenants))
+            return _error_response(msg_id, "unknown_tenant", str(error)), None
+        try:
+            self._check_policies(state, request)
+            # The ACL check lives in front.submit and enqueues on
+            # success; the policy checks above either consume nothing or
+            # ran after every non-consuming deny, so a denial here leaks
+            # no token or quota.
+            self.front.submit(tenant, request)
+        except ServeRejection as rejection:
+            self.rejections[rejection.code] += 1
+            state.rejections[rejection.code] += 1
+            return _error_response(msg_id, rejection.code, str(rejection)), None
+        except AccessDenied as denial:
+            self.rejections["access_denied"] += 1
+            state.rejections["access_denied"] += 1
+            return _error_response(msg_id, "access_denied", str(denial)), None
+        if state.quota_remaining is not None:
+            state.quota_remaining -= 1
+        state.admitted += 1
+        future = asyncio.get_running_loop().create_future()
+        self._pending[request.request_id] = _Pending(
+            tenant=tenant,
+            future=future,
+            admitted_at=self.clock(),
+            addr=request.addr,
+        )
+        self._work.set()
+        return None, future
+
+    def _check_policies(self, state: _TenantState, request: Request) -> None:
+        if self.inflight() >= self.config.max_inflight:
+            raise Overloaded(self.inflight(), self.config.max_inflight)
+        fenced = getattr(self.stack, "fenced", None)
+        shard_of = getattr(self.stack, "shard_of", None)
+        if fenced and shard_of is not None and shard_of(request.addr) in fenced:
+            raise ServeUnavailable(shard_of(request.addr), request.addr)
+        # ACL peek (the front's submit re-checks authoritatively): deny
+        # before the rate check so a denied request costs no token.
+        policy_range = state.policy.allowed
+        if policy_range is not None and request.addr not in policy_range:
+            raise AccessDenied(
+                f"tenant {state.tenant} may not touch address {request.addr} "
+                f"(allowed {policy_range})"
+            )
+        if state.quota_remaining is not None and state.quota_remaining <= 0:
+            raise QuotaExhausted(state.tenant, state.policy.quota)
+        if not state.check_rate(self.clock()):
+            raise RateLimited(state.tenant, state.policy.rate_per_s)
+
+    def _parse(self, message: dict) -> tuple[Request, int]:
+        op = message.get("op")
+        addr = message.get("addr")
+        tenant = message.get("tenant")
+        if not isinstance(addr, int) or isinstance(addr, bool):
+            raise ValueError(f"addr must be an integer, got {addr!r}")
+        if not isinstance(tenant, int) or isinstance(tenant, bool):
+            raise ValueError(f"tenant must be an integer, got {tenant!r}")
+        if op == "read":
+            return Request.read(addr), tenant
+        if op == "write":
+            data = from_hex(message.get("data"))
+            if data is None:
+                raise ValueError("write requests need a hex data field")
+            return Request.write(addr, data), tenant
+        raise ValueError(f"unknown op {op!r}")
+
+    # ----------------------------------------------------------------- pump
+    async def _pump_loop(self) -> None:
+        """The one task that runs the oblivious engine.
+
+        Feeds admitted requests through the front end's round-robin
+        scheduler a bounded quantum at a time, yielding between quanta
+        so connection handlers can admit (or reject) concurrently
+        arriving frames and response writes can flush.
+        """
+        while not self._closing:
+            await self._work.wait()
+            self._work.clear()
+            while self._pending and not self._closing:
+                retired = self.front.pump(max_cycles=self.config.pump_max_cycles)
+                self._resolve(retired)
+                self._fail_unsubmittable()
+                if not retired and not self._work_left():
+                    self._fail_orphans()
+                    break
+                # Yield: let handlers admit newly arrived frames before
+                # the next quantum, and let response writes flush.
+                await asyncio.sleep(0)
+
+    def _work_left(self) -> bool:
+        """Can another pump quantum still make progress?"""
+        return self.front._has_queued() or bool(self._backend.has_work())
+
+    def _resolve(self, retired) -> None:
+        now = self.clock()
+        for entry in retired:
+            request_id = entry.request.request_id
+            pending = self._pending.pop(request_id, None)
+            if pending is None:
+                continue  # direct backend traffic or an already-failed stripe
+            seq = self._seq_for(request_id)
+            if entry.error is not None:
+                self.rejections["unavailable"] += 1
+                response = _error_response(None, "unavailable", str(entry.error))
+            else:
+                self.served += 1
+                self.served_by_seq[seq] = entry.result
+                self.wall_latencies_s.append(now - pending.admitted_at)
+                response = {
+                    "ok": True,
+                    "seq": seq,
+                    "data": to_hex(entry.result),
+                    "latency_cycles": max(entry.latency_cycles, 0),
+                }
+            if not pending.future.done():
+                pending.future.set_result(response)
+
+    def _seq_for(self, request_id: int) -> int:
+        self._index_journal()
+        return self._seq_of_request.get(request_id, -1)
+
+    def _index_journal(self) -> None:
+        for record in self.journal[len(self._seq_of_request) :]:
+            self._seq_of_request[record.request_id] = record.seq
+
+    def _fail_unsubmittable(self) -> None:
+        """Answer requests a fenced stripe refused at backend-feed time."""
+        while self._backend.failed:
+            request = self._backend.failed.pop()
+            pending = self._pending.pop(request.request_id, None)
+            if pending is None:
+                continue
+            self.rejections["unavailable"] += 1
+            if not pending.future.done():
+                pending.future.set_result(
+                    _error_response(
+                        None,
+                        "unavailable",
+                        f"shard serving address {request.addr} is fenced",
+                    )
+                )
+
+    def _fail_orphans(self) -> None:
+        """Pending entries nothing can ever retire (lost to the backend)."""
+        for request_id, pending in list(self._pending.items()):
+            del self._pending[request_id]
+            self.rejections["internal"] += 1
+            if not pending.future.done():
+                pending.future.set_result(
+                    _error_response(None, "internal", "request lost by the backend")
+                )
+
+    # ---------------------------------------------------------- connections
+    async def _handle(self, reader, writer) -> None:
+        self.connections += 1
+        lock = asyncio.Lock()
+        response_tasks: set[asyncio.Task] = set()
+
+        async def send(message: dict) -> None:
+            async with lock:
+                writer.write(encode_frame(message))
+                await writer.drain()
+
+        async def respond_when_done(msg_id, future: asyncio.Future) -> None:
+            response = dict(await future)
+            response["id"] = msg_id
+            await send(response)
+
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                message = await read_frame(reader, self.config.max_frame_bytes)
+                if message is None:
+                    break
+                op = message.get("op")
+                if op == "health":
+                    await send(
+                        {"id": message.get("id"), "ok": True, "health": self.health()}
+                    )
+                    continue
+                if op == "metrics":
+                    metrics = getattr(self.stack, "metrics", None)
+                    await send(
+                        {
+                            "id": message.get("id"),
+                            "ok": True,
+                            "metrics": (
+                                metrics.to_dict() if metrics is not None else None
+                            ),
+                        }
+                    )
+                    continue
+                if self._closing:
+                    await send(
+                        _error_response(
+                            message.get("id"), "shutting_down", "server closing"
+                        )
+                    )
+                    continue
+                rejection, future = self._admit(message)
+                if rejection is not None:
+                    await send(rejection)
+                    continue
+                task = loop.create_task(respond_when_done(message.get("id"), future))
+                response_tasks.add(task)
+                task.add_done_callback(response_tasks.discard)
+        except (ProtocolError, ConnectionResetError, BrokenPipeError):
+            pass  # misbehaving or vanished peer: drop the connection
+        finally:
+            if response_tasks:
+                await asyncio.gather(*response_tasks, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+
+def _error_response(msg_id, code: str, message: str) -> dict:
+    return {"id": msg_id, "ok": False, "error": code, "message": message}

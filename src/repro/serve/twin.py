@@ -1,0 +1,106 @@
+"""Direct-submit twin: the correctness oracle for the serving layer.
+
+The server journals every request its backend accepts, in backend
+program order (``seq``).  Served payloads are a pure function of that
+order -- the scheduler's cycle batching, the round-robin feed and the
+asyncio interleaving all collapse away once the order requests reached
+``stack.submit`` is fixed.  So a *twin* -- a second stack built from the
+same spec, driven one-at-a-time ``submit``/``drain`` straight from the
+journal -- must serve bit-identical bytes for every seq the server
+served.
+
+Rejected requests (overload, quota, rate, ACL, fenced stripe) never
+enter the journal, so they are excluded from the comparison by design;
+the conformance harness counts them separately and asserts they
+happened when a scenario provoked them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.oram.base import Request
+from repro.serve.server import JournalRecord
+
+
+def replay_direct(journal: "list[JournalRecord]", stack) -> "dict[int, bytes | None]":
+    """Drive ``stack`` straight from the journal; payload by seq.
+
+    One ``submit`` + ``drain`` per record: the strictest in-order
+    interpretation of the journal, with no batching the server might
+    have benefited from.
+    """
+    served: dict[int, bytes | None] = {}
+    for record in journal:
+        if record.op == "read":
+            request = Request.read(record.addr, user=record.tenant)
+        else:
+            request = Request.write(record.addr, record.data, user=record.tenant)
+        stack.submit(request)
+        retired = stack.drain()
+        if len(retired) != 1:
+            raise AssertionError(
+                f"twin replay of seq {record.seq} retired {len(retired)} "
+                "entries (expected exactly 1)"
+            )
+        entry = retired[0]
+        if entry.error is not None:
+            raise AssertionError(
+                f"twin replay of seq {record.seq} errored: {entry.error}"
+            )
+        served[record.seq] = entry.result
+    return served
+
+
+@dataclass
+class TwinDiff:
+    """Outcome of one served-stream-vs-twin comparison."""
+
+    compared: int = 0
+    #: seqs the server accepted but never served (fenced mid-flight,
+    #: shutdown) -- excluded from the byte comparison, reported here.
+    unserved: list[int] = field(default_factory=list)
+    #: seqs whose served bytes differ from the twin's (first few).
+    mismatched: list[dict] = field(default_factory=list)
+
+    @property
+    def identical(self) -> bool:
+        return not self.mismatched
+
+    def to_dict(self) -> dict:
+        return {
+            "compared": self.compared,
+            "identical": self.identical,
+            "unserved": list(self.unserved),
+            "mismatched": list(self.mismatched),
+        }
+
+
+_MAX_REPORTED = 5
+
+
+def diff_served(
+    journal: "list[JournalRecord]",
+    served_by_seq: "dict[int, bytes | None]",
+    twin_by_seq: "dict[int, bytes | None]",
+) -> TwinDiff:
+    """Compare the server's served payloads against the twin's, seq by seq."""
+    diff = TwinDiff()
+    for record in journal:
+        if record.seq not in served_by_seq:
+            diff.unserved.append(record.seq)
+            continue
+        diff.compared += 1
+        got = served_by_seq[record.seq]
+        want = twin_by_seq.get(record.seq)
+        if got != want and len(diff.mismatched) < _MAX_REPORTED:
+            diff.mismatched.append(
+                {
+                    "seq": record.seq,
+                    "op": record.op,
+                    "addr": record.addr,
+                    "served": got.hex() if got is not None else None,
+                    "twin": want.hex() if want is not None else None,
+                }
+            )
+    return diff

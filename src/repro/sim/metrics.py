@@ -156,7 +156,10 @@ class Metrics:
 
         Non-numeric ``extra`` values keep last-wins union semantics; the
         numeric ones (all the protocol-emitted counters) add up so merging
-        per-shard metrics does not silently drop counts.
+        per-shard metrics does not silently drop counts.  ``bool`` extras
+        are flags, not counters -- ``bool`` subclasses ``int``, so without
+        the explicit exclusion a ``hardware_limited: True`` merged across
+        two shards would read back as ``2``; flags keep last-wins instead.
         """
         merged = Metrics()
         for f in fields(Metrics):
@@ -171,7 +174,13 @@ class Metrics:
         merged.extra = dict(self.extra)
         for key, value in other.extra.items():
             base = merged.extra.get(key)
-            if isinstance(base, (int, float)) and isinstance(value, (int, float)):
+            numeric = (
+                isinstance(base, (int, float))
+                and isinstance(value, (int, float))
+                and not isinstance(base, bool)
+                and not isinstance(value, bool)
+            )
+            if numeric:
                 merged.extra[key] = base + value
             else:
                 merged.extra[key] = value

@@ -38,6 +38,7 @@ from repro.testing.scenario import (
     ScenarioResult,
     ScenarioRunner,
     ScenarioSpec,
+    ServeSpec,
     run_spec,
 )
 from repro.testing.shrinker import ShrinkResult, shrink
@@ -54,6 +55,7 @@ __all__ = [
     "ScenarioRunner",
     "ScenarioResult",
     "ScenarioSpec",
+    "ServeSpec",
     "run_spec",
     "ShrinkResult",
     "shrink",

@@ -27,6 +27,7 @@ from repro.testing.scenario import (
     ScenarioResult,
     ScenarioRunner,
     ScenarioSpec,
+    ServeSpec,
     StormSpec,
 )
 from repro.testing.shrinker import ShrinkResult, shrink
@@ -54,6 +55,7 @@ def _spec(
     faults: FaultPlan | None = None,
     crash: CrashSpec | None = None,
     storm: StormSpec | None = None,
+    serve: ServeSpec | None = None,
     expect_failure: bool = False,
     seed: int = 11,
     executor: str = "serial",
@@ -91,6 +93,7 @@ def _spec(
         faults=faults,
         crash=crash,
         storm=storm,
+        serve=serve,
         expect_failure=expect_failure,
     )
 
@@ -214,6 +217,24 @@ def default_matrix(scale: str = "quick") -> list[ScenarioSpec]:
             "sharded2-parallel-supervised-storm-hdd", "sharded", "uniform", 240 * m,
             n_blocks=1024, n_shards=2, executor="parallel", supervised=True,
             storm=StormSpec(crash_ops=[120]),
+        ),
+        # -- the asyncio serving front door (socket stream vs direct twin)
+        _spec(
+            "serve-sharded2-hotspot-hdd", "sharded", "hotspot", 220 * m,
+            n_blocks=1024, n_shards=2,
+            serve=ServeSpec(clients=3, tenants=3),
+        ),
+        _spec(
+            "serve-horam-overload-hdd", "horam", "hotspot", 150 * m,
+            serve=ServeSpec(
+                clients=1, tenants=1, max_inflight=4, expect_overloaded=True,
+            ),
+        ),
+        _spec(
+            "serve-horam-quota-hdd", "horam", "uniform", 180 * m,
+            serve=ServeSpec(
+                clients=2, tenants=2, quota=30, expect_quota_exhausted=True,
+            ),
         ),
         # -- recoverable fault injection (results must still match the oracle)
         _spec(

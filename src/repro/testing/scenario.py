@@ -133,6 +133,56 @@ class StormSpec:
 
 
 @dataclass
+class ServeSpec:
+    """Network-serving choreography for one scenario (JSON-able).
+
+    The runner wraps the stack in an :class:`~repro.serve.server.
+    ORAMServer`, connects ``clients`` socketpair connections, spreads the
+    workload round-robin over connections and tenants, and pipelines it
+    through the asyncio service.  Correctness is judged against the
+    *direct-submit twin*: a fresh identical stack replaying the server's
+    journal must serve bit-identical bytes for every seq the server
+    served.  Rejections (overload backpressure, tenant quotas) never
+    enter the journal -- they are excluded from the twin comparison by
+    design and asserted on explicitly via ``expect_overloaded`` /
+    ``expect_quota_exhausted``.
+    """
+
+    #: concurrent socketpair connections.
+    clients: int = 2
+    #: tenants registered with the server (requests round-robin them).
+    tenants: int = 2
+    #: admission bound handed to :class:`~repro.serve.server.ServeConfig`.
+    max_inflight: int = 64
+    pump_max_cycles: int = 32
+    #: per-tenant lifetime ops budget (None = unmetered).
+    quota: int | None = None
+    #: the scenario must provoke at least one Overloaded rejection; the
+    #: workload is sent as one unthrottled pipelined burst.
+    expect_overloaded: bool = False
+    #: the scenario must exhaust at least one tenant's quota, and every
+    #: tenant's accepted count must equal min(submitted, quota).
+    expect_quota_exhausted: bool = False
+
+    def __post_init__(self) -> None:
+        if self.clients < 1:
+            raise ValueError("clients must be >= 1")
+        if self.tenants < 1:
+            raise ValueError("tenants must be >= 1")
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if self.expect_quota_exhausted and self.quota is None:
+            raise ValueError("expect_quota_exhausted needs a quota")
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServeSpec":
+        return cls(**data)
+
+
+@dataclass
 class ScenarioSpec:
     """One replayable conformance scenario (seed + spec = the whole run)."""
 
@@ -144,6 +194,8 @@ class ScenarioSpec:
     crash: CrashSpec | None = None
     #: supervised crash-storm choreography; None = no storm.
     storm: StormSpec | None = None
+    #: network-serving choreography; None = drive the stack in-process.
+    serve: ServeSpec | None = None
     #: scenarios that *should* fail (seeded corruption demos) are inverted
     #: by the matrix runner, not by the scenario itself.
     expect_failure: bool = False
@@ -183,6 +235,20 @@ class ScenarioSpec:
                     "storm scenarios carry their fault schedule in the storm "
                     "spec; drop `faults`"
                 )
+        if self.serve is not None:
+            if self.crash is not None or self.storm is not None:
+                raise ValueError(
+                    "serve scenarios are exclusive with crash/storm choreographies"
+                )
+            if self.faults is not None:
+                raise ValueError("serve scenarios run without fault injection")
+            if self.stack.users:
+                raise ValueError(
+                    "serve scenarios bring their own multi-tenant front end; "
+                    "set stack.users = 0"
+                )
+            if self.stack.protocol not in ("horam", "sharded"):
+                raise ValueError("serve scenarios need a batched horam/sharded stack")
 
     # -------------------------------------------------------- serialization
     def to_json(self) -> str:
@@ -190,6 +256,7 @@ class ScenarioSpec:
         data["faults"] = self.faults.to_dict() if self.faults else None
         data["crash"] = self.crash.to_dict() if self.crash else None
         data["storm"] = self.storm.to_dict() if self.storm else None
+        data["serve"] = self.serve.to_dict() if self.serve else None
         return json.dumps(data, indent=2, sort_keys=True)
 
     @classmethod
@@ -198,6 +265,7 @@ class ScenarioSpec:
         faults = data.pop("faults", None)
         crash = data.pop("crash", None)
         storm = data.pop("storm", None)
+        serve = data.pop("serve", None)
         stack = StackSpec.from_dict(data.pop("stack"))
         workload = WorkloadSpec(**data.pop("workload"))
         return cls(
@@ -206,6 +274,7 @@ class ScenarioSpec:
             faults=FaultPlan.from_dict(faults) if faults else None,
             crash=CrashSpec.from_dict(crash) if crash else None,
             storm=StormSpec.from_dict(storm) if storm else None,
+            serve=ServeSpec.from_dict(serve) if serve else None,
             **data,
         )
 
@@ -225,10 +294,18 @@ class ScenarioResult:
     fault_stats: FaultStats | None = None
     #: crash scenarios: what actually happened (crashed?, recovered?, op).
     crash_info: dict | None = None
+    #: serve scenarios: served/rejected counts and the twin-diff outcome.
+    serve_info: dict | None = None
 
     def summary(self) -> str:
         status = "PASS" if self.ok else "FAIL"
         head = f"{status} {self.spec.name} ({self.requests} requests)"
+        if self.serve_info is not None:
+            head += (
+                f"\n  serve: served={self.serve_info['served']} "
+                f"rejected={self.serve_info['rejections']} "
+                f"twin_compared={self.serve_info['twin_compared']}"
+            )
         if self.crash_info is not None and "crashed" in self.crash_info:
             head += (
                 f"\n  crash: fired={self.crash_info['crashed']} "
@@ -259,6 +336,8 @@ class ScenarioRunner:
                 return self._run_crash(spec, stack, requests, failures)
             if spec.storm is not None:
                 return self._run_storm(spec, stack, requests, failures)
+            if spec.serve is not None:
+                return self._run_serve(spec, stack, requests, failures)
             return self._run_built(spec, stack, requests, failures)
         finally:
             # Failed comparisons, raising scenarios and crash phases all
@@ -314,6 +393,209 @@ class ScenarioRunner:
             metrics=metrics,
             fault_stats=fault_stats(),
         )
+
+    # -------------------------------------------------------------- serving
+    def _run_serve(self, spec, stack, requests, failures) -> ScenarioResult:
+        """Drive the workload through the asyncio front door over sockets.
+
+        Pass criteria: every request is answered (served or typed
+        rejection); only the rejection classes the spec provokes appear;
+        quota accounting is exact; and every served byte stream is
+        bit-identical to the direct-submit twin's replay of the server's
+        journal.
+        """
+        import asyncio
+
+        serve = spec.serve
+        try:
+            server, responses = asyncio.run(
+                self._serve_session(serve, stack, requests)
+            )
+        except Exception as error:  # noqa: BLE001 -- surface as a failed scenario
+            return ScenarioResult(
+                spec=spec,
+                ok=False,
+                requests=len(requests),
+                failures=[f"serve run raised {type(error).__name__}: {error}"],
+                error=f"{type(error).__name__}: {error}",
+            )
+
+        from repro.serve.twin import diff_served, replay_direct
+
+        rejections = {}
+        served_count = 0
+        expected_codes = set()
+        if serve.expect_overloaded:
+            expected_codes.add("overloaded")
+        if serve.quota is not None:
+            expected_codes.add("quota_exhausted")
+        for index, response in enumerate(responses):
+            if response.get("ok"):
+                served_count += 1
+                continue
+            code = response.get("error", "internal")
+            rejections[code] = rejections.get(code, 0) + 1
+            if code not in expected_codes:
+                if len(failures) <= _MAX_REPORTED:
+                    failures.append(
+                        f"request {index} rejected with unexpected code "
+                        f"{code!r}: {response.get('message')}"
+                    )
+        if served_count != len(server.journal):
+            failures.append(
+                f"served {served_count} responses but the journal holds "
+                f"{len(server.journal)} accepted requests"
+            )
+        if serve.expect_overloaded and not rejections.get("overloaded"):
+            failures.append("the scenario expected Overloaded rejections; none fired")
+        if serve.expect_quota_exhausted:
+            if not rejections.get("quota_exhausted"):
+                failures.append(
+                    "the scenario expected quota exhaustion; none fired"
+                )
+            submitted: dict[int, int] = {}
+            for index in range(len(requests)):
+                tenant = index % serve.tenants
+                submitted[tenant] = submitted.get(tenant, 0) + 1
+            accepted: dict[int, int] = {}
+            for record in server.journal:
+                accepted[record.tenant] = accepted.get(record.tenant, 0) + 1
+            for tenant, count in submitted.items():
+                want = min(count, serve.quota)
+                if accepted.get(tenant, 0) != want:
+                    failures.append(
+                        f"tenant {tenant} accepted {accepted.get(tenant, 0)} "
+                        f"of {count} submitted; quota {serve.quota} implies {want}"
+                    )
+
+        twin = build_stack(spec.stack)
+        try:
+            twin_served = replay_direct(server.journal, twin.driver)
+            diff = diff_served(server.journal, server.served_by_seq, twin_served)
+            checked = self._check_serve_final_state(spec, stack, twin, server, failures)
+        finally:
+            twin.cleanup()
+        if diff.unserved:
+            failures.append(
+                f"{len(diff.unserved)} accepted requests were never served "
+                f"(seqs {diff.unserved[:_MAX_REPORTED]})"
+            )
+        for mismatch in diff.mismatched:
+            failures.append(
+                f"seq {mismatch['seq']} ({mismatch['op']} addr {mismatch['addr']}) "
+                f"diverges from the direct-submit twin"
+            )
+
+        serve_info = {
+            "served": served_count,
+            "rejections": rejections,
+            "accepted": len(server.journal),
+            "clients": serve.clients,
+            "tenants": serve.tenants,
+            "twin_compared": diff.compared,
+            "twin_identical": diff.identical,
+        }
+        return ScenarioResult(
+            spec=spec,
+            ok=not failures,
+            requests=len(requests),
+            failures=failures,
+            mismatches=len(diff.mismatched),
+            final_state_checked=checked,
+            metrics=stack.driver.metrics.copy(),
+            serve_info=serve_info,
+        )
+
+    def _check_serve_final_state(self, spec, stack, twin, server, failures) -> int:
+        """Server stack and twin must agree on the final logical state.
+
+        The external oracle cannot predict a concurrently-interleaved
+        run, but the twin replayed the server's exact backend order, so
+        every address -- sampled plus everything written -- must read
+        back identically from both stacks.
+        """
+        if spec.final_state_sample <= 0:
+            return 0
+        rng = DeterministicRandom(f"final-state-{spec.stack.seed}")
+        sample = {
+            rng.randrange(spec.stack.n_blocks)
+            for _ in range(spec.final_state_sample)
+        }
+        for record in server.journal:
+            if len(sample) >= 2 * spec.final_state_sample:
+                break
+            if record.op == "write":
+                sample.add(record.addr)
+        bad = 0
+        for addr in sorted(sample):
+            got = stack.driver.read(addr)
+            want = twin.driver.read(addr)
+            if got != want:
+                bad += 1
+                if bad <= _MAX_REPORTED:
+                    failures.append(
+                        f"final state addr {addr}: served stack has {got!r}, "
+                        f"twin has {want!r}"
+                    )
+        if bad > _MAX_REPORTED:
+            failures.append(f"... {bad} final-state divergences total")
+        return len(sample)
+
+    async def _serve_session(self, serve, stack, requests):
+        """One asyncio session: server + clients over socketpairs."""
+        import socket as socket_mod
+        from collections import deque
+
+        from repro.serve import ORAMServer, ServeClient, ServeConfig, TenantPolicy
+
+        server = ORAMServer(
+            stack.driver,
+            ServeConfig(
+                max_inflight=serve.max_inflight,
+                pump_max_cycles=serve.pump_max_cycles,
+            ),
+        )
+        for tenant in range(serve.tenants):
+            server.add_tenant(tenant, TenantPolicy(quota=serve.quota))
+        clients = []
+        try:
+            for _ in range(serve.clients):
+                server_end, client_end = socket_mod.socketpair()
+                await server.attach(server_end)
+                clients.append(await ServeClient.from_socket(client_end))
+            # Overload scenarios pipeline the whole stream as one burst so
+            # the admission bound must trip; otherwise sends are windowed
+            # below the bound, which a well-behaved client would do.
+            throttle = not serve.expect_overloaded
+            window = max(1, serve.max_inflight // 2)
+            futures = []
+            outstanding = deque()
+            for index, request in enumerate(requests):
+                client = clients[index % len(clients)]
+                message = {
+                    "op": request.op.value,
+                    "addr": request.addr,
+                    "tenant": index % serve.tenants,
+                }
+                if request.data is not None:
+                    message["data"] = request.data.hex()
+                future = client.send(message)
+                futures.append(future)
+                outstanding.append(future)
+                if throttle:
+                    await client.drain()
+                    if len(outstanding) >= window:
+                        await outstanding.popleft()
+            for client in clients:
+                await client.drain()
+            import asyncio
+
+            responses = await asyncio.gather(*futures)
+        finally:
+            for client in clients:
+                await client.close()
+            await server.close()
+        return server, responses
 
     # ------------------------------------------------------- crash/recovery
     def _drive(self, protocol, requests) -> list:

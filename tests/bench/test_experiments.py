@@ -37,6 +37,9 @@ class TestRegistry:
         assert "parallel" in EXPERIMENTS
         assert "profile" in EXPERIMENTS
 
+    def test_serving_present(self):
+        assert "serving" in EXPERIMENTS
+
 
 class TestProfileExperiment:
     def test_profile_reports_phases_and_functions(self):

@@ -3,8 +3,8 @@
 import pytest
 
 from repro.core.horam import build_horam
-from repro.core.multiuser import AccessDenied, MultiUserFrontEnd
-from repro.oram.base import Request, initial_payload
+from repro.core.multiuser import AccessDenied, MultiUserFrontEnd, UnknownUserError
+from repro.oram.base import ORAMError, Request, initial_payload
 
 
 @pytest.fixture
@@ -22,8 +22,22 @@ class TestRegistration:
             front.register_user(0)
 
     def test_unknown_user_rejected(self, front):
-        with pytest.raises(ValueError):
+        with pytest.raises(UnknownUserError):
             front.submit(9, Request.read(1))
+
+    def test_unknown_user_error_is_typed_and_names_the_set(self, front):
+        with pytest.raises(UnknownUserError) as exc_info:
+            front.submit(9, Request.read(1))
+        error = exc_info.value
+        assert isinstance(error, ORAMError)
+        assert error.user == 9
+        assert error.registered == [0, 1]
+        assert "9" in str(error) and "[0, 1]" in str(error)
+
+    def test_unknown_user_stats_rejected(self, front):
+        with pytest.raises(UnknownUserError) as exc_info:
+            front.stats(7)
+        assert exc_info.value.user == 7
 
     def test_users_listed(self, front):
         assert front.users() == [0, 1]

@@ -136,6 +136,75 @@ class TestAggregation:
         assert set(pct) == {50, 90, 99}
         assert pct[50] <= pct[99]
 
+    def test_no_fence_reporting_when_all_live(self):
+        sharded = build(2)
+        SimulationEngine(sharded).run(uniform(1024, 40, DeterministicRandom(8)))
+        assert "fenced_shards" not in sharded.metrics.extra
+        balance = sharded.load_balance()
+        assert balance["fenced_shards"] == []
+        assert balance["shards"] == [0, 1]
+
+
+class TestFencedAggregation:
+    """Fleet aggregation must not silently read dead shards' mirrors."""
+
+    def _drain_some(self, sharded, count=60):
+        SimulationEngine(sharded).run(uniform(1024, count, DeterministicRandom(9)))
+
+    def test_metrics_skip_fenced_shard(self):
+        sharded = build(2)
+        self._drain_some(sharded)
+        live_before = sharded.shard_metrics()
+        sharded.fence_shard(1)
+        merged = sharded.metrics
+        assert merged.requests_served == live_before[0].requests_served
+        assert merged.extra["fenced_shards"] == [1]
+
+    def test_load_balance_skips_fenced_shard(self):
+        sharded = build(4)
+        self._drain_some(sharded, 120)
+        sharded.fence_shard(2)
+        balance = sharded.load_balance()
+        assert balance["shards"] == [0, 1, 3]
+        assert balance["fenced_shards"] == [2]
+        assert len(balance["per_shard_served"]) == 3
+        assert len(balance["per_shard_cycles"]) == 3
+        assert len(balance["per_shard_clock_us"]) == 3
+
+    def test_latency_percentiles_skip_fenced_shard(self):
+        sharded = build(2)
+        self._drain_some(sharded)
+        shard0_log = list(sharded.shards[0].latency_log)
+        sharded.fence_shard(1)
+        pct = sharded.latency_percentiles()
+        from repro.sim.metrics import percentile
+
+        assert pct == {int(q): percentile(shard0_log, q) for q in (50, 90, 99)}
+
+    def test_parallel_executor_fenced_mirror_excluded(self):
+        from repro.core.sharding import build_sharded_horam
+
+        sharded = build_sharded_horam(
+            n_blocks=1024,
+            mem_tree_blocks=256,
+            n_shards=2,
+            seed=31,
+            executor="parallel",
+        )
+        with sharded:
+            self._drain_some(sharded, 40)
+            mirror_served = sharded.shards[1].metrics.requests_served
+            assert mirror_served > 0  # the stale mirror has real counts
+            live_served = sharded.shards[0].metrics.requests_served
+            sharded.fence_shard(1)
+            merged = sharded.metrics
+            assert merged.requests_served == live_served
+            assert merged.extra["fenced_shards"] == [1]
+            balance = sharded.load_balance()
+            assert balance["shards"] == [0]
+            assert balance["fenced_shards"] == [1]
+            assert balance["per_shard_served"] == [live_served]
+
 
 class TestLockstep:
     def test_lockstep_keeps_cycle_counts_equal(self):

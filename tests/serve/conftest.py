@@ -1,0 +1,47 @@
+"""Shared helpers for the serving-tier tests: in-process socketpairs."""
+
+import asyncio
+import socket
+import time
+
+import pytest
+
+from repro.serve import ORAMServer, ServeClient
+
+
+class ManualClock:
+    """Injectable clock so rate-limit tests are fully deterministic."""
+
+    def __init__(self, start: float = 0.0):
+        self.t = start
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+async def _make_pair(stack, config=None, clock=time.monotonic):
+    """An ORAMServer and a connected ServeClient over a socketpair."""
+    server = ORAMServer(stack, config, clock=clock)
+    server_end, client_end = socket.socketpair()
+    await server.attach(server_end)
+    client = await ServeClient.from_socket(client_end)
+    return server, client
+
+
+@pytest.fixture
+def make_pair():
+    return _make_pair
+
+
+@pytest.fixture
+def manual_clock():
+    return ManualClock
+
+
+@pytest.fixture
+def run():
+    """Run one async scenario to completion (no pytest-asyncio here)."""
+    return lambda coro: asyncio.run(coro)

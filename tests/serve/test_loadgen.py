@@ -1,0 +1,143 @@
+"""Load generator tests: arrival processes, churn, hotspots, open loop."""
+
+import pytest
+
+from repro.core.horam import build_horam
+from repro.serve import LoadSpec, diff_served, generate_load, replay_direct, run_load
+from repro.serve.loadgen import arrival_times, tenants_used
+from repro.crypto.random import DeterministicRandom
+
+
+class TestStreams:
+    def test_deterministic_for_a_seed(self):
+        spec = LoadSpec(rate_per_s=300, duration_s=1.0, seed=4)
+        assert generate_load(spec) == generate_load(spec)
+
+    def test_different_seeds_differ(self):
+        a = generate_load(LoadSpec(rate_per_s=300, duration_s=1.0, seed=1))
+        b = generate_load(LoadSpec(rate_per_s=300, duration_s=1.0, seed=2))
+        assert a != b
+
+    def test_poisson_rate_is_roughly_honoured(self):
+        spec = LoadSpec(rate_per_s=500, duration_s=2.0, seed=3)
+        times = arrival_times(spec, DeterministicRandom("poisson-test"))
+        assert 700 <= len(times) <= 1300  # ~1000 expected
+        assert all(0 <= t < spec.duration_s for t in times)
+        assert times == sorted(times)
+
+    def test_diurnal_swings_the_rate(self):
+        spec = LoadSpec(
+            arrival="diurnal", rate_per_s=400, duration_s=2.0,
+            peak_ratio=4.0, diurnal_period_s=2.0, seed=5,
+        )
+        times = arrival_times(spec, DeterministicRandom("diurnal-test"))
+        assert all(0 <= t < spec.duration_s for t in times)
+        # The first quarter-period is trough, the middle is peak: the
+        # middle half of the window must be visibly denser.
+        trough = sum(1 for t in times if t < 0.5)
+        peak = sum(1 for t in times if 0.75 <= t < 1.25)
+        assert peak > 1.5 * trough
+
+    def test_addresses_stay_in_range(self):
+        spec = LoadSpec(
+            rate_per_s=400, duration_s=1.0, n_blocks=64,
+            hot_probability=1.0, hotspot_move_every_s=0.2, seed=6,
+        )
+        stream = generate_load(spec)
+        assert stream
+        assert all(0 <= r.addr < 64 for r in stream)
+
+    def test_hotspot_moves_between_epochs(self):
+        spec = LoadSpec(
+            rate_per_s=400, duration_s=1.0, n_blocks=1024, hot_fraction=0.05,
+            hot_probability=1.0, hotspot_move_every_s=0.5, seed=7,
+        )
+        stream = generate_load(spec)
+        early = {r.addr for r in stream if r.at_s < 0.5}
+        late = {r.addr for r in stream if r.at_s >= 0.5}
+        assert early and late
+        # Disjoint hot ranges: at most stray overlap from the modulo wrap.
+        assert len(early & late) < min(len(early), len(late)) / 2
+
+    def test_tenant_churn_slides_the_window(self):
+        spec = LoadSpec(
+            rate_per_s=400, duration_s=2.0, tenants=2,
+            tenant_churn_every_s=0.5, seed=8,
+        )
+        stream = generate_load(spec)
+        used = {r.tenant for r in stream}
+        assert used <= set(tenants_used(spec))
+        assert len(tenants_used(spec)) == 5  # epochs 0..3, window of 2
+        assert len(used) > 2  # churn actually brought new tenants in
+
+    def test_no_churn_uses_the_base_window(self):
+        spec = LoadSpec(rate_per_s=300, duration_s=1.0, tenants=3, seed=9)
+        assert tenants_used(spec) == [0, 1, 2]
+        assert {r.tenant for r in generate_load(spec)} <= {0, 1, 2}
+
+    def test_write_ratio_mixes_ops(self):
+        spec = LoadSpec(rate_per_s=400, duration_s=1.0, write_ratio=0.5, seed=10)
+        stream = generate_load(spec)
+        ops = {r.op for r in stream}
+        assert ops == {"read", "write"}
+        assert all(r.data is not None for r in stream if r.op == "write")
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            LoadSpec(arrival="lunar")
+        with pytest.raises(ValueError):
+            LoadSpec(rate_per_s=0)
+        with pytest.raises(ValueError):
+            LoadSpec(tenants=0)
+
+
+class TestOpenLoop:
+    def test_run_load_serves_and_twins(self, run, make_pair):
+        spec = LoadSpec(
+            rate_per_s=150, duration_s=0.4, tenants=2, n_blocks=256,
+            write_ratio=0.3, seed=11,
+        )
+
+        async def scenario():
+            stack = build_horam(n_blocks=256, mem_tree_blocks=64, seed=13)
+            server, client = await make_pair(stack)
+            for tenant in tenants_used(spec):
+                server.add_tenant(tenant)
+            report = await run_load(client, spec, time_scale=50.0)
+            await client.close()
+            await server.close()
+            return server, report
+
+        server, report = run(scenario())
+        assert report.offered == len(generate_load(spec))
+        assert report.served + sum(report.rejected.values()) + report.errored == (
+            report.offered
+        )
+        assert report.served == len(server.journal)
+        percentiles = report.percentiles()
+        assert set(percentiles) == {"p50", "p99", "p999"}
+        assert percentiles["p50"] <= percentiles["p99"] <= percentiles["p999"]
+        twin = replay_direct(
+            server.journal, build_horam(n_blocks=256, mem_tree_blocks=64, seed=13)
+        )
+        assert diff_served(server.journal, server.served_by_seq, twin).identical
+
+    def test_slo_judgement(self, run, make_pair):
+        spec = LoadSpec(rate_per_s=100, duration_s=0.2, tenants=1, seed=12)
+
+        async def scenario():
+            server, client = await make_pair(
+                build_horam(n_blocks=512, mem_tree_blocks=128, seed=1)
+            )
+            server.add_tenant(0)
+            report = await run_load(client, spec, time_scale=50.0)
+            await client.close()
+            await server.close()
+            return report
+
+        report = run(scenario())
+        generous = report.slo(p50_ms=10_000, p99_ms=10_000, p999_ms=10_000)
+        impossible = report.slo(p50_ms=0.0, p99_ms=0.0, p999_ms=0.0)
+        assert generous["met"] is True
+        assert impossible["met"] is (report.served == 0)
+        assert set(generous["measured"]) == {"p50", "p99", "p999"}

@@ -1,0 +1,87 @@
+"""Wire-framing tests: length-prefixed JSON frames."""
+
+import asyncio
+import struct
+
+import pytest
+
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    encode_frame,
+    from_hex,
+    read_frame,
+    to_hex,
+)
+
+
+def _reader_with(data: bytes, eof: bool = True) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    if eof:
+        reader.feed_eof()
+    return reader
+
+
+def _read(data: bytes):
+    async def scenario():
+        return await read_frame(_reader_with(data))
+
+    return asyncio.run(scenario())
+
+
+class TestFraming:
+    def test_round_trip(self):
+        message = {"id": 7, "op": "read", "addr": 3, "tenant": 0}
+        assert _read(encode_frame(message)) == message
+
+    def test_pipelined_frames_parse_in_order(self):
+        wire = encode_frame({"id": 1}) + encode_frame({"id": 2})
+
+        async def scenario():
+            reader = _reader_with(wire)
+            return [await read_frame(reader), await read_frame(reader)]
+
+        assert [m["id"] for m in asyncio.run(scenario())] == [1, 2]
+
+    def test_clean_eof_returns_none(self):
+        assert _read(b"") is None
+
+    def test_eof_mid_header_raises(self):
+        with pytest.raises(ProtocolError, match="mid-header"):
+            _read(b"\x00\x00")
+
+    def test_eof_mid_frame_raises(self):
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            _read(struct.pack(">I", 10) + b"{}")
+
+    def test_oversize_frame_rejected_before_reading_body(self):
+        with pytest.raises(ProtocolError, match="cap"):
+            _read(struct.pack(">I", MAX_FRAME_BYTES + 1))
+
+    def test_undecodable_body_raises(self):
+        body = b"not json"
+        with pytest.raises(ProtocolError, match="undecodable"):
+            _read(struct.pack(">I", len(body)) + body)
+
+    def test_non_object_body_raises(self):
+        body = b"[1,2]"
+        with pytest.raises(ProtocolError, match="JSON object"):
+            _read(struct.pack(">I", len(body)) + body)
+
+    def test_encode_rejects_oversize_payload(self):
+        with pytest.raises(ProtocolError, match="cap"):
+            encode_frame({"data": "ff" * MAX_FRAME_BYTES})
+
+
+class TestHexHelpers:
+    def test_round_trip(self):
+        assert from_hex(to_hex(b"\x00\xffab")) == b"\x00\xffab"
+
+    def test_none_passthrough(self):
+        assert to_hex(None) is None
+        assert from_hex(None) is None
+
+    def test_invalid_hex_raises(self):
+        with pytest.raises(ProtocolError, match="hex"):
+            from_hex("zz")

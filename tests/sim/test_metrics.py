@@ -50,6 +50,29 @@ class TestCombinators:
         b = Metrics(extra={"y": 2})
         assert a.merge(b).extra == {"x": 1, "y": 2}
 
+    def test_merge_sums_numeric_extra(self):
+        a = Metrics(extra={"dummy_pool_exhausted": 2})
+        b = Metrics(extra={"dummy_pool_exhausted": 3})
+        assert a.merge(b).extra == {"dummy_pool_exhausted": 5}
+
+    def test_merge_keeps_bool_extras_as_flags(self):
+        # bool subclasses int: without the explicit exclusion a True flag
+        # merged across two shards would come back as 2 (and lose boolness).
+        a = Metrics(extra={"hardware_limited": True, "n": 1})
+        b = Metrics(extra={"hardware_limited": True, "n": 2})
+        merged = a.merge(b).extra
+        assert merged["hardware_limited"] is True
+        assert merged["n"] == 3
+
+    def test_merge_bool_last_wins_even_against_numbers(self):
+        # Mixed flag/number never sums: the later value wins outright.
+        a = Metrics(extra={"flag": 1})
+        b = Metrics(extra={"flag": False})
+        assert a.merge(b).extra["flag"] is False
+        c = Metrics(extra={"flag": True})
+        d = Metrics(extra={"flag": 1})
+        assert c.merge(d).extra["flag"] == 1
+
     def test_diff(self):
         before = Metrics(io_reads=10, cycles=3, stash_peak=4)
         after = Metrics(io_reads=25, cycles=9, stash_peak=6)
