@@ -1,0 +1,153 @@
+"""Chaos soak benchmark: exactly-once serving under injected failure.
+
+Runs the ``chaos`` experiment grid -- retrying clients with idempotency
+keys driving the asyncio :class:`~repro.serve.ORAMServer` through the
+seeded chaos proxy (connection resets, mid-frame cuts, blackholed
+frames, stalls), over a clean stack, a supervised fleet with a backend
+crash storm, and a mid-stream graceful drain -- and reports per cell:
+
+* **goodput**, **availability**, **retry amplification** and wall-clock
+  **p99** latency (advisory; shared CI hosts make timing noisy),
+* the hard gates: zero **duplicate idempotent executions** (no retried
+  write may journal twice), served bytes **identical to the
+  direct-submit twin**, only expected outcome codes, and a
+  **bit-identical deterministic subset across two same-seed runs**.
+
+Any duplicate execution, twin divergence, unexpected outcome code or
+determinism mismatch exits non-zero, which is what the CI chaos job
+gates on.
+
+The result is persisted to ``BENCH_chaos.json`` at the repo root,
+mirroring the other ``BENCH_*.json`` artifacts.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_chaos.py           # full run + JSON
+    PYTHONPATH=src python benchmarks/bench_chaos.py --smoke   # tiny CI sanity run
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - convenience for direct invocation
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench.experiments import chaos
+
+FULL_SCALE = "medium"
+SMOKE_SCALE = "quick"
+
+#: every cell must carry these measured fields; CI fails without them.
+REQUIRED_MEASURED_KEYS = (
+    "goodput_rps",
+    "availability",
+    "retry_amplification",
+    "p99_ms",
+)
+
+
+def missing_fields(data: dict) -> list[str]:
+    """Cells whose report lacks a gate or headline-metric field."""
+    problems = []
+    for name, cell in data.get("cells", {}).items():
+        measured = cell.get("measured", {})
+        for key in REQUIRED_MEASURED_KEYS:
+            if key not in measured:
+                problems.append(f"{name}: measured.{key}")
+        subset = cell.get("deterministic_subset", {})
+        for key in ("duplicate_executions", "twin_identical"):
+            if key not in subset:
+                problems.append(f"{name}: deterministic_subset.{key}")
+        if "repeat_matches" not in cell:
+            problems.append(f"{name}: repeat_matches")
+    return problems
+
+
+def gate_failures(data: dict) -> list[str]:
+    """The hard failures the chaos gate exits non-zero on."""
+    failures = []
+    for name, cell in data.get("cells", {}).items():
+        subset = cell.get("deterministic_subset", {})
+        if subset.get("duplicate_executions"):
+            failures.append(
+                f"{name}: {subset['duplicate_executions']} duplicate "
+                "idempotent executions journaled"
+            )
+        if not subset.get("twin_identical", False):
+            failures.append(f"{name}: served bytes diverge from the twin")
+        if not subset.get("only_expected_codes", False):
+            failures.append(f"{name}: unexpected outcome codes surfaced")
+        if not cell.get("repeat_matches", False):
+            failures.append(f"{name}: two same-seed soaks disagree")
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="quick-scale CI run (same gates, smaller soak)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="result JSON path (default: BENCH_chaos.json at the repo root)",
+    )
+    args = parser.parse_args()
+
+    scale = SMOKE_SCALE if args.smoke else FULL_SCALE
+    started = time.perf_counter()
+    result = chaos(scale=scale)
+    elapsed = time.perf_counter() - started
+    print(result.render())
+    print(f"\n[chaos completed in {elapsed:.1f} s wall-clock]")
+
+    report = {
+        "benchmark": "chaos",
+        "mode": "smoke" if args.smoke else "full",
+        "scale": scale,
+        "ok": result.ok,
+        "data": result.data,
+        "machine": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpus": os.cpu_count(),
+        },
+        "wall_seconds": elapsed,
+    }
+    out = args.out or (REPO_ROOT / "BENCH_chaos.json")
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    problems = missing_fields(result.data)
+    if problems:
+        print(
+            "CHAOS FAILURE: report fields missing: " + ", ".join(problems),
+            file=sys.stderr,
+        )
+        return 1
+    failures = gate_failures(result.data)
+    if failures or not result.ok:
+        for failure in failures:
+            print(f"CHAOS FAILURE: {failure}", file=sys.stderr)
+        if not failures:
+            print("CHAOS FAILURE: experiment gate tripped", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -64,6 +64,9 @@ class UserStats:
 
     submitted: int = 0
     served: int = 0
+    #: requests withdrawn from the FIFO before reaching the back end
+    #: (deadline cancellation); submitted still counts them.
+    cancelled: int = 0
     latency_samples: int = 0
     total_latency_cycles: int = 0
 
@@ -125,6 +128,7 @@ class MultiUserFrontEnd:
         for entry in self._users.values():
             total.submitted += entry.stats.submitted
             total.served += entry.stats.served
+            total.cancelled += entry.stats.cancelled
             total.latency_samples += entry.stats.latency_samples
             total.total_latency_cycles += entry.stats.total_latency_cycles
         return total
@@ -145,6 +149,23 @@ class MultiUserFrontEnd:
             )
         entry.queue.append(replace(request, user=user))
         entry.stats.submitted += 1
+
+    def cancel(self, user: int, request_id: int) -> bool:
+        """Withdraw a request still sitting in the user's FIFO.
+
+        Only queued-not-yet-fed requests can be withdrawn: once a request
+        has moved into the shared ROB the oblivious schedule owns it.
+        Returns True when the request was found and removed -- the caller
+        (the serving layer's deadline enforcement) then knows the back
+        end will never see it.
+        """
+        entry = self._user(user)
+        for index, queued in enumerate(entry.queue):
+            if queued.request_id == request_id:
+                del entry.queue[index]
+                entry.stats.cancelled += 1
+                return True
+        return False
 
     def pump(self, max_cycles: int | None = None) -> list[RobEntry]:
         """Feed queued requests round-robin and run scheduler cycles.

@@ -418,6 +418,25 @@ class FleetSupervisor:
         self.executor.restore_shard(index, shard)
 
     # ----------------------------------------------------------- checkpoints
+    def checkpoint_now(self) -> int:
+        """Checkpoint every live shard immediately (the drain-time hook).
+
+        A graceful server drain calls this after the fleet quiesces so a
+        restart resumes from the drain boundary instead of replaying back
+        to the last cadence checkpoint.  The fleet is drained first --
+        the checkpoint format is only valid at a quiescent boundary --
+        and fenced shards are skipped (there is nothing live to save).
+        Returns the number of shards checkpointed.
+        """
+        self.drain()
+        saved = 0
+        for index in range(self.fleet.n_shards):
+            if index in self.fleet.fenced:
+                continue
+            self._checkpoint(index)
+            saved += 1
+        return saved
+
     def _maybe_checkpoint(self) -> None:
         """Cadence check at a quiescent drain boundary."""
         if self.config.checkpoint_every_ops <= 0:

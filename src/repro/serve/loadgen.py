@@ -63,6 +63,11 @@ class LoadSpec:
     hotspot_move_every_s: float | None = None
     write_ratio: float = 0.2
     seed: int = 1
+    #: per-request deadline stamped on every frame (ms; None = none).
+    deadline_ms: float | None = None
+    #: stamp each request with a unique idempotency key (``load-<n>``),
+    #: so a chaos run can retry the stream without double execution.
+    idempotent: bool = False
 
     def __post_init__(self) -> None:
         if self.arrival not in ("poisson", "diurnal"):
@@ -73,6 +78,8 @@ class LoadSpec:
             raise ValueError("tenants must be >= 1")
         if self.arrival == "diurnal" and self.peak_ratio < 1:
             raise ValueError("peak_ratio must be >= 1")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValueError("deadline_ms must be positive")
 
     def to_dict(self) -> dict:
         return {
@@ -89,6 +96,8 @@ class LoadSpec:
             "hotspot_move_every_s": self.hotspot_move_every_s,
             "write_ratio": self.write_ratio,
             "seed": self.seed,
+            "deadline_ms": self.deadline_ms,
+            "idempotent": self.idempotent,
         }
 
 
@@ -241,7 +250,7 @@ async def run_load(
     inflight: "list[tuple[asyncio.Future, float]]" = []
     finished_at: "dict[int, float]" = {}
     start = clock()
-    for timed in stream:
+    for arrival_index, timed in enumerate(stream):
         due = start + timed.at_s / time_scale
         delay = due - clock()
         if delay > 0:
@@ -249,6 +258,10 @@ async def run_load(
         message = {"op": timed.op, "addr": timed.addr, "tenant": timed.tenant}
         if timed.data is not None:
             message["data"] = to_hex(timed.data)
+        if spec.deadline_ms is not None:
+            message["deadline_ms"] = spec.deadline_ms
+        if spec.idempotent:
+            message["idem"] = f"load-{spec.seed}-{arrival_index}"
         future = client.send(message)
         # Stamp completion when the response *arrives*, not when the
         # tail loop below finally awaits it.

@@ -17,6 +17,17 @@ Requests the server understands::
     {"id": 3, "op": "health"}
     {"id": 4, "op": "metrics"}
 
+Read/write frames may also carry:
+
+* ``"deadline_ms"`` -- wall-clock budget for this request, measured from
+  server receipt; a request the server cannot serve in time answers with
+  a typed ``deadline_exceeded`` rejection instead of arbitrary lateness.
+* ``"idem"`` -- an idempotency key (string, unique per *logical*
+  request, shared across its retries).  The server executes each
+  ``(tenant, idem)`` pair at most once; a retry of an already-served key
+  replays the cached response (flagged ``"replayed": true``) and is
+  never journaled twice.
+
 Responses::
 
     {"id": 1, "ok": true,  "seq": 12, "data": hex, "latency_cycles": 3}
@@ -55,8 +66,20 @@ ERROR_CODES = (
     "unknown_tenant",    # no such tenant registered with the server
     "unavailable",       # the address' shard is fenced
     "bad_request",       # malformed frame/fields
+    "deadline_exceeded", # the request's deadline passed before it was served
+    "draining",          # the server is draining; it admits nothing new
     "shutting_down",     # the server is closing
     "internal",          # unexpected server-side failure
+)
+
+#: Codes a well-behaved client may retry (possibly against another
+#: replica).  Everything else is terminal for the request as posed:
+#: quota/ACL/tenant errors will fail identically on retry, bad frames
+#: are the caller's bug, and a draining/shutting-down server will never
+#: admit this connection's retries.  ``deadline_exceeded`` is retriable
+#: because each attempt carries a *fresh* deadline.
+RETRIABLE_CODES = frozenset(
+    {"overloaded", "rate_limited", "unavailable", "deadline_exceeded", "internal"}
 )
 
 

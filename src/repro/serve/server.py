@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import asyncio
 import time
-from collections import Counter
+from collections import Counter, OrderedDict
 from dataclasses import dataclass
 
 from repro.core.multiuser import AccessDenied, MultiUserFrontEnd, UnknownUserError
@@ -109,6 +109,34 @@ class ServeUnavailable(ServeRejection):
         self.addr = addr
 
 
+class DeadlineExceeded(ServeRejection):
+    """The request's deadline passed before the server could serve it."""
+
+    code = "deadline_exceeded"
+
+    def __init__(self, addr: int, late_by_ms: float, executed: bool):
+        stage = "after execution" if executed else "before execution"
+        super().__init__(
+            f"deadline passed {late_by_ms:.1f} ms ago {stage} (addr {addr})"
+        )
+        self.addr = addr
+        self.late_by_ms = late_by_ms
+        #: True when the backend executed the request anyway (the result
+        #: is journaled and, via the idempotency cache, visible to a
+        #: retry); False when it was cancelled before ever reaching the
+        #: oblivious stack.
+        self.executed = executed
+
+
+class Draining(ServeRejection):
+    """The server is draining: in-flight work finishes, nothing new enters."""
+
+    code = "draining"
+
+    def __init__(self):
+        super().__init__("server is draining; no new work is admitted")
+
+
 @dataclass
 class ServeConfig:
     """Operator knobs for one server instance."""
@@ -121,12 +149,29 @@ class ServeConfig:
     pump_max_cycles: int = 32
     #: per-frame body cap forwarded to the protocol layer.
     max_frame_bytes: int = MAX_FRAME_BYTES
+    #: deadline applied to requests that carry none (ms; None = no
+    #: deadline -- requests wait as long as the backend takes).
+    default_deadline_ms: float | None = None
+    #: bounded retention of the idempotency dedupe cache (completed
+    #: responses by ``(tenant, idem)``, FIFO eviction).  A retry arriving
+    #: after its key was evicted re-executes; size this above the
+    #: client-side retry horizon.
+    idem_cache_size: int = 1024
+    #: default hard deadline for :meth:`ORAMServer.drain` (seconds);
+    #: past it, still-pending work is failed with ``shutting_down``.
+    drain_timeout_s: float = 30.0
 
     def __post_init__(self) -> None:
         if self.max_inflight < 1:
             raise ValueError("max_inflight must be >= 1")
         if self.pump_max_cycles < 1:
             raise ValueError("pump_max_cycles must be >= 1")
+        if self.default_deadline_ms is not None and self.default_deadline_ms <= 0:
+            raise ValueError("default_deadline_ms must be positive")
+        if self.idem_cache_size < 1:
+            raise ValueError("idem_cache_size must be >= 1")
+        if self.drain_timeout_s < 0:
+            raise ValueError("drain_timeout_s must be >= 0")
 
 
 @dataclass
@@ -194,6 +239,11 @@ class JournalRecord:
     op: str
     addr: int
     data: bytes | None = None
+    #: the request's idempotency key, if it carried one; two journal
+    #: records sharing a ``(tenant, idem)`` pair means a retried request
+    #: executed twice -- the invariant the chaos gate counts violations
+    #: of.  Replay/twin machinery ignores this field.
+    idem: str | None = None
 
 
 class _JournalingBackend:
@@ -213,9 +263,13 @@ class _JournalingBackend:
     to the supervised drain path.
     """
 
-    def __init__(self, stack, journal: list[JournalRecord]):
+    def __init__(self, stack, journal: list[JournalRecord], idem_of: dict):
         self._stack = stack
         self._journal = journal
+        #: request_id -> idempotency key, maintained by the server's
+        #: admission path; consulted here so journal records carry the
+        #: key of the logical request they execute.
+        self._idem_of = idem_of
         #: requests a fenced stripe refused at feed time; the server
         #: fails their futures after the pump quantum returns.
         self.failed: list[Request] = []
@@ -238,6 +292,7 @@ class _JournalingBackend:
                 op=request.op.value,
                 addr=request.addr,
                 data=request.data,
+                idem=self._idem_of.get(request.request_id),
             )
         )
         return result
@@ -262,12 +317,22 @@ class _JournalingBackend:
 
 @dataclass
 class _Pending:
-    """One admitted request awaiting retirement."""
+    """One admitted request awaiting retirement.
+
+    ``futures`` starts with the admitting connection's future; retried
+    duplicates of the same idempotency key that arrive while the
+    original is still in flight *join* it -- their futures are appended
+    here and every one resolves with the single execution's response.
+    """
 
     tenant: int
-    future: asyncio.Future
+    futures: list
     admitted_at: float
     addr: int
+    #: absolute clock time the request's deadline lapses (None = none).
+    deadline_at: float | None = None
+    #: the request's ``(tenant, idem)`` dedupe key, if any.
+    idem: tuple | None = None
 
 
 class ORAMServer:
@@ -282,14 +347,34 @@ class ORAMServer:
         #: served payload by journal seq (None for writes) -- what the
         #: direct-submit twin must reproduce byte-for-byte.
         self.served_by_seq: dict[int, bytes | None] = {}
-        self._backend = _JournalingBackend(stack, self.journal)
+        #: request_id -> idempotency key string (set at admission,
+        #: cleared at response); the journaling backend stamps records
+        #: from it.
+        self._idem_of_request: dict[int, str] = {}
+        self._backend = _JournalingBackend(stack, self.journal, self._idem_of_request)
         self.front = MultiUserFrontEnd(self._backend)
         self._tenants: dict[int, _TenantState] = {}
         self._pending: dict[int, _Pending] = {}  # request_id -> pending
         self._seq_of_request: dict[int, int] = {}
+        #: (tenant, idem) -> request_id of the in-flight execution.
+        self._idem_inflight: dict[tuple, int] = {}
+        #: (tenant, idem) -> completed ok-response, bounded FIFO.
+        self._idem_cache: OrderedDict = OrderedDict()
         self.rejections: Counter = Counter()
         self.served = 0
         self.connections = 0
+        #: duplicate requests answered straight from the dedupe cache.
+        self.idem_replays = 0
+        #: duplicate requests that joined an in-flight execution.
+        self.idem_joins = 0
+        #: requests cancelled before execution when their deadline passed.
+        self.deadline_cancelled = 0
+        #: requests that executed but retired past their deadline.
+        self.deadline_late = 0
+        #: retired entries matching no pending waiter (direct backend
+        #: traffic or already-answered requests); counted, not dropped
+        #: invisibly.
+        self.unmatched_retired = 0
         #: wall-clock admission->response latencies (seconds).
         self.wall_latencies_s: list[float] = []
         self._work = asyncio.Event()
@@ -297,6 +382,8 @@ class ORAMServer:
         self._conn_tasks: set[asyncio.Task] = set()
         self._tcp_server: asyncio.AbstractServer | None = None
         self._closing = False
+        self._draining = False
+        self._drain_report: dict | None = None
 
     # ------------------------------------------------------------- tenancy
     def add_tenant(self, tenant: int, policy: TenantPolicy | None = None) -> None:
@@ -336,6 +423,59 @@ class ORAMServer:
         task.add_done_callback(self._conn_tasks.discard)
         return task
 
+    async def drain(self, timeout_s: float | None = None) -> dict:
+        """Graceful drain: admit nothing new, finish everything admitted.
+
+        From the first await onward every new read/write is rejected with
+        a typed ``draining`` error while the pump keeps running until all
+        admitted work has retired and responded.  Past the hard deadline
+        (``timeout_s``, default ``config.drain_timeout_s``) the remainder
+        is failed with ``shutting_down`` instead of waiting forever on a
+        wedged backend.  The TCP listener (if any) stops accepting, and a
+        supervised backend exposing ``checkpoint_now`` is checkpointed at
+        the drain boundary so a restart resumes bit-identically from
+        here.  Returns a report; connections stay open for final
+        responses until :meth:`close`.
+        """
+        budget = self.config.drain_timeout_s if timeout_s is None else timeout_s
+        deadline = self.clock() + budget
+        self._draining = True
+        self.ensure_pump()
+        self._work.set()
+        escalated = 0
+        while self._pending:
+            if self.clock() >= deadline:
+                for request_id, pending in list(self._pending.items()):
+                    self._pending.pop(request_id, None)
+                    self._clear_idem(pending, request_id)
+                    self.rejections["shutting_down"] += 1
+                    self._respond(
+                        pending,
+                        _error_response(
+                            None, "shutting_down", "drain deadline escalation"
+                        ),
+                    )
+                    escalated += 1
+                break
+            # The pump task makes the progress; yielding here hands it
+            # (and the response writers) the loop between checks.
+            await asyncio.sleep(0)
+        for _ in range(4):  # let per-connection response tasks flush
+            await asyncio.sleep(0)
+        if self._tcp_server is not None:
+            self._tcp_server.close()
+            await self._tcp_server.wait_closed()
+            self._tcp_server = None
+        checkpoint_now = getattr(self.stack, "checkpoint_now", None)
+        checkpointed = checkpoint_now() if checkpoint_now is not None else 0
+        self._drain_report = {
+            "escalated": escalated,
+            "checkpointed_shards": checkpointed,
+            "accepted": len(self.journal),
+            "served": self.served,
+        }
+        return dict(self._drain_report)
+
     async def close(self) -> None:
         """Stop accepting, fail whatever is still pending, stop the pump."""
         self._closing = True
@@ -343,11 +483,12 @@ class ORAMServer:
             self._tcp_server.close()
             await self._tcp_server.wait_closed()
         for pending in list(self._pending.values()):
-            if not pending.future.done():
-                pending.future.set_result(
-                    _error_response(None, "shutting_down", "server closing")
-                )
+            self._respond(
+                pending, _error_response(None, "shutting_down", "server closing")
+            )
         self._pending.clear()
+        self._idem_inflight.clear()
+        self._idem_of_request.clear()
         self._work.set()
         if self._pump_task is not None:
             try:
@@ -395,7 +536,13 @@ class ORAMServer:
                 "served": self.served,
                 "inflight": self.inflight(),
                 "rejections": dict(self.rejections),
+                "idem_replays": self.idem_replays,
+                "idem_joins": self.idem_joins,
+                "deadline_cancelled": self.deadline_cancelled,
+                "deadline_late": self.deadline_late,
+                "unmatched_retired": self.unmatched_retired,
             },
+            "draining": self._draining,
             "latency_percentiles": {
                 "wall_ms": wall,
                 "simulated_cycles": (
@@ -422,6 +569,8 @@ class ORAMServer:
         msg_id = message.get("id")
         try:
             request, tenant = self._parse(message)
+            deadline_ms = self._parse_deadline(message)
+            idem_key = self._parse_idem(message, tenant)
         except (ProtocolError, ValueError) as error:
             self.rejections["bad_request"] += 1
             return _error_response(msg_id, "bad_request", str(error)), None
@@ -430,6 +579,30 @@ class ORAMServer:
             self.rejections["unknown_tenant"] += 1
             error = UnknownUserError(tenant, list(self._tenants))
             return _error_response(msg_id, "unknown_tenant", str(error)), None
+        if idem_key is not None:
+            cached = self._idem_cache.get(idem_key)
+            if cached is not None:
+                # Exactly-once: the logical request already executed;
+                # replay its response without touching policy state.
+                self.idem_replays += 1
+                response = dict(cached)
+                response["id"] = msg_id
+                response["replayed"] = True
+                return response, None
+            inflight_id = self._idem_inflight.get(idem_key)
+            if inflight_id is not None and inflight_id in self._pending:
+                self.idem_joins += 1
+                future = asyncio.get_running_loop().create_future()
+                self._pending[inflight_id].futures.append(future)
+                return None, future
+        # After the dedupe checks: a retry of already-executing (or
+        # already-executed) work is still answered mid-drain; only *new*
+        # work is refused.
+        if self._draining or self._closing:
+            rejection = Draining()
+            self.rejections[rejection.code] += 1
+            state.rejections[rejection.code] += 1
+            return _error_response(msg_id, rejection.code, str(rejection)), None
         try:
             self._check_policies(state, request)
             # The ACL check lives in front.submit and enqueues on
@@ -448,13 +621,21 @@ class ORAMServer:
         if state.quota_remaining is not None:
             state.quota_remaining -= 1
         state.admitted += 1
+        now = self.clock()
+        if deadline_ms is None:
+            deadline_ms = self.config.default_deadline_ms
         future = asyncio.get_running_loop().create_future()
         self._pending[request.request_id] = _Pending(
             tenant=tenant,
-            future=future,
-            admitted_at=self.clock(),
+            futures=[future],
+            admitted_at=now,
             addr=request.addr,
+            deadline_at=(now + deadline_ms / 1000.0) if deadline_ms else None,
+            idem=idem_key,
         )
+        if idem_key is not None:
+            self._idem_inflight[idem_key] = request.request_id
+            self._idem_of_request[request.request_id] = idem_key[1]
         self._work.set()
         return None, future
 
@@ -495,6 +676,26 @@ class ORAMServer:
             return Request.write(addr, data), tenant
         raise ValueError(f"unknown op {op!r}")
 
+    @staticmethod
+    def _parse_deadline(message: dict) -> float | None:
+        deadline_ms = message.get("deadline_ms")
+        if deadline_ms is None:
+            return None
+        if isinstance(deadline_ms, bool) or not isinstance(deadline_ms, (int, float)):
+            raise ValueError(f"deadline_ms must be a number, got {deadline_ms!r}")
+        if deadline_ms <= 0:
+            raise ValueError(f"deadline_ms must be positive, got {deadline_ms!r}")
+        return float(deadline_ms)
+
+    @staticmethod
+    def _parse_idem(message: dict, tenant: int) -> tuple | None:
+        idem = message.get("idem")
+        if idem is None:
+            return None
+        if not isinstance(idem, str) or not idem:
+            raise ValueError(f"idem must be a non-empty string, got {idem!r}")
+        return (tenant, idem)
+
     # ----------------------------------------------------------------- pump
     async def _pump_loop(self) -> None:
         """The one task that runs the oblivious engine.
@@ -508,6 +709,7 @@ class ORAMServer:
             await self._work.wait()
             self._work.clear()
             while self._pending and not self._closing:
+                self._cancel_expired()
                 retired = self.front.pump(max_cycles=self.config.pump_max_cycles)
                 self._resolve(retired)
                 self._fail_unsubmittable()
@@ -517,6 +719,49 @@ class ORAMServer:
                 # Yield: let handlers admit newly arrived frames before
                 # the next quantum, and let response writes flush.
                 await asyncio.sleep(0)
+
+    def _cancel_expired(self) -> int:
+        """Server-side deadline cancellation of not-yet-executed requests.
+
+        A request still sitting in its tenant FIFO when its deadline
+        lapses is withdrawn before the backend ever sees it: never
+        journaled, never executed, answered with a typed
+        ``deadline_exceeded``.  Once journaled, the oblivious schedule
+        owns the request -- it executes (keeping the twin gate exact) and
+        lateness is judged at retirement in :meth:`_resolve`.
+        """
+        if not any(p.deadline_at is not None for p in self._pending.values()):
+            return 0
+        now = self.clock()
+        expired = [
+            (request_id, pending)
+            for request_id, pending in self._pending.items()
+            if pending.deadline_at is not None and now >= pending.deadline_at
+        ]
+        if not expired:
+            return 0
+        self._index_journal()
+        cancelled = 0
+        for request_id, pending in expired:
+            if request_id in self._seq_of_request:
+                continue  # already journaled: it executes; judged late at retire
+            if not self.front.cancel(pending.tenant, request_id):
+                continue  # mid-feed: the backend owns it now
+            del self._pending[request_id]
+            self._clear_idem(pending, request_id)
+            self.deadline_cancelled += 1
+            self.rejections["deadline_exceeded"] += 1
+            late_ms = (now - pending.deadline_at) * 1000.0
+            self._respond(
+                pending,
+                _error_response(
+                    None,
+                    "deadline_exceeded",
+                    str(DeadlineExceeded(pending.addr, late_ms, executed=False)),
+                ),
+            )
+            cancelled += 1
+        return cancelled
 
     def _work_left(self) -> bool:
         """Can another pump quantum still make progress?"""
@@ -528,23 +773,46 @@ class ORAMServer:
             request_id = entry.request.request_id
             pending = self._pending.pop(request_id, None)
             if pending is None:
-                continue  # direct backend traffic or an already-failed stripe
+                # Direct backend traffic or an already-answered request
+                # (drain escalation, deadline cancellation racing the
+                # feed): counted so retry/dedupe debugging can see it.
+                self.unmatched_retired += 1
+                continue
             seq = self._seq_for(request_id)
+            self._clear_idem(pending, request_id)
             if entry.error is not None:
                 self.rejections["unavailable"] += 1
                 response = _error_response(None, "unavailable", str(entry.error))
             else:
-                self.served += 1
                 self.served_by_seq[seq] = entry.result
-                self.wall_latencies_s.append(now - pending.admitted_at)
-                response = {
+                ok_response = {
                     "ok": True,
                     "seq": seq,
                     "data": to_hex(entry.result),
                     "latency_cycles": max(entry.latency_cycles, 0),
                 }
-            if not pending.future.done():
-                pending.future.set_result(response)
+                # The execution is committed either way: cache it under
+                # the idempotency key so a retry -- even of a response
+                # that came back late -- replays instead of re-executing.
+                if pending.idem is not None:
+                    self._cache_idem(pending.idem, ok_response)
+                late = (
+                    pending.deadline_at is not None and now > pending.deadline_at
+                )
+                if late:
+                    self.deadline_late += 1
+                    self.rejections["deadline_exceeded"] += 1
+                    late_ms = (now - pending.deadline_at) * 1000.0
+                    response = _error_response(
+                        None,
+                        "deadline_exceeded",
+                        str(DeadlineExceeded(pending.addr, late_ms, executed=True)),
+                    )
+                else:
+                    self.served += 1
+                    self.wall_latencies_s.append(now - pending.admitted_at)
+                    response = ok_response
+            self._respond(pending, response)
 
     def _seq_for(self, request_id: int) -> int:
         self._index_journal()
@@ -561,25 +829,49 @@ class ORAMServer:
             pending = self._pending.pop(request.request_id, None)
             if pending is None:
                 continue
+            self._clear_idem(pending, request.request_id)
             self.rejections["unavailable"] += 1
-            if not pending.future.done():
-                pending.future.set_result(
-                    _error_response(
-                        None,
-                        "unavailable",
-                        f"shard serving address {request.addr} is fenced",
-                    )
-                )
+            self._respond(
+                pending,
+                _error_response(
+                    None,
+                    "unavailable",
+                    f"shard serving address {request.addr} is fenced",
+                ),
+            )
 
     def _fail_orphans(self) -> None:
         """Pending entries nothing can ever retire (lost to the backend)."""
         for request_id, pending in list(self._pending.items()):
             del self._pending[request_id]
+            self._clear_idem(pending, request_id)
             self.rejections["internal"] += 1
-            if not pending.future.done():
-                pending.future.set_result(
-                    _error_response(None, "internal", "request lost by the backend")
-                )
+            self._respond(
+                pending,
+                _error_response(None, "internal", "request lost by the backend"),
+            )
+
+    # ------------------------------------------------------------ responders
+    @staticmethod
+    def _respond(pending: _Pending, response: dict) -> None:
+        """Resolve every future joined to this execution."""
+        for future in pending.futures:
+            if not future.done():
+                future.set_result(response)
+
+    def _clear_idem(self, pending: _Pending, request_id: int) -> None:
+        """Drop the in-flight dedupe bookkeeping for one request."""
+        self._idem_of_request.pop(request_id, None)
+        if pending.idem is not None:
+            inflight = self._idem_inflight.get(pending.idem)
+            if inflight == request_id:
+                del self._idem_inflight[pending.idem]
+
+    def _cache_idem(self, idem_key: tuple, response: dict) -> None:
+        """Retain one completed response for replay, FIFO-bounded."""
+        self._idem_cache[idem_key] = response
+        while len(self._idem_cache) > self.config.idem_cache_size:
+            self._idem_cache.popitem(last=False)
 
     # ---------------------------------------------------------- connections
     async def _handle(self, reader, writer) -> None:

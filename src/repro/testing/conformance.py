@@ -9,7 +9,11 @@ storms), recoverable fault injection (transient read errors, latency
 spikes, torn bulk writes), disk-backed slab stacks, and crash/restore
 choreographies (checkpoint, kill at a chosen physical op -- including a
 torn mid-shuffle bulk write and a parallel-executor fleet -- recover,
-finish, and diff against an uninterrupted twin).  The same specs back
+finish, and diff against an uninterrupted twin), and chaos serving
+soaks (seeded wire faults between retrying clients and the server,
+graceful drain under live load, a crash storm under a served supervised
+fleet -- all gated on exactly-once execution and twin identity).  The
+same specs back
 the ``horam-bench conformance`` CLI experiment and the tier-2 pytest
 matrix in ``tests/testing/test_conformance.py``.
 
@@ -21,6 +25,7 @@ stream, and replay from the shrunk spec's JSON.
 
 from __future__ import annotations
 
+from repro.serve.chaos import ChaosSpec
 from repro.storage.faults import FaultPlan
 from repro.testing.scenario import (
     CrashSpec,
@@ -234,6 +239,34 @@ def default_matrix(scale: str = "quick") -> list[ScenarioSpec]:
             "serve-horam-quota-hdd", "horam", "uniform", 180 * m,
             serve=ServeSpec(
                 clients=2, tenants=2, quota=30, expect_quota_exhausted=True,
+            ),
+        ),
+        # -- chaos soaks: retrying clients, idempotency, drain, backend storms
+        _spec(
+            "serve-chaos-wire-horam-hdd", "horam", "hotspot", 100 * m,
+            serve=ServeSpec(
+                clients=3, tenants=2,
+                chaos=ChaosSpec(
+                    seed=7, reset_rate=0.05, cut_rate=0.04,
+                    drop_rate=0.02, stall_rate=0.04, stall_s=0.001,
+                ),
+                retry_attempts=5, request_timeout_s=0.25,
+            ),
+        ),
+        _spec(
+            "serve-chaos-storm-supervised-hdd", "sharded", "hotspot", 100 * m,
+            n_blocks=1024, n_shards=2, supervised=True,
+            serve=ServeSpec(
+                clients=3, tenants=2,
+                chaos=ChaosSpec(seed=9, reset_rate=0.04, cut_rate=0.03, drop_rate=0.02),
+                retry_attempts=5, request_timeout_s=0.3,
+                crash_ops=[80, 400],
+            ),
+        ),
+        _spec(
+            "serve-drain-underload-hdd", "horam", "uniform", 100 * m,
+            serve=ServeSpec(
+                clients=3, tenants=2, retry_attempts=3, drain_after=50 * m,
             ),
         ),
         # -- recoverable fault injection (results must still match the oracle)

@@ -25,6 +25,7 @@ from dataclasses import asdict, dataclass, field
 from repro.core.sharding import ShardUnavailableError
 from repro.crypto.random import DeterministicRandom
 from repro.oram.base import OpKind, Request
+from repro.serve.chaos import ChaosSpec
 from repro.sim.engine import SimulationEngine
 from repro.sim.metrics import Metrics
 from repro.storage.faults import CrashFault, FaultInjector, FaultPlan, FaultStats
@@ -146,6 +147,14 @@ class ServeSpec:
     enter the journal -- they are excluded from the twin comparison by
     design and asserted on explicitly via ``expect_overloaded`` /
     ``expect_quota_exhausted``.
+
+    Setting any of ``chaos``, ``drain_after``, ``deadline_ms`` or the
+    backend-storm fields switches the scenario onto the *chaos soak*
+    path: retrying clients with idempotency keys drive the stream
+    closed-loop (:func:`~repro.serve.chaos.drive_through_chaos`), with
+    the pass criteria of the chaos gate -- zero duplicate executions,
+    twin-identical served bytes, and the drain contract when
+    ``drain_after`` fires.
     """
 
     #: concurrent socketpair connections.
@@ -163,6 +172,23 @@ class ServeSpec:
     #: the scenario must exhaust at least one tenant's quota, and every
     #: tenant's accepted count must equal min(submitted, quota).
     expect_quota_exhausted: bool = False
+    #: seeded network-fault plan between clients and server (chaos path).
+    chaos: ChaosSpec | None = None
+    #: retry attempts per request on the chaos path.
+    retry_attempts: int = 4
+    #: per-attempt client timeout on the chaos path (blackhole defense).
+    request_timeout_s: float = 0.3
+    #: per-request deadline stamped on every frame (ms; None = none).
+    deadline_ms: float | None = None
+    #: gracefully ``drain()`` the server mid-stream, once its journal
+    #: holds this many accepted requests (None = close() at the end).
+    drain_after: int | None = None
+    #: backend crash-storm schedule (1-based physical-op indices) fired
+    #: under the server; needs a *supervised* stack.
+    crash_ops: list = field(default_factory=list)
+    #: physical op at which a backend shard hangs (0 = no hang).
+    hang_at_op: int = 0
+    hang_wall_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.clients < 1:
@@ -173,13 +199,50 @@ class ServeSpec:
             raise ValueError("max_inflight must be >= 1")
         if self.expect_quota_exhausted and self.quota is None:
             raise ValueError("expect_quota_exhausted needs a quota")
+        if self.retry_attempts < 1:
+            raise ValueError("retry_attempts must be >= 1")
+        if self.request_timeout_s <= 0:
+            raise ValueError("request_timeout_s must be positive")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValueError("deadline_ms must be positive")
+        if self.drain_after is not None and self.drain_after < 1:
+            raise ValueError("drain_after must be >= 1")
+        if any(op < 1 for op in self.crash_ops):
+            raise ValueError("crash_ops entries are 1-based op indices (>= 1)")
+        if list(self.crash_ops) != sorted(set(self.crash_ops)):
+            raise ValueError("crash_ops must be strictly increasing")
+        if self.hang_at_op < 0:
+            raise ValueError("hang_at_op must be >= 0 (0 = disabled)")
+        if self.hang_wall_s < 0:
+            raise ValueError("hang_wall_s must be >= 0")
+        if self.chaotic() and (
+            self.expect_overloaded or self.expect_quota_exhausted
+        ):
+            raise ValueError(
+                "the chaos path drives closed-loop with retries; admission "
+                "pressure expectations belong to the pipelined serve path"
+            )
+
+    def chaotic(self) -> bool:
+        """True when the scenario runs the chaos-soak serve path."""
+        return (
+            self.chaos is not None
+            or self.drain_after is not None
+            or self.deadline_ms is not None
+            or bool(self.crash_ops)
+            or bool(self.hang_at_op)
+        )
 
     def to_dict(self) -> dict:
         return asdict(self)
 
     @classmethod
     def from_dict(cls, data: dict) -> "ServeSpec":
-        return cls(**data)
+        data = dict(data)
+        chaos = data.pop("chaos", None)
+        return cls(
+            chaos=ChaosSpec.from_dict(chaos) if chaos else None, **data
+        )
 
 
 @dataclass
@@ -241,7 +304,10 @@ class ScenarioSpec:
                     "serve scenarios are exclusive with crash/storm choreographies"
                 )
             if self.faults is not None:
-                raise ValueError("serve scenarios run without fault injection")
+                raise ValueError(
+                    "serve scenarios carry backend faults in the serve spec "
+                    "(crash_ops / hang_at_op); drop `faults`"
+                )
             if self.stack.users:
                 raise ValueError(
                     "serve scenarios bring their own multi-tenant front end; "
@@ -249,6 +315,13 @@ class ScenarioSpec:
                 )
             if self.stack.protocol not in ("horam", "sharded"):
                 raise ValueError("serve scenarios need a batched horam/sharded stack")
+            if (
+                self.serve.crash_ops or self.serve.hang_at_op
+            ) and not self.stack.supervised:
+                raise ValueError(
+                    "serve backend storms need a supervised stack: only the "
+                    "fleet supervisor auto-recovers crashes under the server"
+                )
 
     # -------------------------------------------------------- serialization
     def to_json(self) -> str:
@@ -407,6 +480,8 @@ class ScenarioRunner:
         import asyncio
 
         serve = spec.serve
+        if serve.chaotic():
+            return self._run_serve_chaos(spec, stack, requests, failures)
         try:
             server, responses = asyncio.run(
                 self._serve_session(serve, stack, requests)
@@ -505,6 +580,208 @@ class ScenarioRunner:
             metrics=stack.driver.metrics.copy(),
             serve_info=serve_info,
         )
+
+    # ----------------------------------------------------------- chaos soak
+    def _run_serve_chaos(self, spec, stack, requests, failures) -> ScenarioResult:
+        """Soak the front door under network chaos, retries and drain.
+
+        Pass criteria: every request resolves to a served result or an
+        *expected* typed outcome (``give_up`` only under active chaos,
+        ``draining`` only when a drain fires, ``deadline_exceeded`` only
+        with deadlines armed); idempotent retries never double-execute
+        (zero duplicate ``(tenant, idem)`` journal pairs); every served
+        byte is bit-identical to the direct-submit twin; and when
+        ``drain_after`` is set, the drain contract holds -- a report is
+        produced and no admitted request is escalated past the hard
+        deadline.
+        """
+        import asyncio
+        from dataclasses import replace as dc_replace
+
+        from repro.serve.twin import diff_served, replay_direct
+
+        serve = spec.serve
+        if serve.crash_ops or serve.hang_at_op:
+            stack.install_faults(
+                FaultPlan(
+                    seed=spec.stack.seed,
+                    crash_schedule=list(serve.crash_ops),
+                    hang_at_op=serve.hang_at_op,
+                    hang_wall_s=serve.hang_wall_s,
+                )
+            )
+        messages = []
+        for index, request in enumerate(requests):
+            message = {
+                "op": request.op.value,
+                "addr": request.addr,
+                "tenant": index % serve.tenants,
+            }
+            if request.data is not None:
+                message["data"] = request.data.hex()
+            if serve.deadline_ms is not None:
+                message["deadline_ms"] = serve.deadline_ms
+            messages.append(message)
+
+        try:
+            server, report = asyncio.run(
+                self._chaos_session(serve, stack, messages)
+            )
+        except Exception as error:  # noqa: BLE001 -- surface as a failed scenario
+            return ScenarioResult(
+                spec=spec,
+                ok=False,
+                requests=len(requests),
+                failures=[f"chaos serve run raised {type(error).__name__}: {error}"],
+                error=f"{type(error).__name__}: {error}",
+            )
+
+        outcomes = report.outcome_counts()
+        expected_codes = {"ok"}
+        if serve.chaos is not None and serve.chaos.active():
+            expected_codes.add("give_up")
+        if serve.drain_after is not None:
+            expected_codes.add("draining")
+        if serve.deadline_ms is not None:
+            expected_codes.add("deadline_exceeded")
+        unexpected = {
+            code: count
+            for code, count in outcomes.items()
+            if code not in expected_codes
+        }
+        if unexpected:
+            failures.append(f"unexpected outcome codes under chaos: {unexpected}")
+        if not outcomes.get("ok"):
+            failures.append("no requests were served under chaos")
+
+        # Exactly-once: a retried idempotent request may journal at most
+        # once, however many times the wire ate it.
+        keys = [
+            (record.tenant, record.idem)
+            for record in server.journal
+            if record.idem is not None
+        ]
+        duplicates = len(keys) - len(set(keys))
+        if duplicates:
+            failures.append(
+                f"{duplicates} duplicate (tenant, idem) journal pairs: "
+                "idempotent retries double-executed"
+            )
+        if serve.drain_after is not None and report.drain_report is None:
+            failures.append("drain_after was set but no drain report was produced")
+        if report.drain_report and report.drain_report.get("escalated"):
+            failures.append(
+                f"drain escalated {report.drain_report['escalated']} in-flight "
+                "requests past the hard deadline"
+            )
+
+        supervision = None
+        if serve.crash_ops or serve.hang_at_op:
+            recovery = stack.supervisor.recovery_report()
+            kinds = [incident["kind"] for incident in recovery["incidents"]]
+            if serve.crash_ops and "crash" not in kinds:
+                failures.append(
+                    "the backend crash schedule never fired under the server"
+                )
+            if serve.hang_at_op and "hung" not in kinds:
+                failures.append("the backend hang point never fired under the server")
+            fenced = sorted(stack.supervisor.fenced)
+            if fenced:
+                failures.append(
+                    f"shards {fenced} were fenced during the serve soak; the "
+                    "storm schedule is sized to stay within max_restarts"
+                )
+            supervision = {
+                "crashes": recovery["crashes_detected"],
+                "restores": recovery["restores"],
+                "fenced": fenced,
+            }
+
+        # The twin is always unsupervised: replaying the journal in
+        # program order needs no crash recovery, and bit-identity across
+        # that gap is exactly what the soak is for.
+        twin = build_stack(dc_replace(spec.stack, supervised=False))
+        try:
+            twin_served = replay_direct(server.journal, twin.driver)
+            diff = diff_served(server.journal, server.served_by_seq, twin_served)
+            checked = self._check_serve_final_state(spec, stack, twin, server, failures)
+        finally:
+            twin.cleanup()
+        if diff.unserved:
+            failures.append(
+                f"{len(diff.unserved)} accepted requests were never served "
+                f"(seqs {diff.unserved[:_MAX_REPORTED]})"
+            )
+        for mismatch in diff.mismatched:
+            failures.append(
+                f"seq {mismatch['seq']} ({mismatch['op']} addr {mismatch['addr']}) "
+                f"diverges from the direct-submit twin"
+            )
+
+        serve_info = {
+            "served": outcomes.get("ok", 0),
+            "rejections": {k: v for k, v in outcomes.items() if k != "ok"},
+            "accepted": len(server.journal),
+            "clients": serve.clients,
+            "tenants": serve.tenants,
+            "twin_compared": diff.compared,
+            "twin_identical": diff.identical,
+            "outcomes": outcomes,
+            "retry": asdict(report.retry),
+            "chaos_injected": report.chaos.to_dict(),
+            "drain": report.drain_report,
+            "duplicate_executions": duplicates,
+            "supervision": supervision,
+        }
+        return ScenarioResult(
+            spec=spec,
+            ok=not failures,
+            requests=len(requests),
+            failures=failures,
+            mismatches=len(diff.mismatched),
+            final_state_checked=checked,
+            metrics=stack.driver.metrics.copy(),
+            serve_info=serve_info,
+        )
+
+    async def _chaos_session(self, serve, stack, messages):
+        """One asyncio chaos soak: server + retrying clients + drain."""
+        from repro.serve import (
+            ORAMServer,
+            RetryPolicy,
+            ServeConfig,
+            TenantPolicy,
+            drive_through_chaos,
+        )
+
+        server = ORAMServer(
+            stack.driver,
+            ServeConfig(
+                max_inflight=serve.max_inflight,
+                pump_max_cycles=serve.pump_max_cycles,
+            ),
+        )
+        for tenant in range(serve.tenants):
+            server.add_tenant(tenant, TenantPolicy(quota=serve.quota))
+        policy = RetryPolicy(
+            max_attempts=serve.retry_attempts,
+            base_backoff_s=0.001,
+            max_backoff_s=0.02,
+            request_timeout_s=serve.request_timeout_s,
+        )
+        try:
+            report = await drive_through_chaos(
+                server,
+                messages,
+                clients=serve.clients,
+                chaos=serve.chaos,
+                policy=policy,
+                label="scenario",
+                drain_after=serve.drain_after,
+            )
+        finally:
+            await server.close()
+        return server, report
 
     def _check_serve_final_state(self, spec, stack, twin, server, failures) -> int:
         """Server stack and twin must agree on the final logical state.

@@ -1,0 +1,290 @@
+"""The chaos proxy and the soak driver built on it.
+
+The proxy's contract: every injected wire fault (reset, mid-frame cut,
+blackhole, stall) is survivable by a retrying idempotent client, fault
+placement is a deterministic function of the seed, and no amount of
+chaos may ever make a retried write execute twice or serve bytes that
+diverge from the direct-submit twin.
+"""
+
+import asyncio
+from collections import Counter
+
+import pytest
+
+from repro.core.horam import build_horam
+from repro.serve import (
+    ChaosEndpoint,
+    ChaosSpec,
+    ORAMServer,
+    RetryingClient,
+    RetryPolicy,
+    ServeConfig,
+    diff_served,
+    drive_through_chaos,
+    replay_direct,
+)
+
+
+def _horam(seed=11):
+    return build_horam(n_blocks=256, mem_tree_blocks=64, seed=seed)
+
+
+def _messages(count, seed=11):
+    ops = []
+    for n in range(count):
+        if n % 4 == 3:
+            ops.append(
+                {
+                    "op": "write",
+                    "addr": (n * 13) % 200,
+                    "data": f"chaos-{n}".encode().hex(),
+                    "tenant": n % 2,
+                }
+            )
+        else:
+            ops.append({"op": "read", "addr": (n * 7) % 200, "tenant": n % 2})
+    return ops
+
+
+def _policy(**overrides):
+    defaults = dict(
+        max_attempts=5,
+        base_backoff_s=0.001,
+        max_backoff_s=0.01,
+        request_timeout_s=0.25,
+    )
+    defaults.update(overrides)
+    return RetryPolicy(**defaults)
+
+
+async def _server(stack, **config):
+    server = ORAMServer(stack, ServeConfig(**config))
+    server.add_tenant(0)
+    server.add_tenant(1)
+    return server
+
+
+class TestChaosSpec:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            ChaosSpec(reset_rate=1.5)
+        with pytest.raises(ValueError):
+            ChaosSpec(drop_rate=-0.1)
+        with pytest.raises(ValueError):
+            ChaosSpec(stall_s=-1.0)
+        with pytest.raises(ValueError):
+            ChaosSpec(direction="up")
+        with pytest.raises(ValueError):
+            ChaosSpec(max_faults_per_conn=-1)
+
+    def test_active(self):
+        assert not ChaosSpec().active()
+        assert ChaosSpec(drop_rate=0.01).active()
+        assert ChaosSpec(stall_rate=0.5).active()
+
+    def test_dict_round_trip(self):
+        spec = ChaosSpec(
+            seed=5,
+            reset_rate=0.1,
+            cut_rate=0.05,
+            drop_rate=0.02,
+            stall_rate=0.2,
+            stall_s=0.003,
+            direction="s2c",
+            max_faults_per_conn=7,
+        )
+        assert ChaosSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestProxyBehaviors:
+    def test_resets_force_reconnects_yet_serve_everything(self, run):
+        """Seeded resets tear connections down abruptly; the retrier
+        reconnects its way through and still serves everything.  (The
+        rate stays below 1.0 on purpose: each reconnect gets a fresh
+        per-connection fault stream, so an always-reset proxy would kill
+        every attempt's first frame.)"""
+
+        async def scenario():
+            server = await _server(_horam())
+            endpoint = ChaosEndpoint(
+                server,
+                ChaosSpec(seed=3, reset_rate=0.4),
+                label="resets",
+            )
+            retrier = RetryingClient(
+                endpoint.connect, policy=_policy(), name="resets"
+            )
+            responses = [await retrier.read(n, tenant=0) for n in range(3)]
+            stats = retrier.stats
+            await retrier.close()
+            await endpoint.close()
+            await server.close()
+            return responses, stats, endpoint.stats
+
+        responses, stats, chaos = run(scenario())
+        assert all(r["ok"] for r in responses)
+        assert chaos.resets == 3  # deterministic for this seed
+        assert stats.reconnects == 3
+        assert stats.retries == 3
+
+    def test_blackholed_request_times_out_then_succeeds(self, run):
+        """Seeded blackholes swallow request frames: the client times
+        out, retries, and the stable idempotency key makes the final
+        outcome a single execution no matter how many sends it took."""
+
+        async def scenario():
+            server = await _server(_horam())
+            endpoint = ChaosEndpoint(
+                server,
+                ChaosSpec(seed=0, drop_rate=0.5, direction="c2s"),
+                label="holes",
+            )
+            retrier = RetryingClient(
+                endpoint.connect,
+                policy=_policy(request_timeout_s=0.05),
+                name="holes",
+            )
+            response = await retrier.write(9, b"swallowed-once", tenant=0)
+            stats = retrier.stats
+            await retrier.close()
+            await endpoint.close()
+            journal = list(server.journal)
+            await server.close()
+            return response, stats, endpoint.stats, journal
+
+        response, stats, chaos, journal = run(scenario())
+        assert response["ok"]
+        assert chaos.drops == 3  # deterministic for this seed
+        assert stats.retries == 3
+        assert len(journal) == 1  # three timeouts, executed exactly once
+
+    def test_mid_frame_cut_fails_promptly_not_hangs(self, run):
+        """A plain (non-retrying) client through a cut-everything proxy
+        must surface a typed error quickly -- never wait forever."""
+
+        async def scenario():
+            server = await _server(_horam())
+            endpoint = ChaosEndpoint(
+                server,
+                ChaosSpec(seed=7, cut_rate=1.0, direction="s2c"),
+                label="cuts",
+            )
+            client = await endpoint.connect()
+            from repro.serve import ClientClosed
+
+            with pytest.raises(ClientClosed):
+                await asyncio.wait_for(
+                    client.request({"op": "read", "addr": 1, "tenant": 0}),
+                    timeout=5,
+                )
+            await client.close()
+            await endpoint.close()
+            await server.close()
+            return endpoint.stats
+
+        chaos = run(scenario())
+        assert chaos.cuts == 1
+
+    def test_stalls_delay_but_never_reorder(self, run):
+        """Pipelined requests through a stall-everything proxy still come
+        back matched to their ids, in order."""
+
+        async def scenario():
+            server = await _server(_horam())
+            endpoint = ChaosEndpoint(
+                server,
+                ChaosSpec(seed=9, stall_rate=1.0, stall_s=0.001),
+                label="stalls",
+            )
+            client = await endpoint.connect()
+            futures = [
+                client.send({"op": "read", "addr": n, "tenant": 0})
+                for n in range(6)
+            ]
+            await client.drain()
+            responses = await asyncio.wait_for(
+                asyncio.gather(*futures), timeout=10
+            )
+            await client.close()
+            await endpoint.close()
+            await server.close()
+            return responses, endpoint.stats
+
+        responses, chaos = run(scenario())
+        assert all(r["ok"] for r in responses)
+        assert [r["id"] for r in responses] == list(range(6))
+        assert chaos.stalls >= 6
+
+
+class _Soak:
+    """One full drive_through_chaos soak on a fresh stack."""
+
+    def __init__(self, seed=11, count=40, **drive_kwargs):
+        self.seed = seed
+        self.count = count
+        self.drive_kwargs = drive_kwargs
+
+    async def __call__(self):
+        stack = _horam(seed=self.seed)
+        server = await _server(stack, max_inflight=32)
+        try:
+            report = await drive_through_chaos(
+                server,
+                _messages(self.count, seed=self.seed),
+                policy=_policy(),
+                **self.drive_kwargs,
+            )
+        finally:
+            await server.close()
+        return server, report
+
+
+class TestDriveThroughChaos:
+    CHAOS = ChaosSpec(seed=21, reset_rate=0.06, cut_rate=0.05, drop_rate=0.03)
+
+    def test_same_seed_soaks_match_bit_for_bit(self, run):
+        soak = _Soak(clients=3, chaos=self.CHAOS, label="det")
+        _, first = run(soak())
+        _, second = run(soak())
+        assert first.outcome_counts() == second.outcome_counts()
+        assert first.retry == second.retry
+        assert first.chaos == second.chaos
+
+    def test_exactly_once_and_twin_identical_under_heavy_chaos(self, run):
+        server, report = run(
+            _Soak(clients=3, chaos=self.CHAOS, label="heavy")()
+        )
+        counts = report.outcome_counts()
+        assert counts.get("ok", 0) > 0
+        assert set(counts) <= {"ok", "give_up"}
+        # Exactly-once: retried writes never journal twice.
+        pairs = Counter(
+            (record.tenant, record.idem)
+            for record in server.journal
+            if record.idem is not None
+        )
+        assert all(count == 1 for count in pairs.values())
+        # Every served byte matches an unchaosed direct-submit twin.
+        twin = replay_direct(server.journal, _horam(seed=11))
+        diff = diff_served(server.journal, server.served_by_seq, twin)
+        assert diff.identical and not diff.unserved
+
+    def test_drain_after_fires_under_load(self, run):
+        server, report = run(
+            _Soak(clients=3, chaos=self.CHAOS, label="drain", drain_after=20)()
+        )
+        assert report.drain_report is not None
+        assert report.drain_report["escalated"] == 0
+        counts = report.outcome_counts()
+        assert set(counts) <= {"ok", "draining", "give_up"}
+        assert counts.get("ok", 0) >= 20
+        # Everything accepted was served; nothing admitted was lost.
+        assert report.drain_report["accepted"] == len(server.journal)
+
+    def test_chaos_free_drive_serves_all(self, run):
+        server, report = run(_Soak(clients=2, label="clean")())
+        assert report.outcome_counts() == {"ok": 40}
+        assert report.retry.retries == 0
+        assert report.chaos.injected() == 0
+        assert len(server.journal) == 40

@@ -1,0 +1,321 @@
+"""Client failure paths: dead transports, duplicate ids, retries.
+
+The serving client's contract under failure: a send on a dead
+connection raises a typed :class:`ClientClosed` (never a silent write
+into a dead socket), a caller-supplied ``id`` colliding with an
+in-flight request is refused (never a silently leaked waiter), stray
+response frames are counted rather than dropped on the floor, and the
+:class:`RetryingClient` turns all of it into bounded, deterministic,
+idempotent retries.
+"""
+
+import asyncio
+import socket as socket_mod
+
+import pytest
+
+from repro.core.horam import build_horam
+from repro.crypto.random import DeterministicRandom
+from repro.serve import (
+    ClientClosed,
+    DuplicateRequestId,
+    RetryingClient,
+    RetryPolicy,
+    ServeClient,
+    encode_frame,
+)
+
+
+def _horam(seed=7):
+    return build_horam(n_blocks=256, mem_tree_blocks=64, seed=seed)
+
+
+async def _raw_client():
+    """A ServeClient whose peer is the test itself (no server)."""
+    ours, theirs = socket_mod.socketpair()
+    client = await ServeClient.from_socket(ours)
+    return client, theirs
+
+
+async def _settle(client, spins=100):
+    """Yield until the client's read loop observes its transport state."""
+    for _ in range(spins):
+        if client.closed:
+            return
+        await asyncio.sleep(0)
+
+
+class TestDeadTransport:
+    def test_send_after_peer_close_raises_client_closed(self, run):
+        """The read loop marks the client closed on EOF; a send racing in
+        after that gets a typed error instead of writing into the void."""
+
+        async def scenario():
+            client, peer = await _raw_client()
+            peer.close()
+            await _settle(client)
+            assert client.closed
+            with pytest.raises(ClientClosed):
+                client.send({"op": "read", "addr": 0, "tenant": 0})
+            await client.close()
+
+        run(scenario())
+
+    def test_pipelined_waiters_all_fail_on_transport_death(self, run):
+        async def scenario():
+            client, peer = await _raw_client()
+            futures = [
+                client.send({"op": "read", "addr": addr, "tenant": 0})
+                for addr in range(5)
+            ]
+            await client.drain()
+            peer.close()
+            results = await asyncio.wait_for(
+                asyncio.gather(*futures, return_exceptions=True), timeout=5
+            )
+            await client.close()
+            return results
+
+        results = run(scenario())
+        assert len(results) == 5
+        assert all(isinstance(r, ClientClosed) for r in results)
+
+    def test_mid_frame_eof_is_protocol_error_not_hang(self, run):
+        """A peer dying mid-frame must fail the waiter promptly, with the
+        protocol violation named in the error -- never a silent hang."""
+
+        async def scenario():
+            client, peer = await _raw_client()
+            future = client.send({"op": "read", "addr": 1, "tenant": 0})
+            await client.drain()
+            peer.recv(65536)  # consume the request so close() is a clean FIN
+            # A header promising 64 bytes, then only 8, then death.
+            peer.sendall((64).to_bytes(4, "big") + b"x" * 8)
+            peer.close()
+            with pytest.raises(ClientClosed) as caught:
+                await asyncio.wait_for(future, timeout=5)
+            await client.close()
+            return caught.value
+
+        error = run(scenario())
+        assert "ProtocolError" in str(error) or "mid-frame" in str(error)
+
+
+class TestDuplicateIds:
+    def test_duplicate_inflight_id_refused(self, run, make_pair):
+        async def scenario():
+            server, client = await make_pair(_horam())
+            server.add_tenant(0)
+            first = client.send({"op": "read", "addr": 1, "tenant": 0, "id": 77})
+            with pytest.raises(DuplicateRequestId) as caught:
+                client.send({"op": "read", "addr": 2, "tenant": 0, "id": 77})
+            assert caught.value.msg_id == 77
+            response = await first
+            # The id is free again once its response has arrived.
+            again = await client.request(
+                {"op": "read", "addr": 2, "tenant": 0, "id": 77}
+            )
+            await client.close()
+            await server.close()
+            return response, again
+
+        response, again = run(scenario())
+        assert response["ok"] and again["ok"]
+
+
+class TestUnmatchedResponses:
+    def test_stray_response_frames_are_counted(self, run):
+        async def scenario():
+            client, peer = await _raw_client()
+            future = client.send({"op": "read", "addr": 1, "tenant": 0})
+            await client.drain()
+            # Two responses nobody asked for, then the real one.
+            peer.sendall(encode_frame({"id": 999, "ok": True}))
+            peer.sendall(encode_frame({"id": 998, "ok": True}))
+            peer.sendall(encode_frame({"id": 0, "ok": True, "data": ""}))
+            response = await asyncio.wait_for(future, timeout=5)
+            counted = client.unmatched_responses
+            peer.close()
+            await client.close()
+            return response, counted
+
+        response, counted = run(scenario())
+        assert response["ok"]
+        assert counted == 2
+
+    def test_health_exposes_client_counters(self, run, make_pair):
+        async def scenario():
+            server, client = await make_pair(_horam())
+            server.add_tenant(0)
+            client.unmatched_responses = 3  # as counted by the read loop
+            health = await client.health()
+            await client.close()
+            await server.close()
+            return health
+
+        health = run(scenario())
+        assert health["client"]["unmatched_responses"] == 3
+
+
+class _StubClient:
+    """Scripted stand-in for ServeClient: each request pops one action."""
+
+    def __init__(self, script, log):
+        self.script = script
+        self.log = log
+        self.closed = False
+
+    async def request(self, message):
+        self.log.append(dict(message))
+        action = self.script.pop(0)
+        if action == "hang":
+            await asyncio.Event().wait()
+        if isinstance(action, Exception):
+            self.closed = True
+            raise action
+        return action
+
+    async def close(self):
+        self.closed = True
+
+
+def _stub_factory(scripts, log):
+    """Connect factory handing out one scripted client per connection."""
+    remaining = list(scripts)
+
+    async def connect():
+        return _StubClient(remaining.pop(0), log)
+
+    return connect
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+
+    def test_backoff_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(
+            base_backoff_s=0.01, backoff_factor=2.0, max_backoff_s=0.05, jitter=0.5
+        )
+        first = [
+            policy.backoff_s(n, DeterministicRandom("backoff-seed"))
+            for n in range(1, 6)
+        ]
+        second = [
+            policy.backoff_s(n, DeterministicRandom("backoff-seed"))
+            for n in range(1, 6)
+        ]
+        assert first == second
+        for attempt, sleep in enumerate(first, start=1):
+            raw = min(0.05, 0.01 * 2.0 ** (attempt - 1))
+            assert raw * 0.5 <= sleep <= raw * 1.5
+
+
+class TestRetryingClient:
+    def _policy(self, **overrides):
+        defaults = dict(
+            max_attempts=3,
+            base_backoff_s=0.0,
+            max_backoff_s=0.0,
+            request_timeout_s=0.1,
+        )
+        defaults.update(overrides)
+        return RetryPolicy(**defaults)
+
+    def test_retriable_rejection_is_retried_to_success(self, run):
+        log = []
+        script = [
+            {"ok": False, "error": "overloaded", "message": "busy"},
+            {"ok": True, "data": "00"},
+        ]
+        retrier = RetryingClient(
+            _stub_factory([script], log), policy=self._policy(), name="t1"
+        )
+        response = run(retrier.read(3, tenant=0))
+        assert response["ok"]
+        assert retrier.stats.retries == 1
+        assert retrier.stats.sends == 2
+        assert retrier.stats.give_ups == 0
+
+    def test_terminal_rejection_returned_immediately(self, run):
+        log = []
+        script = [{"ok": False, "error": "quota_exhausted", "message": "no"}]
+        retrier = RetryingClient(
+            _stub_factory([script], log), policy=self._policy(), name="t2"
+        )
+        response = run(retrier.read(3, tenant=0))
+        assert response["error"] == "quota_exhausted"
+        assert retrier.stats.retries == 0
+
+    def test_transport_death_reconnects_with_stable_idem_key(self, run):
+        log = []
+        scripts = [
+            [ClientClosed("gone")],
+            [{"ok": True, "data": "00", "replayed": True}],
+        ]
+        retrier = RetryingClient(
+            _stub_factory(scripts, log), policy=self._policy(), name="t3"
+        )
+        response = run(retrier.write(5, b"x", tenant=0))
+        assert response["ok"]
+        assert retrier.stats.reconnects == 1
+        assert retrier.stats.replayed == 1
+        # Both attempts carried the same idempotency key and no stale id.
+        assert len(log) == 2
+        assert log[0]["idem"] == log[1]["idem"]
+        assert "id" not in log[0] and "id" not in log[1]
+
+    def test_blackhole_times_out_and_gives_up(self, run):
+        log = []
+        scripts = [["hang"], ["hang"], ["hang"]]
+        retrier = RetryingClient(
+            _stub_factory(scripts, log), policy=self._policy(), name="t4"
+        )
+        response = run(retrier.read(1, tenant=0))
+        assert response["error"] == "give_up"
+        assert retrier.stats.give_ups == 1
+        assert retrier.stats.sends == 3
+
+    def test_retry_budget_caps_amplification(self, run):
+        log = []
+        scripts = [[ClientClosed("gone")] for _ in range(4)]
+        retrier = RetryingClient(
+            _stub_factory(scripts, log),
+            policy=self._policy(max_attempts=4, retry_budget=1),
+            name="t5",
+        )
+        response = run(retrier.read(1, tenant=0))
+        assert response["error"] == "give_up"
+        assert retrier.stats.sends == 2  # first attempt + the one budgeted retry
+        assert retrier.stats.retries == 1
+
+    def test_end_to_end_against_real_server(self, run, make_pair):
+        """Idempotent writes through the retrier against a live server."""
+
+        async def scenario():
+            stack = _horam(seed=19)
+            server, seed_client = await make_pair(stack)
+            await seed_client.close()
+            server.add_tenant(0)
+
+            async def connect():
+                server_end, client_end = socket_mod.socketpair()
+                await server.attach(server_end)
+                return await ServeClient.from_socket(client_end)
+
+            retrier = RetryingClient(connect, policy=self._policy(), name="e2e")
+            wrote = await retrier.write(9, b"retried-bytes", tenant=0)
+            read = await retrier.read(9, tenant=0)
+            await retrier.close()
+            await server.close()
+            return server, wrote, read
+
+        server, wrote, read = run(scenario())
+        assert wrote["ok"] and read["ok"]
+        assert bytes.fromhex(read["data"]).startswith(b"retried-bytes")
+        assert all(record.idem is not None for record in server.journal)

@@ -49,6 +49,22 @@ class TestDefaultMatrix:
         assert any(spec.stack.executor == "parallel" for spec in crashes)
         assert any(spec.crash.crash_op_kind == "write_run" for spec in crashes)
         assert any(spec.stack.storage_backend == "file" for spec in MATRIX)
+        # Chaos tier: wire faults, a supervised backend crash storm and a
+        # mid-stream graceful drain, all on the serve path.
+        chaotic = [
+            spec
+            for spec in MATRIX
+            if spec.serve is not None and spec.serve.chaotic()
+        ]
+        assert len(chaotic) >= 3
+        assert any(
+            spec.serve.chaos is not None and spec.serve.chaos.active()
+            for spec in chaotic
+        )
+        assert any(
+            spec.serve.crash_ops and spec.stack.supervised for spec in chaotic
+        )
+        assert any(spec.serve.drain_after for spec in chaotic)
 
     def test_unknown_scale_rejected(self):
         with pytest.raises(ValueError, match="unknown scale"):
