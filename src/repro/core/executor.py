@@ -55,9 +55,17 @@ from repro.storage.faults import CrashFault, FaultInjector, FaultPlan, FaultStat
 from repro.storage.trace import TraceEvent
 
 #: (seq, op, local addr, data) -- one buffered request on its way to a worker.
-SubmitEnvelope = "tuple[int, OpKind, int, bytes | None]"
-#: (seq, result, submit_cycle, served_cycle) -- one retirement coming back.
-RetiredEnvelope = "tuple[int, bytes | None, int, int]"
+#: ``data`` is payload bytes inline, or an ``int`` byte length consuming the
+#: shard's shared-memory scratch segment sequentially in envelope order.
+SubmitEnvelope = "tuple[int, OpKind, int, bytes | int | None]"
+#: (seq, result, submit_cycle, served_cycle) -- one retirement coming back;
+#: ``result`` uses the same inline-bytes-or-scratch-length convention.
+RetiredEnvelope = "tuple[int, bytes | int | None, int, int]"
+
+#: Size of each per-shard envelope scratch segment.  Payloads are tens of
+#: bytes, so this covers hundreds of thousands of buffered requests; a
+#: batch that still overflows it degrades per-envelope to inline bytes.
+_SCRATCH_BYTES = 1 << 20
 
 
 class ShardCrashed(RuntimeError):
@@ -113,7 +121,9 @@ class ShardBuildSpec:
     storage_device: object = None
     memory_device: object = None
     config_kwargs: dict = field(default_factory=dict)
-    #: "memory" or "file" (a durable slab owned by the worker process).
+    #: "memory", "file" (a durable slab owned by the worker process) or
+    #: "shm" (a shared-memory slab segment named by ``storage_path`` --
+    #: created by the worker, reaped by the coordinator if the worker dies).
     storage_backend: str = "memory"
     storage_path: str | None = None
     #: which EngineKernel protocol runs inside the shard (default keeps
@@ -430,10 +440,19 @@ class SerialExecutor(ShardExecutor):
 _WORKER: dict = {}
 
 
-def _worker_init(spec: ShardBuildSpec) -> None:
+def _worker_init(spec: ShardBuildSpec, scratch_name: str | None = None) -> None:
     from repro.oram.factory import shard_builder
 
     n_shards, index = spec.n_shards, spec.index
+    scratch = None
+    if scratch_name is not None:
+        from multiprocessing import shared_memory
+
+        # The coordinator created this segment before spawning us; an
+        # attach failure means the transport contract is already broken,
+        # so fail the pool loudly instead of silently disagreeing about
+        # where payload bytes live.
+        scratch = shared_memory.SharedMemory(name=scratch_name)
     shard = shard_builder(spec.protocol)(
         n_blocks=spec.n_blocks,
         mem_tree_blocks=spec.mem_tree_blocks,
@@ -456,6 +475,7 @@ def _worker_init(spec: ShardBuildSpec) -> None:
         latency_mark=0,
         trace_mark=0,
         injector=None,
+        scratch=scratch,
     )
 
 
@@ -496,13 +516,25 @@ def _worker_describe() -> ShardInfo:
 def _worker_run(envelopes: list) -> "tuple[int, list]":
     """Submit a batch and drain the shard's own backlog.
 
+    Envelope ``data`` is either payload bytes inline or an ``int`` length
+    to consume (in envelope order) from the coordinator-owned scratch
+    segment; retired results ship back the same way when the scratch has
+    room.  The request bytes are copied out *before* anything executes,
+    so the scratch region is free for results by the time the drain ends.
+
     Returns ``(absolute cycle count, retired envelopes)``; padding to the
     fleet-wide cycle target happens in :func:`_worker_finish` once the
     coordinator has seen every shard's count.
     """
     shard = _WORKER["shard"]
     inflight = _WORKER["inflight"]
+    scratch = _WORKER["scratch"]
+    buf = scratch.buf if scratch is not None else None
+    offset = 0
     for seq, op, addr, data in envelopes:
+        if type(data) is int:
+            data = bytes(buf[offset : offset + data])
+            offset += len(data)
         entry = shard.submit(Request(op=op, addr=addr, data=data))
         inflight[id(entry)] = (seq, entry)
     retired: list[RobEntry] = []
@@ -510,9 +542,16 @@ def _worker_run(envelopes: list) -> "tuple[int, list]":
         retired.extend(shard.step())
     retired.extend(shard.rob.retire())
     out = []
+    offset = 0
+    limit = buf.nbytes if buf is not None else 0
     for entry in retired:
         seq, _ = inflight.pop(id(entry))
-        out.append((seq, entry.result, entry.submit_cycle, entry.served_cycle))
+        result = entry.result
+        if type(result) is bytes and offset + len(result) <= limit:
+            buf[offset : offset + len(result)] = result
+            result = len(result)
+            offset += result
+        out.append((seq, result, entry.submit_cycle, entry.served_cycle))
     return shard.metrics.cycles, out
 
 
@@ -568,6 +607,12 @@ def _worker_close() -> None:
     shard = _WORKER.get("shard")
     if shard is not None:
         shard.close()
+    scratch = _WORKER.get("scratch")
+    if scratch is not None:
+        # Detach only: the coordinator owns the scratch segment and
+        # unlinks it when the fleet closes.
+        scratch.close()
+        _WORKER["scratch"] = None
 
 
 # --------------------------------------------------------------------------
@@ -611,16 +656,32 @@ class ParallelExecutor(ShardExecutor):
         #: cap on the per-worker durable flush inside :meth:`close`; a
         #: worker that cannot flush in time is terminated instead.
         self.close_timeout_s = close_timeout_s
-        self._pools: list[ProcessPoolExecutor] = [
-            ProcessPoolExecutor(
-                max_workers=1,
-                mp_context=self._context,
-                initializer=_worker_init,
-                initargs=(spec,),
-            )
-            for spec in specs
-        ]
+        #: payload-byte accounting for the envelope transport: how many
+        #: request/result payload bytes crossed via the shared-memory
+        #: scratch vs. inline inside the pickled envelopes.
+        self.ipc_shm_bytes = 0
+        self.ipc_inline_bytes = 0
+        #: per-shard coordinator-owned scratch segments for envelope
+        #: payloads (``None`` entries fall back to inline bytes).
+        self._scratch: list = [self._create_scratch(spec.index) for spec in specs]
+        try:
+            self._pools: list[ProcessPoolExecutor] = [
+                ProcessPoolExecutor(
+                    max_workers=1,
+                    mp_context=self._context,
+                    initializer=_worker_init,
+                    initargs=(spec, scratch.name if scratch is not None else None),
+                )
+                for spec, scratch in zip(specs, self._scratch)
+            ]
+        except Exception:
+            self._release_scratch()
+            raise
         self._closed = False
+        #: shard indexes taken out of service by a supervisor.  (Defined
+        #: before the worker handshake: the failure path below runs
+        #: ``close()``, which consults it.)
+        self.fenced: set[int] = set()
         try:
             infos: list[ShardInfo] = self._broadcast(_worker_describe)
         except Exception:
@@ -637,8 +698,6 @@ class ParallelExecutor(ShardExecutor):
         # fleet is then unusable and every further call must fail loudly
         # instead of spinning in drain().
         self._broken = False
-        #: shard indexes taken out of service by a supervisor.
-        self.fenced: set[int] = set()
         # Survivors' retirements from a step a shard failure aborted.
         self._orphaned: list[RobEntry] = []
         # Additional per-shard failures from a multi-failure step; each
@@ -648,6 +707,106 @@ class ParallelExecutor(ShardExecutor):
         #: per-worker fault plans as installed (supervisors consult these
         #: to re-install a rebased plan after a worker respawn).
         self.worker_plans: dict[int, FaultPlan] = {}
+
+    # ----------------------------------------------------- envelope transport
+    def _create_scratch(self, index: int):
+        """One coordinator-owned scratch segment per shard (best effort)."""
+        from multiprocessing import shared_memory
+
+        from repro.storage.shm import make_segment_name
+
+        try:
+            return shared_memory.SharedMemory(
+                name=make_segment_name(f"io{index}"),
+                create=True,
+                size=_SCRATCH_BYTES,
+            )
+        except Exception:  # no POSIX shm (exotic platform/sandbox): inline
+            return None
+
+    def _release_scratch(self, index: int | None = None) -> None:
+        """Unlink coordinator-owned scratch segments (all, or one shard's)."""
+        targets = range(len(self._scratch)) if index is None else (index,)
+        for i in targets:
+            scratch = self._scratch[i]
+            if scratch is None:
+                continue
+            self._scratch[i] = None
+            try:
+                scratch.close()
+            except BufferError:  # pragma: no cover - views die with us
+                pass
+            try:
+                scratch.unlink()
+            except FileNotFoundError:  # pragma: no cover - already reaped
+                pass
+
+    def _reap_segments(self, index: int | None = None) -> None:
+        """Force-unlink worker-owned shm slabs a dead worker left behind.
+
+        A worker that closed gracefully already unlinked its slab; this
+        covers the kill paths (heartbeat timeout, injected crash,
+        mid-drain teardown), where only the coordinator still knows the
+        segment name (it travels in the build spec).
+        """
+        from repro.storage.shm import unlink_segment
+
+        for spec in self.specs if index is None else (self.specs[index],):
+            if spec.storage_backend == "shm" and spec.storage_path:
+                unlink_segment(spec.storage_path)
+
+    def _pack_batch(self, index: int, batch: list) -> list:
+        """Move payload bytes into the shard's scratch; ship lengths."""
+        scratch = self._scratch[index]
+        if scratch is None or not batch:
+            return batch
+        buf = scratch.buf
+        limit = buf.nbytes
+        offset = 0
+        packed = []
+        for seq, op, addr, data in batch:
+            if type(data) is bytes and offset + len(data) <= limit:
+                buf[offset : offset + len(data)] = data
+                self.ipc_shm_bytes += len(data)
+                packed.append((seq, op, addr, len(data)))
+                offset += len(data)
+            else:
+                if data is not None:
+                    self.ipc_inline_bytes += len(data)
+                packed.append((seq, op, addr, data))
+        return packed
+
+    def _unpack_results(self, index: int, envelopes: list) -> list:
+        """Materialize results the worker parked in the scratch segment.
+
+        Integer results are lengths consuming the scratch sequentially in
+        envelope order (mirroring the worker's packing loop); bytes/None
+        results pass through inline.
+        """
+        scratch = self._scratch[index]
+        if scratch is None:
+            return envelopes
+        buf = scratch.buf
+        offset = 0
+        out = []
+        for seq, result, submit_cycle, served_cycle in envelopes:
+            if type(result) is int:
+                result = bytes(buf[offset : offset + result])
+                offset += len(result)
+                self.ipc_shm_bytes += len(result)
+            elif result is not None:
+                self.ipc_inline_bytes += len(result)
+            out.append((seq, result, submit_cycle, served_cycle))
+        return out
+
+    def ipc_stats(self) -> dict:
+        """Envelope-payload accounting for the parallel benchmark."""
+        return {
+            "shm_payload_bytes": self.ipc_shm_bytes,
+            "inline_payload_bytes": self.ipc_inline_bytes,
+            "scratch_segments": sum(1 for s in self._scratch if s is not None),
+            "scratch_bytes_each": _SCRATCH_BYTES,
+        }
 
     # ------------------------------------------------------------- plumbing
     def _broadcast(self, fn, *args) -> list:
@@ -694,7 +853,10 @@ class ParallelExecutor(ShardExecutor):
         if self.monitored:
             return self._monitored_step(batches, lockstep)
         try:
-            runs = self._broadcast_zip(_worker_run, batches)
+            runs = self._broadcast_zip(
+                _worker_run,
+                [self._pack_batch(index, batch) for index, batch in enumerate(batches)],
+            )
             target = max(cycles for cycles, _ in runs) if lockstep else None
             snapshots = self._broadcast(_worker_finish, target)
         except Exception:
@@ -705,8 +867,10 @@ class ParallelExecutor(ShardExecutor):
             self._broken = True
             raise
         retired: list[RobEntry] = []
-        for proxies, (_, envelopes) in zip(self._proxies, runs):
-            for seq, result, submit_cycle, served_cycle in envelopes:
+        for index, (proxies, (_, envelopes)) in enumerate(zip(self._proxies, runs)):
+            for seq, result, submit_cycle, served_cycle in self._unpack_results(
+                index, envelopes
+            ):
                 entry = proxies.pop(seq)
                 entry.result = result
                 entry.submit_cycle = submit_cycle
@@ -753,7 +917,12 @@ class ParallelExecutor(ShardExecutor):
         """
         live = [index for index in range(len(self._pools)) if index not in self.fenced]
         runs, failures = self._gather(
-            {index: self._pools[index].submit(_worker_run, batches[index]) for index in live}
+            {
+                index: self._pools[index].submit(
+                    _worker_run, self._pack_batch(index, batches[index])
+                )
+                for index in live
+            }
         )
         target = None
         if lockstep and runs:
@@ -768,7 +937,9 @@ class ParallelExecutor(ShardExecutor):
             if index in failed:
                 continue
             proxies = self._proxies[index]
-            for seq, result, submit_cycle, served_cycle in envelopes:
+            for seq, result, submit_cycle, served_cycle in self._unpack_results(
+                index, envelopes
+            ):
                 entry = proxies.pop(seq)
                 entry.result = result
                 entry.submit_cycle = submit_cycle
@@ -890,6 +1061,8 @@ class ParallelExecutor(ShardExecutor):
             if failure.shard_index != index
         ]
         self._shutdown_pool(index)
+        self._reap_segments(index)
+        self._release_scratch(index)
 
     def heartbeats(self) -> "dict[int, float]":
         """Ping every live worker over IPC (timeout ⇒ ShardCrashed)."""
@@ -916,11 +1089,18 @@ class ParallelExecutor(ShardExecutor):
         failure kind.
         """
         self._shutdown_pool(index)
+        # The dead worker never closed: reap its slab segment so the fresh
+        # worker creates a clean one instead of attaching stale pages.
+        self._reap_segments(index)
+        scratch = self._scratch[index]
         self._pools[index] = ProcessPoolExecutor(
             max_workers=1,
             mp_context=self._context,
             initializer=_worker_init,
-            initargs=(self.specs[index],),
+            initargs=(
+                self.specs[index],
+                scratch.name if scratch is not None else None,
+            ),
         )
         info = self._pools[index].submit(_worker_describe).result(
             timeout=self.heartbeat_timeout_s
@@ -992,6 +1172,11 @@ class ParallelExecutor(ShardExecutor):
                 self._kill_worker(index)
         for pool in self._pools:
             pool.shutdown(wait=True, cancel_futures=True)
+        # With every worker gone, reap whatever shm the fleet still owns:
+        # the envelope scratch segments (coordinator-owned) and any worker
+        # slab a killed process left behind.
+        self._release_scratch()
+        self._reap_segments()
 
     def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
         try:

@@ -534,7 +534,18 @@ def build_sharded_horam(
     if storage_backend == "file" and storage_dir is None:
         raise ValueError("storage_backend='file' needs a storage_dir")
 
+    shm_namespace = None
+    if storage_backend == "shm":
+        # One collision-resistant namespace per fleet: each shard's slab
+        # segment derives its name from it, so the coordinator can reap a
+        # killed worker's segment without asking the worker anything.
+        from repro.storage.shm import make_segment_name
+
+        shm_namespace = make_segment_name("fleet")
+
     def shard_path(index: int):
+        if storage_backend == "shm":
+            return f"{shm_namespace}-s{index}"
         if storage_backend != "file":
             return None
         import os

@@ -37,6 +37,7 @@ from array import array
 from dataclasses import dataclass
 from typing import Callable
 
+from repro import accel as _accel
 from repro.crypto.random import DeterministicRandom
 from repro.oram.base import DUMMY_ADDR, BlockCodec, CapacityError
 from repro.oram.base import initial_payload
@@ -146,12 +147,11 @@ class PermutedStorage:
 
         self._unread: list[int] = []
         self._unread_pos: dict[int, int] = {}
-        # Per-partition epoch bookkeeping: the ascending unconsumed-occupied
-        # slots of each partition as of its last compaction, plus a dirty
-        # bit set by _consume.  end_period folds these together instead of
-        # scanning all total_slots.
-        self._partition_unread: list[list[int]] = [[] for _ in self._partitions]
-        self._partition_dirty = bytearray(self.partition_count)
+        # Per-partition epoch bookkeeping: each partition's unconsumed
+        # occupied slots as an insertion-ordered dict (ascending inserts,
+        # O(1) delete on consume), so end_period concatenates live pools
+        # instead of re-filtering slot lists.
+        self._partition_unread: list[dict[int, None]] = [{} for _ in self._partitions]
 
         #: dummy loads that found no unconsumed slot (tiny configurations);
         #: surfaced as ``metrics.extra["dummy_pool_exhausted"]`` by H-ORAM.
@@ -168,25 +168,37 @@ class PermutedStorage:
         order = list(base_slots)
         self.rng.shuffle(order)
         slot_bytes = self.codec.slot_bytes
-        buffer = bytearray(self.total_slots * slot_bytes)
-        seal = self.codec.seal
         pad = self.codec.pad
         rename = self._initial_addr_map or (lambda addr: addr)
         for addr, slot in enumerate(order[: self.n_blocks]):
             self.location[addr] = slot
             self.slot_addr[slot] = addr
-            buffer[slot * slot_bytes : (slot + 1) * slot_bytes] = seal(
-                addr, pad(initial_payload(rename(addr)))
-            )
         for slot in order[self.n_blocks :]:
             self.slot_addr[slot] = DUMMY_ADDR
-            buffer[slot * slot_bytes : (slot + 1) * slot_bytes] = self.codec.seal_dummy()
+        # Seal every record in one batch (same nonce order as the old
+        # per-slot loop: reals in address order, then the dummies), then
+        # scatter the flat run onto the permuted slots.
+        records = self.codec.seal_many(
+            [(addr, pad(initial_payload(rename(addr)))) for addr in range(self.n_blocks)],
+            dummy_tail=len(order) - self.n_blocks,
+        )
+        buffer = bytearray(self.total_slots * slot_bytes)
+        np = _accel.np
+        if np is not None:
+            np.frombuffer(buffer, dtype=np.uint8).reshape(self.total_slots, slot_bytes)[
+                np.asarray(order, dtype=np.intp)
+            ] = np.frombuffer(records, dtype=np.uint8).reshape(len(order), slot_bytes)
+        else:
+            for index, slot in enumerate(order):
+                buffer[slot * slot_bytes : (slot + 1) * slot_bytes] = records[
+                    index * slot_bytes : (index + 1) * slot_bytes
+                ]
         self.storage.poke_run(0, buffer)
         for index, partition in enumerate(self._partitions):
             self._occupied[partition.base : partition.base + partition.size] = (
                 b"\x01" * partition.size
             )
-            self._partition_unread[index] = list(
+            self._partition_unread[index] = dict.fromkeys(
                 range(partition.base, partition.base + partition.size)
             )
         self._rebuild_unread()
@@ -194,22 +206,14 @@ class PermutedStorage:
     def _rebuild_unread(self) -> None:
         """Refresh the dummy-load candidate pool: unconsumed occupied slots.
 
-        Incremental: each partition's candidate list is cached and only
-        re-filtered when its dirty bit says slots were consumed since the
-        last compaction (shuffles and overflow appends update the cache in
-        place), so the per-period cost follows the live pool, not the
-        total slot count.
+        The per-partition pools are maintained incrementally (consumes
+        delete, appends insert, shuffles replace), so opening a period is
+        one concatenation of live pools -- no re-filtering pass over
+        partition slot lists, and the cost follows the live pool size,
+        not the total slot count.
         """
-        consumed = self.consumed
-        dirty = self._partition_dirty
-        partition_unread = self._partition_unread
         unread: list[int] = []
-        for index in range(self.partition_count):
-            slots = partition_unread[index]
-            if dirty[index]:
-                slots = [slot for slot in slots if not consumed[slot]]
-                partition_unread[index] = slots
-                dirty[index] = 0
+        for slots in self._partition_unread:
             unread.extend(slots)
         self._unread = unread
         self._unread_pos = {slot: index for index, slot in enumerate(unread)}
@@ -218,7 +222,7 @@ class PermutedStorage:
         if self.consumed[slot]:
             raise CapacityError(f"slot {slot} fetched twice before a shuffle")
         self.consumed[slot] = 1
-        self._partition_dirty[self._partition_of(slot)] = 1
+        self._partition_unread[self._partition_of(slot)].pop(slot, None)
         index = self._unread_pos.pop(slot, None)
         if index is not None:
             last = self._unread[-1]
@@ -336,19 +340,22 @@ class PermutedStorage:
 
         # Survivors: blocks whose permutation-list entry still points here.
         # The control layer already knows which slots are live, so only
-        # those records are opened (zero-copy slices of the run view).
+        # those records are opened (zero-copy slices of the run view,
+        # batch-decrypted in one open_many pass).
         slot_bytes = self.codec.slot_bytes
-        open_record = self.codec.open
         slot_addr = self.slot_addr
         location = self.location
-        survivors: list[tuple[int, bytes]] = []
+        live_addrs: list[int] = []
+        live_records: list[memoryview] = []
         for offset in range(span):
             addr = slot_addr[base + offset]
             if addr != DUMMY_ADDR and location[addr] == base + offset:
-                _, payload = open_record(
-                    view[offset * slot_bytes : (offset + 1) * slot_bytes]
-                )
-                survivors.append((addr, payload))
+                live_addrs.append(addr)
+                live_records.append(view[offset * slot_bytes : (offset + 1) * slot_bytes])
+        survivors = [
+            (addr, payload)
+            for addr, (_, payload) in zip(live_addrs, self.codec.open_many(live_records))
+        ]
 
         # Take the next chunk of evicted data that fits the base region.
         # (With partial shuffle, survivors from the overflow region can
@@ -384,8 +391,7 @@ class PermutedStorage:
         self.consumed[overflow_base : overflow_base + overflow_cap] = bytes(overflow_cap)
         self._occupied[overflow_base : overflow_base + overflow_cap] = bytes(overflow_cap)
         partition.overflow_used = 0
-        self._partition_unread[index] = list(range(base, base + size))
-        self._partition_dirty[index] = 0
+        self._partition_unread[index] = dict.fromkeys(range(base, base + size))
         stats.partitions_shuffled += 1
         return requeued + pending
 
@@ -416,8 +422,8 @@ class PermutedStorage:
             self._occupied[start : start + count] = b"\x01" * count
             self.consumed[start : start + count] = bytes(count)
             # Appended slots are fresh unconsumed candidates; they extend
-            # the partition's cached pool in ascending order.
-            self._partition_unread[index].extend(range(start, start + count))
+            # the partition's pool in ascending order.
+            self._partition_unread[index].update(dict.fromkeys(range(start, start + count)))
             stats.times.io_us += self.storage.write_run(start, buffer)
             partition.overflow_used += count
             stats.blocks_appended += count
@@ -439,7 +445,9 @@ class PermutedStorage:
             "occupied": b64encode(self._occupied).decode("ascii"),
             "overflow_used": [p.overflow_used for p in self._partitions],
             "partition_unread": [list(slots) for slots in self._partition_unread],
-            "partition_dirty": b64encode(self._partition_dirty).decode("ascii"),
+            # The pools are maintained incrementally, so they are never
+            # dirty; the key survives for checkpoint-format compatibility.
+            "partition_dirty": b64encode(bytes(self.partition_count)).decode("ascii"),
             "unread": list(self._unread),
             "dummy_pool_exhausted": self.dummy_pool_exhausted,
             "rng": self.rng.state_dict(),
@@ -454,8 +462,17 @@ class PermutedStorage:
         self._occupied[:] = b64decode(state["occupied"])
         for partition, used in zip(self._partitions, state["overflow_used"]):
             partition.overflow_used = used
-        self._partition_unread = [list(slots) for slots in state["partition_unread"]]
-        self._partition_dirty[:] = b64decode(state["partition_dirty"])
+        # Checkpoints written before the pools went incremental may carry
+        # stale (consumed) slots in dirty partitions; filtering them here
+        # is exactly the re-filter the old code deferred to end_period.
+        dirty = b64decode(state["partition_dirty"])
+        consumed = self.consumed
+        self._partition_unread = [
+            dict.fromkeys(
+                slots if not dirty[index] else (s for s in slots if not consumed[s])
+            )
+            for index, slots in enumerate(state["partition_unread"])
+        ]
         self._unread = list(state["unread"])
         self._unread_pos = {slot: index for index, slot in enumerate(self._unread)}
         self.dummy_pool_exhausted = state["dummy_pool_exhausted"]

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import hashlib
 import struct
-from typing import Protocol
+from typing import Iterable, Protocol
 
 from repro.crypto.cipher import BlockCipher
 
@@ -76,13 +76,20 @@ class CtrCipher:
 
     def keystream(self, nonce: int, length: int) -> bytes:
         """At least ``length`` keystream bytes for ``nonce`` (block-rounded)."""
-        encrypt_block = self._cipher.encrypt_block
         low = nonce & 0xFFFFFFFF
-        blocks = [
-            encrypt_block(_PACK_II(low, counter))
-            for counter in range((length + 7) // 8)
-        ]
-        return b"".join(blocks)
+        blocks = (length + 7) // 8
+        batch = getattr(self._cipher, "encrypt_counter_blocks", None)
+        if batch is not None:
+            stream = batch(low, blocks)
+            if stream is not None:
+                return stream
+        # Single-allocation fallback: fill one buffer block by block
+        # instead of building a chunk list and joining it.
+        encrypt_block = self._cipher.encrypt_block
+        out = bytearray(blocks * 8)
+        for counter in range(blocks):
+            out[counter * 8 : counter * 8 + 8] = encrypt_block(_PACK_II(low, counter))
+        return bytes(out)
 
     def encrypt(self, nonce: int, plaintext: bytes) -> bytes:
         return xor_bytes(plaintext, self.keystream(nonce, len(plaintext)))
@@ -123,20 +130,43 @@ class StreamCipher:
         h.update(_PACK_QQ(nonce & _MASK64, 0))
         return h.digest()
 
+    def keystream_blocks(self, nonces: "Iterable[int]") -> list[bytes]:
+        """First keystream block for every nonce -- the bulk hot path.
+
+        One loop frame for a whole batch instead of one
+        :meth:`keystream_block` call per record: the record codecs hand
+        this the nonce sequence of an entire slot run, so the per-call
+        dispatch overhead (which dominates at ORAM record sizes)
+        amortizes away.  ``b"".join(map(keystream_block, nonces))`` would
+        produce the same bytes.
+        """
+        hasher = self._hasher
+        pack = _PACK_QQ
+        out = []
+        append = out.append
+        for nonce in nonces:
+            h = hasher.copy()
+            h.update(pack(nonce & _MASK64, 0))
+            append(h.digest())
+        return out
+
     def keystream(self, nonce: int, length: int) -> bytes:
         """At least ``length`` keystream bytes for ``nonce`` (64 B-rounded)."""
         if length <= 64:
             # One digest covers the whole record -- the common case for
             # ORAM slot payloads; no chunk list, no join.
             return self._block(nonce, 0)
-        chunks = []
-        produced = 0
-        counter = 0
-        while produced < length:
-            chunks.append(self._block(nonce, counter))
-            produced += 64
-            counter += 1
-        return b"".join(chunks)
+        # Single allocation for multi-block streams: digests land directly
+        # in their slice of one preallocated buffer.
+        blocks = (length + 63) // 64
+        out = bytearray(blocks * 64)
+        hasher = self._hasher
+        masked = nonce & _MASK64
+        for counter in range(blocks):
+            h = hasher.copy()
+            h.update(_PACK_QQ(masked, counter))
+            out[counter * 64 : counter * 64 + 64] = h.digest()
+        return bytes(out)
 
     def encrypt(self, nonce: int, plaintext: bytes) -> bytes:
         length = len(plaintext)

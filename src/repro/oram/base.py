@@ -21,13 +21,27 @@ from enum import Enum
 from itertools import count
 from typing import Iterable, Iterator, Protocol
 
+from repro import accel as _accel
+
 #: Logical address reserved for dummy records.
 DUMMY_ADDR = 0xFFFFFFFFFFFFFFFF
+
+#: Records per batch below which the scalar loop beats the batched paths
+#: (setup costs more than it saves on tiny batches).
+_BATCH_MIN = 8
+
+#: Records per batch above which the numpy kernel beats the big-integer
+#: batch.  At ORAM path sizes (tens of records) numpy's per-op dispatch
+#: overhead eats the win; on shuffle-sized runs (hundreds to thousands)
+#: the whole-matrix operations pull ahead.
+_NP_MIN = 48
 
 _HEADER_FMT = "<Q"  # addr inside the ciphertext
 _NONCE_BYTES = 8
 _ADDR_BYTES = 8
 _PACK_Q = struct.Struct("<Q").pack  # pre-compiled header packer (hot path)
+_PACK_QQ = struct.Struct("<QQ").pack  # nonce || addr in one call (batch path)
+_ZERO8 = b"\x00" * 8  # keystream hole over the clear nonce (batch path)
 _MASK64 = 0xFFFFFFFFFFFFFFFF
 
 #: Bytes of overhead a sealed record adds on top of the payload.
@@ -137,9 +151,12 @@ class BlockCodec:
         self._keystream_block = (
             keystream_block if keystream_block is not None and self._plain_bytes <= 64 else None
         )
-        self._dummy_plain_int = int.from_bytes(
-            _PACK_Q(DUMMY_ADDR) + b"\x00" * payload_bytes, "little"
+        keystream_blocks = getattr(cipher, "keystream_blocks", None)
+        self._keystream_blocks = (
+            keystream_blocks if keystream_blocks is not None and self._plain_bytes <= 64 else None
         )
+        self._dummy_plain = _PACK_Q(DUMMY_ADDR) + b"\x00" * payload_bytes
+        self._dummy_plain_int = int.from_bytes(self._dummy_plain, "little")
 
     def _next_nonce(self) -> int:
         self._nonce_counter += 1
@@ -204,6 +221,17 @@ class BlockCodec:
         :meth:`~repro.storage.backend.BlockStore.write_run` /
         ``poke_run`` flat-buffer input.
         """
+        if type(entries) is not list:
+            entries = list(entries)
+        if (
+            len(entries) + dummy_tail >= _BATCH_MIN
+            and self._keystream_blocks is not None
+            and self._mac_hasher is None
+        ):
+            np = _accel.np
+            if np is not None and len(entries) + dummy_tail >= _NP_MIN:
+                return self._seal_batch(np, entries, dummy_tail)
+            return self._seal_batch_bytes(entries, dummy_tail)
         out = bytearray()
         seal = self.seal
         for addr, payload in entries:
@@ -250,6 +278,92 @@ class BlockCodec:
                 self._nonce_counter = nonce
         return out
 
+    def _seal_batch(self, np, entries: "list[tuple[int, bytes]]", dummy_tail: int) -> bytearray:
+        """Vectorized :meth:`seal_many` (keystream codecs, no MAC).
+
+        The per-record keystream digests still run one hash call each (the
+        nonce sequence pins them); what vectorizes is everything around
+        them -- header packing, padding, the XOR, and record assembly run
+        as whole-matrix operations instead of per-record int conversions.
+        """
+        k = len(entries)
+        n = k + dummy_tail
+        length = self._plain_bytes
+        payload_bytes = self.payload_bytes
+        nonce0 = self._nonce_counter
+        stream = np.frombuffer(
+            b"".join(self._keystream_blocks(range(nonce0 + 1, nonce0 + n + 1))),
+            dtype=np.uint8,
+        ).reshape(n, -1)[:, :length]
+        self._nonce_counter = nonce0 + n
+        plain = np.zeros((n, length), dtype=np.uint8)
+        if k:
+            plain[:k, :_ADDR_BYTES] = (
+                np.array([addr for addr, _ in entries], dtype="<u8")
+                .view(np.uint8)
+                .reshape(k, _ADDR_BYTES)
+            )
+            payloads = b"".join(
+                payload if len(payload) == payload_bytes else self.pad(payload)
+                for _, payload in entries
+            )
+            plain[:k, _ADDR_BYTES:] = np.frombuffer(payloads, dtype=np.uint8).reshape(
+                k, payload_bytes
+            )
+        if dummy_tail:
+            plain[k:, :_ADDR_BYTES] = 0xFF  # DUMMY_ADDR header; payload stays zero
+        out = np.empty((n, self.slot_bytes), dtype=np.uint8)
+        out[:, :_NONCE_BYTES] = (
+            np.arange(nonce0 + 1, nonce0 + n + 1, dtype="<u8")
+            .view(np.uint8)
+            .reshape(n, _NONCE_BYTES)
+        )
+        out[:, _NONCE_BYTES:] = plain ^ stream
+        return bytearray(out)
+
+    def _seal_batch_bytes(self, entries: "list[tuple[int, bytes]]", dummy_tail: int) -> bytearray:
+        """Big-integer :meth:`seal_many` batch (keystream codecs, no MAC).
+
+        The path-write batch shape -- a few dozen records -- is too small
+        for numpy's per-op dispatch to pay off, but not for batching as
+        such: the whole run is XORed as one arbitrary-precision integer
+        (one C operation), with the clear nonce column surviving under a
+        zero keystream hole.  Also the numpy-absent fallback for large
+        runs; byte-identical to the equivalent loop of :meth:`seal` /
+        :meth:`seal_dummy` calls either way.
+        """
+        k = len(entries)
+        n = k + dummy_tail
+        length = self._plain_bytes
+        payload_bytes = self.payload_bytes
+        nonce0 = self._nonce_counter
+        self._nonce_counter = nonce0 + n
+        stream = b"".join(
+            [
+                _ZERO8 + block[:length]
+                for block in self._keystream_blocks(range(nonce0 + 1, nonce0 + n + 1))
+            ]
+        )
+        pack_qq = _PACK_QQ
+        pad = self.pad
+        parts = [
+            pack_qq(nonce, addr)
+            + (payload if len(payload) == payload_bytes else pad(payload))
+            for nonce, (addr, payload) in enumerate(entries, nonce0 + 1)
+        ]
+        if dummy_tail:
+            pack_q = _PACK_Q
+            dummy = self._dummy_plain
+            parts.extend(
+                [pack_q(nonce) + dummy for nonce in range(nonce0 + k + 1, nonce0 + n + 1)]
+            )
+        plain = b"".join(parts)
+        return bytearray(
+            (int.from_bytes(plain, "little") ^ int.from_bytes(stream, "little")).to_bytes(
+                n * self.slot_bytes, "little"
+            )
+        )
+
     def open(self, record: bytes | memoryview) -> tuple[int, bytes]:
         """Decrypt (and verify, when MACed) a slot record into (addr, payload)."""
         if len(record) != self.slot_bytes:
@@ -295,6 +409,16 @@ class BlockCodec:
         self, records: "Iterable[bytes | memoryview]"
     ) -> list[tuple[int, bytes]]:
         """Open a batch of records (amortizes per-call dispatch)."""
+        if type(records) is not list:
+            records = list(records)
+        if (
+            len(records) >= _BATCH_MIN
+            and self._keystream_blocks is not None
+            and self._mac_hasher is None
+        ):
+            # Gathering scattered records into one flat buffer costs one
+            # copy; the vectorized run-open pays it back severalfold.
+            return self.open_run(b"".join(records))
         open_one = self.open
         return [open_one(record) for record in records]
 
@@ -312,8 +436,72 @@ class BlockCodec:
                 f"buffer of {view.nbytes} bytes is not a whole number of "
                 f"{size}-byte records"
             )
+        if (
+            view.nbytes >= _BATCH_MIN * size
+            and self._keystream_blocks is not None
+            and self._mac_hasher is None
+        ):
+            np = _accel.np
+            if np is not None and view.nbytes >= _NP_MIN * size:
+                return self._open_batch(np, view, view.nbytes // size)
+            return self._open_batch_bytes(view, view.nbytes // size)
         open_one = self.open
         return [open_one(view[offset : offset + size]) for offset in range(0, view.nbytes, size)]
+
+    def _open_batch(
+        self, np, view: memoryview, n: int
+    ) -> list[tuple[int, bytes]]:
+        """Vectorized :meth:`open_run` (keystream codecs, no MAC)."""
+        length = self._plain_bytes
+        records = np.frombuffer(view, dtype=np.uint8).reshape(n, self.slot_bytes)
+        nonces = records[:, :_NONCE_BYTES].copy().view("<u8").ravel().tolist()
+        stream = np.frombuffer(
+            b"".join(self._keystream_blocks(nonces)), dtype=np.uint8
+        ).reshape(n, -1)[:, :length]
+        plain = records[:, _NONCE_BYTES:] ^ stream
+        addrs = plain[:, :_ADDR_BYTES].copy().view("<u8").ravel().tolist()
+        payload_bytes = self.payload_bytes
+        payloads = plain[:, _ADDR_BYTES:].tobytes()
+        return [
+            (addrs[index], payloads[index * payload_bytes : (index + 1) * payload_bytes])
+            for index in range(n)
+        ]
+
+    def _open_batch_bytes(self, view: memoryview, n: int) -> list[tuple[int, bytes]]:
+        """Big-integer :meth:`open_run` batch (keystream codecs, no MAC).
+
+        Mirror of :meth:`_seal_batch_bytes`: one whole-run XOR under a
+        zero keystream hole over each clear nonce, then per-record header
+        splits on the decrypted buffer.
+        """
+        size = self.slot_bytes
+        length = self._plain_bytes
+        buf = bytes(view)
+        from_bytes = int.from_bytes
+        nonces = [
+            from_bytes(buf[offset : offset + _NONCE_BYTES], "little")
+            for offset in range(0, n * size, size)
+        ]
+        stream = b"".join(
+            [_ZERO8 + block[:length] for block in self._keystream_blocks(nonces)]
+        )
+        plain = (from_bytes(buf, "little") ^ from_bytes(stream, "little")).to_bytes(
+            n * size, "little"
+        )
+        addr_at = _NONCE_BYTES
+        payload_at = _NONCE_BYTES + _ADDR_BYTES
+        out = []
+        append = out.append
+        offset = 0
+        for _ in range(n):
+            append(
+                (
+                    from_bytes(plain[offset + addr_at : offset + payload_at], "little"),
+                    plain[offset + payload_at : offset + size],
+                )
+            )
+            offset += size
+        return out
 
     def is_dummy(self, record: bytes) -> bool:
         addr, _ = self.open(record)

@@ -144,19 +144,29 @@ class PathOramTree:
         self.leaf_log.append(leaf)
         z = self.geometry.bucket_size
         slot_bytes = self.codec.slot_bytes
-        open_record = self.codec.open
         real = self._real
+        find = real.find
+        mem_buckets = self._mem_buckets
+        memory_store = self.memory_store
+        memory_base = self.memory_slot_base
+        storage_base = self.storage_slot_base
         # MACed codecs verify every record on the path -- dummies included --
         # so tampering anywhere is still detected; the dummy-skip fast path
         # applies only when there is no integrity tag to check.
         verify_all = self.codec.mac_key is not None
         found: list[tuple[int, bytes]] = []
+        pending: list[memoryview] = []
+        append_pending = pending.append
         for bucket in self._path(leaf):
-            store, base = self.bucket_location(bucket)
-            view, duration = store.read_run_view(base, z)
-            if store.tier == "memory":
+            # Inlined bucket_location: this loop runs once per level per
+            # access on both the read and write paths.
+            if bucket < mem_buckets:
+                view, duration = memory_store.read_run_view(memory_base + bucket * z, z)
                 times.mem_us += duration
             else:
+                view, duration = self.storage_store.read_run_view(
+                    storage_base + (bucket - mem_buckets) * z, z
+                )
                 times.io_us += duration
             if verify_all:
                 for addr, payload in self.codec.open_run(view):
@@ -165,30 +175,60 @@ class PathOramTree:
                 continue
             bucket_slot = bucket * z
             bucket_end = bucket_slot + z
-            index = real.find(1, bucket_slot, bucket_end)
+            index = find(1, bucket_slot, bucket_end)
             while index >= 0:
                 offset = (index - bucket_slot) * slot_bytes
-                found.append(open_record(view[offset : offset + slot_bytes]))
-                index = real.find(1, index + 1, bucket_end)
+                append_pending(view[offset : offset + slot_bytes])
+                index = find(1, index + 1, bucket_end)
+        if pending:
+            # One batch open for the whole path's real records (the views
+            # stay zero-copy; open_many vectorizes past its threshold).
+            found.extend(self.codec.open_many(pending))
         return found
 
     def write_path(self, leaf: int, stash: Stash, times: TierTimes) -> None:
-        """Greedy write-back: deepest buckets first, fill from the stash."""
+        """Greedy write-back: deepest buckets first, fill from the stash.
+
+        The whole path is sealed with one :meth:`BlockCodec.seal_many`
+        call (bucket dummies as explicit entries -- ``seal(DUMMY_ADDR,
+        zeros)`` is byte-identical to ``seal_dummy()``), then sliced back
+        into per-bucket writes, so each bucket still costs exactly one
+        ``write_run`` while the crypto amortizes over the full path.
+        """
         z = self.geometry.bucket_size
-        seal_many = self.codec.seal_many
         real = self._real
         path = self._path(leaf)
-        for level in range(self.geometry.levels - 1, -1, -1):
-            bucket = path[level]
-            entries = stash.select_for_bucket(self.geometry, leaf, level, z)
-            buffer = seal_many(
-                ((e.addr, e.payload) for e in entries), dummy_tail=z - len(entries)
-            )
+        dummy_entry = (DUMMY_ADDR, b"\x00" * self.codec.payload_bytes)
+        entries: list[tuple[int, bytes]] = []
+        buckets: list[tuple[int, int]] = []  # (bucket, real count), deepest first
+        per_level = stash.select_for_path(self.geometry, leaf, z)
+        for level, selected in zip(range(self.geometry.levels - 1, -1, -1), per_level):
+            if selected:
+                entries.extend([(entry.addr, entry.payload) for entry in selected])
+            entries.extend([dummy_entry] * (z - len(selected)))
+            buckets.append((path[level], len(selected)))
+        sealed = memoryview(self.codec.seal_many(entries))
+        bucket_bytes = z * self.codec.slot_bytes
+        mem_buckets = self._mem_buckets
+        memory_store = self.memory_store
+        memory_base = self.memory_slot_base
+        storage_base = self.storage_slot_base
+        offset = 0
+        for bucket, filled in buckets:
             bucket_slot = bucket * z
-            filled = len(entries)
             real[bucket_slot : bucket_slot + filled] = b"\x01" * filled
             real[bucket_slot + filled : bucket_slot + z] = bytes(z - filled)
-            self.write_bucket(bucket, buffer, times)
+            # Inlined write_bucket/bucket_location (hot loop, see read_path).
+            if bucket < mem_buckets:
+                times.mem_us += memory_store.write_run(
+                    memory_base + bucket * z, sealed[offset : offset + bucket_bytes]
+                )
+            else:
+                times.io_us += self.storage_store.write_run(
+                    storage_base + (bucket - mem_buckets) * z,
+                    sealed[offset : offset + bucket_bytes],
+                )
+            offset += bucket_bytes
 
     # ------------------------------------------------------------- bulk ops
     def poke_bucket(self, bucket: int, entries: list[tuple[int, bytes]]) -> None:
@@ -222,8 +262,8 @@ class PathOramTree:
     def read_all(self, times: TierTimes) -> list[tuple[int, bytes]]:
         """Stream the whole tree in; return real blocks (eviction step 1)."""
         blocks: list[tuple[int, bytes]] = []
+        pending: list[memoryview] = []
         slot_bytes = self.codec.slot_bytes
-        open_record = self.codec.open
         real = self._real
         runs = [(self.memory_store, self.memory_slot_base, self.memory_slots_needed, "memory", 0)]
         if self.storage_slots_needed:
@@ -253,8 +293,11 @@ class PathOramTree:
             index = real.find(1, slot_offset, end)
             while index >= 0:
                 offset = (index - slot_offset) * slot_bytes
-                blocks.append(open_record(view[offset : offset + slot_bytes]))
+                pending.append(view[offset : offset + slot_bytes])
                 index = real.find(1, index + 1, end)
+        if pending:
+            # Batch-open the eviction scan's real records in one pass.
+            blocks.extend(self.codec.open_many(pending))
         return blocks
 
     def clear(self, times: TierTimes) -> None:

@@ -17,7 +17,7 @@ from repro.oram.base import StashOverflowError
 from repro.oram.tree import TreeGeometry
 
 
-@dataclass
+@dataclass(slots=True)
 class StashEntry:
     addr: int
     leaf: int
@@ -88,3 +88,41 @@ class Stash:
         for entry in selected:
             del entries[entry.addr]
         return selected
+
+    def select_for_path(
+        self, geometry: TreeGeometry, path_leaf: int, space: int
+    ) -> list[list[StashEntry]]:
+        """Greedy selection for a whole path write-back, deepest level first.
+
+        Equivalent to calling :meth:`select_for_bucket` once per level from
+        ``levels - 1`` down to 0, but the path-agreement depth of each
+        entry is computed once instead of once per level -- the write-back
+        hot path does this for every access.  Returns one entry list per
+        level, index 0 being the deepest.
+        """
+        levels = geometry.levels
+        entries = self._entries
+        if not entries:
+            return [[] for _ in range(levels)]
+        common_path_depth = geometry.common_path_depth
+        remaining = [
+            (common_path_depth(entry.leaf, path_leaf), entry)
+            for entry in entries.values()
+        ]
+        per_level: list[list[StashEntry]] = []
+        for level in range(levels - 1, -1, -1):
+            if not remaining:
+                per_level.append([])
+                continue
+            selected: list[StashEntry] = []
+            rest: list[tuple[int, StashEntry]] = []
+            for item in remaining:
+                if item[0] >= level and len(selected) < space:
+                    entry = item[1]
+                    selected.append(entry)
+                    del entries[entry.addr]
+                else:
+                    rest.append(item)
+            remaining = rest
+            per_level.append(selected)
+        return per_level

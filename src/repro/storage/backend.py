@@ -195,8 +195,11 @@ class BlockStore:
         """Account one sequential run: timing, counters, trace event."""
         if count <= 0:
             raise ValueError("count must be positive")
-        self._check_slot(start)
-        self._check_slot(start + count - 1)
+        if start < 0 or start + count > self.slots:
+            # Out of bounds: re-run the single-slot checks for their
+            # exact error messages.
+            self._check_slot(start)
+            self._check_slot(start + count - 1)
         size = count * self.modeled_slot_bytes
         if not self._stock_run_us:
             duration = self.device.run_us(size, write=write)
@@ -205,14 +208,31 @@ class BlockStore:
         else:
             duration = self._read_overhead_us + size / self._read_denominator * 1_000_000.0
         self._last_op, self._next_seq_slot = op, start + count
+        counters = self.counters
         if write:
-            self.counters.writes += count
-            self.counters.bytes_written += size
+            counters.writes += count
+            counters.bytes_written += size
         else:
-            self.counters.reads += count
-            self.counters.bytes_read += size
-        self.counters.busy_us += duration
-        self._emit(op, start, size, label=f"run:{count}")
+            counters.reads += count
+            counters.bytes_read += size
+        counters.busy_us += duration
+        # Inlined _emit: this runs for every bulk transfer, so the event
+        # (and its run-length label) is only built when it will be kept.
+        trace = self.trace
+        if trace is not None:
+            if trace.capacity is None or len(trace.events) < trace.capacity:
+                trace.record(
+                    TraceEvent(
+                        op=op,
+                        tier=self.tier,
+                        slot=start,
+                        size=size,
+                        time_us=self._now(),
+                        label=f"run:{count}",
+                    )
+                )
+            else:
+                trace.dropped += 1
         return duration
 
     def read_run(self, start: int, count: int) -> tuple[list[bytes], float]:
@@ -236,7 +256,11 @@ class BlockStore:
         subsequent write to the same slots.
         """
         duration = self._charge_run("read", start, count, write=False)
-        return self.peek_run(start, count), duration
+        slot_bytes = self.slot_bytes
+        return (
+            memoryview(self._data)[start * slot_bytes : (start + count) * slot_bytes],
+            duration,
+        )
 
     def write_run(self, start: int, records: "list[bytes] | bytes | bytearray | memoryview") -> float:
         """Stream consecutive slots out: one positioning + transfer.

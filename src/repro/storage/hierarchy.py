@@ -18,7 +18,7 @@ from repro.storage.device import DeviceModel, ddr4_2133, hdd_paper
 from repro.storage.trace import TraceRecorder
 
 #: Storage-tier backings a hierarchy can mount.
-STORAGE_BACKENDS = ("memory", "file")
+STORAGE_BACKENDS = ("memory", "file", "shm")
 
 
 class StorageHierarchy:
@@ -26,8 +26,12 @@ class StorageHierarchy:
 
     ``storage_backend="file"`` mounts the storage tier on a durable
     memory-mapped slab at ``storage_path`` (see
-    :class:`~repro.storage.durable.DurableBlockStore`); the memory tier
-    models DRAM and always stays process-private.
+    :class:`~repro.storage.durable.DurableBlockStore`);
+    ``storage_backend="shm"`` mounts it on a POSIX shared-memory segment
+    named by ``storage_path`` (auto-generated when omitted; see
+    :class:`~repro.storage.shm.SharedMemoryBlockStore`), which other
+    processes can attach zero-copy.  The memory tier models DRAM and
+    always stays process-private.
     """
 
     def __init__(
@@ -49,6 +53,10 @@ class StorageHierarchy:
             )
         if storage_backend == "file" and storage_path is None:
             raise ValueError("storage_backend='file' needs a storage_path")
+        if storage_backend == "shm" and storage_path is None:
+            from repro.storage.shm import make_segment_name
+
+            storage_path = make_segment_name("storage")
         self.storage_backend = storage_backend
         self.storage_path = str(storage_path) if storage_path is not None else None
         self.clock = SimClock()
@@ -77,6 +85,10 @@ class StorageHierarchy:
             from repro.storage.durable import DurableBlockStore
 
             self.storage = DurableBlockStore(self.storage_path, **storage_kwargs)
+        elif storage_backend == "shm":
+            from repro.storage.shm import SharedMemoryBlockStore
+
+            self.storage = SharedMemoryBlockStore(self.storage_path, **storage_kwargs)
         else:
             self.storage = BlockStore(**storage_kwargs)
         self.memory_channel = Channel("memory-bus")

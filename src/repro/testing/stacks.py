@@ -55,8 +55,9 @@ class StackSpec:
     #: registered EngineKernel protocol (see
     #: :func:`repro.oram.factory.shard_protocol_names`).
     shard_protocol: str = "horam"
-    #: storage-tier backing: "memory" (volatile) or "file" (a durable
-    #: slab in a scenario-owned temporary directory).
+    #: storage-tier backing: "memory" (volatile), "file" (a durable slab
+    #: in a scenario-owned temporary directory) or "shm" (a POSIX
+    #: shared-memory segment, unlinked when the stack closes).
     storage_backend: str = "memory"
     #: wrap the fleet in a :class:`~repro.core.supervisor.FleetSupervisor`
     #: (sharded stacks only): cadence checkpoints, crash auto-recovery.
@@ -94,13 +95,19 @@ class StackSpec:
                     f"unknown shard protocol {self.shard_protocol!r} "
                     f"(valid: {', '.join(shard_protocol_names())})"
                 )
-        if self.storage_backend not in ("memory", "file"):
+        if self.storage_backend not in ("memory", "file", "shm"):
             raise ValueError(
                 f"unknown storage backend {self.storage_backend!r} "
-                "(valid: memory, file)"
+                "(valid: memory, file, shm)"
             )
-        if self.storage_backend == "file" and self.protocol not in ("horam", "sharded"):
-            raise ValueError("the file storage backend runs horam/sharded stacks only")
+        if self.storage_backend in ("file", "shm") and self.protocol not in (
+            "horam",
+            "sharded",
+        ):
+            raise ValueError(
+                f"the {self.storage_backend} storage backend runs horam/sharded "
+                "stacks only"
+            )
         if self.supervised and self.protocol != "sharded":
             raise ValueError("supervision wraps sharded stacks only")
         if self.supervised and self.users:
@@ -116,6 +123,8 @@ class StackSpec:
             name += "-par"
         if self.storage_backend == "file":
             name += "-durable"
+        if self.storage_backend == "shm":
+            name += "-shm"
         if self.supervised:
             name += "+sup"
         if self.users:
